@@ -1,0 +1,97 @@
+// Ablation: the optimization passes of the merge pipeline (§5.2, §5.6).
+//
+// Toggles DelayHTTP (+Implib wrapping), DCE/debloating, and conditional
+// invocations on the compose-post merge and reports their effect on the
+// binary image, the shared-library loading profile, and the measured
+// cold-start latency of the merged function.
+#include "bench/bench_util.h"
+#include "src/apps/deathstarbench.h"
+#include "src/quiltc/compiler.h"
+
+namespace quilt {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  QuiltcOptions options;
+};
+
+// Measures the first (cold) invocation latency of the merged deployment.
+SimDuration MeasureColdStart(const QuiltcOptions& options) {
+  ControllerOptions controller_options;
+  controller_options.quiltc = options;
+  Env env(controller_options);
+  const WorkflowApp app = ComposePost(false);
+  if (!env.controller.RegisterWorkflow(app).ok()) {
+    return -1;
+  }
+  Result<CallGraph> graph = app.ReferenceGraph();
+  if (!graph.ok() ||
+      !env.controller.DeploySolutionDirect(app, FullMergeSolution(*graph)).ok()) {
+    return -1;
+  }
+  SimTime done = -1;
+  const SimTime start = env.sim.now();
+  env.platform.Invoke(kClientCaller, app.root_handle, Json::MakeObject(), false,
+                      [&](Result<Json> r) { done = r.ok() ? env.sim.now() : -1; });
+  env.sim.Run();
+  return done >= 0 ? done - start : -1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace quilt
+
+int main() {
+  using namespace quilt;
+  using namespace quilt::bench;
+
+  PrintHeader("Ablation: merge-pipeline passes on compose-post (11 functions)");
+
+  std::vector<Variant> variants;
+  {
+    Variant all{"all passes", {}};
+    variants.push_back(all);
+    Variant no_delay{"no DelayHTTP/Implib", {}};
+    no_delay.options.delay_http = false;
+    no_delay.options.implib_wrap = false;
+    variants.push_back(no_delay);
+    Variant no_dce{"no DCE/debloat", {}};
+    no_dce.options.dce = false;
+    variants.push_back(no_dce);
+    Variant no_conditional{"no conditional inv.", {}};
+    no_conditional.options.conditional_invocations = false;
+    variants.push_back(no_conditional);
+  }
+
+  const WorkflowApp app = ComposePost(false);
+  Result<CallGraph> graph = app.ReferenceGraph();
+  if (!graph.ok()) {
+    std::printf("graph error: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-22s | %10s | %6s %6s | %12s\n", "variant", "binary", "eager", "lazy",
+              "cold start");
+  for (const Variant& variant : variants) {
+    QuiltCompiler compiler(variant.options);
+    Result<MergedArtifact> artifact =
+        compiler.MergeGroup(*graph, FullMergeSolution(*graph).groups[0], app.Sources());
+    if (!artifact.ok()) {
+      std::printf("%-22s | merge failed: %s\n", variant.name,
+                  artifact.status().ToString().c_str());
+      continue;
+    }
+    const SimDuration cold = MeasureColdStart(variant.options);
+    std::printf("%-22s | %10s | %6d %6d | %12s\n", variant.name,
+                FormatBytes(artifact->image.size_bytes).c_str(), artifact->image.eager_libs,
+                artifact->image.lazy_libs, FormatDuration(cold).c_str());
+  }
+  std::printf(
+      "\nShape check: DelayHTTP/Implib move the ~41-library HTTP closure off the\n"
+      "cold-start path; disabling DCE leaves dead scaffolds in the binary; disabling\n"
+      "conditional invocations lets DCE strip the HTTP stack entirely (smallest,\n"
+      "fastest cold start) at the cost of crashing on fan-out beyond the profile.\n");
+  return 0;
+}

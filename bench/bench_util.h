@@ -1,0 +1,83 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§7): it builds the workloads, runs the simulated platform, and
+// prints the same rows/series the paper reports. Absolute numbers differ
+// from the authors' testbed (ours is a simulator); the *shape* -- who wins,
+// by what factor, where the crossovers are -- is the reproduction target.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/common/strings.h"
+#include "src/core/quilt_controller.h"
+#include "src/workload/loadgen.h"
+
+namespace quilt {
+namespace bench {
+
+// One experiment environment: fresh simulation + platform + controller.
+struct Env {
+  Simulation sim;
+  Platform platform;
+  QuiltController controller;
+
+  explicit Env(ControllerOptions options = {}, PlatformConfig config = {})
+      : platform(&sim, config), controller(&sim, &platform, options) {}
+};
+
+inline LoadResult RunClosedLoop(Env& env, const std::string& target, int connections = 1,
+                                SimDuration duration = Seconds(30),
+                                SimDuration warmup = Seconds(5)) {
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options options;
+  options.connections = connections;
+  options.warmup = warmup;
+  options.duration = duration;
+  return generator.Run(&env.sim, &env.platform, target, options);
+}
+
+inline LoadResult RunOpenLoop(Env& env, const std::string& target, double rps,
+                              SimDuration duration = Seconds(20),
+                              SimDuration warmup = Seconds(5)) {
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::Options options;
+  options.rps = rps;
+  options.warmup = warmup;
+  options.duration = duration;
+  return generator.Run(&env.sim, &env.platform, target, options);
+}
+
+// Registers a workflow and swaps in Quilt's merged deployment decided from
+// the app's reference call graph (profiling-free path used by benches that
+// pin the grouping to "merge everything").
+inline Status DeployQuiltFullMerge(Env& env, const WorkflowApp& app) {
+  QUILT_RETURN_IF_ERROR(env.controller.RegisterWorkflow(app));
+  Result<CallGraph> graph = app.ReferenceGraph();
+  if (!graph.ok()) {
+    return graph.status();
+  }
+  return env.controller.DeploySolutionDirect(app, FullMergeSolution(*graph));
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline double ImprovementPct(int64_t baseline, int64_t improved) {
+  if (baseline <= 0) {
+    return 0.0;
+  }
+  return 100.0 * (1.0 - static_cast<double>(improved) / static_cast<double>(baseline));
+}
+
+}  // namespace bench
+}  // namespace quilt
+
+#endif  // BENCH_BENCH_UTIL_H_

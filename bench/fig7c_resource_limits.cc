@@ -1,0 +1,150 @@
+// Figure 7c: effect of resource limits on the modified nearby-cinema
+// workflow (§7.4.1): 9 functions, six CPU-heavy get-nearby-points workers,
+// containers limited to 1.6 vCPU / 320 MB.
+//
+//   - Baseline: 9 deployments x 10 containers (90 total);
+//   - Quilt (merge all): one binary on 90 containers -- its per-request
+//     parallel CPU demand exceeds the container quota, so it is throttled;
+//   - Quilt (optimal split): the decision algorithm's 2-binary grouping.
+//
+// Expected shape: merge-all has the best low-load latency but loses
+// throughput to throttling (paper: -11.64% vs baseline); the optimal split
+// keeps most of the latency win and beats the baseline's throughput
+// (paper: +50.75%).
+#include "bench/bench_util.h"
+#include "src/apps/deathstarbench.h"
+
+namespace quilt {
+namespace bench {
+namespace {
+
+enum class System { kBaseline, kMergeAll, kOptimalSplit };
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kBaseline:
+      return "baseline";
+    case System::kMergeAll:
+      return "quilt (merge all)";
+    case System::kOptimalSplit:
+      return "quilt (optimal split)";
+  }
+  return "?";
+}
+
+ControllerOptions Fig7cOptions() {
+  ControllerOptions options;
+  options.container_cpu_limit = 1.6;
+  options.container_memory_limit_mb = 320.0;
+  options.max_scale = 10;
+  return options;
+}
+
+// GNP requests/responses carry large point sets (the workers filter 300K
+// points, §7.4.1), so the HTTP serialization work per remote invocation is
+// an order of magnitude above the tiny-JSON default.
+PlatformConfig Fig7cPlatform() {
+  PlatformConfig config;
+  config.runtime.invoke_cpu_ms = 0.5;
+  config.runtime.handler_cpu_ms = 1.2;
+  // Megabyte-scale messages also take real wire time on the 1 Gbps fabric.
+  config.serialize_latency = Microseconds(2500);
+  return config;
+}
+
+MergeSolution OptimalSplit(const CallGraph& graph) {
+  MergeSolution split;
+  MergeGroup g1;
+  g1.root = graph.FindNode("nearby-cinema-mod");
+  g1.members = {g1.root, graph.FindNode("nearby-agg-1"), graph.FindNode("gnp-1"),
+                graph.FindNode("gnp-2"), graph.FindNode("gnp-3")};
+  MergeGroup g2;
+  g2.root = graph.FindNode("nearby-agg-2");
+  g2.members = {g2.root, graph.FindNode("gnp-4"), graph.FindNode("gnp-5"),
+                graph.FindNode("gnp-6")};
+  split.groups = {g1, g2};
+  return split;
+}
+
+struct Point {
+  double achieved = 0.0;
+  int64_t median = 0;
+  double failure_rate = 0.0;
+};
+
+Point RunPoint(System system, double rps) {
+  const WorkflowApp app = ModifiedNearbyCinema();
+  Env env(Fig7cOptions(), Fig7cPlatform());
+  Status status = env.controller.RegisterWorkflow(app);
+  Result<CallGraph> graph = app.ReferenceGraph();
+  if (!graph.ok() || !status.ok()) {
+    std::printf("!! setup failed\n");
+    return {};
+  }
+  switch (system) {
+    case System::kBaseline:
+      break;
+    case System::kMergeAll:
+      status = env.controller.DeploySolutionDirect(app, FullMergeSolution(*graph));
+      break;
+    case System::kOptimalSplit:
+      status = env.controller.DeploySolutionDirect(app, OptimalSplit(*graph));
+      break;
+  }
+  if (!status.ok()) {
+    std::printf("!! deploy %s: %s\n", SystemName(system), status.ToString().c_str());
+    return {};
+  }
+  const LoadResult load = RunOpenLoop(env, app.root_handle, rps, Seconds(10), Seconds(3));
+  return Point{load.AchievedRps(), load.latency.Median(), load.FailureRate()};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace quilt
+
+int main() {
+  using namespace quilt;
+  using namespace quilt::bench;
+
+  PrintHeader(
+      "Figure 7c: modified nearby-cinema under 1.6 vCPU / 320 MB containers\n"
+      "(9 functions; 90 containers total for every system)");
+
+  const std::vector<double> rates = {10, 50, 200, 800, 2000, 4000, 6000, 8000, 10000};
+  struct Summary {
+    int64_t low_load_median = 0;
+    double peak = 0.0;
+  };
+  std::vector<std::pair<const char*, Summary>> summaries;
+
+  for (System system : {System::kBaseline, System::kMergeAll, System::kOptimalSplit}) {
+    std::printf("\n-- %s --\n", SystemName(system));
+    std::printf("%10s %10s %12s %8s\n", "offered", "achieved", "median", "fail%");
+    Summary summary;
+    for (double rps : rates) {
+      const Point point = RunPoint(system, rps);
+      if (rps == rates.front()) {
+        summary.low_load_median = point.median;
+      }
+      summary.peak = std::max(summary.peak, point.achieved);
+      std::printf("%10.0f %10.1f %12s %7.2f%%\n", rps, point.achieved,
+                  FormatDuration(point.median).c_str(), 100.0 * point.failure_rate);
+    }
+    summaries.push_back({SystemName(system), summary});
+    std::printf("low-load median %s, peak throughput %.1f rps\n",
+                FormatDuration(summary.low_load_median).c_str(), summary.peak);
+  }
+
+  std::printf("\n-- summary (paper shape: merge-all best latency, worst throughput;\n");
+  std::printf("   optimal split close on latency and highest throughput) --\n");
+  const Summary& base = summaries[0].second;
+  for (const auto& [name, s] : summaries) {
+    std::printf("%-22s low-load median %10s (%+6.1f%% vs baseline)   peak %8.1f rps "
+                "(%+6.1f%%)\n",
+                name, FormatDuration(s.low_load_median).c_str(),
+                -ImprovementPct(base.low_load_median, s.low_load_median), s.peak,
+                100.0 * (s.peak / base.peak - 1.0));
+  }
+  return 0;
+}

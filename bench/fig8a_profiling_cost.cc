@@ -1,0 +1,57 @@
+// Figure 8a: cost of profiling (§7.5.1). A no-op function is driven across
+// offered loads with tracing/profiling disabled and enabled; the profiling
+// hop (nginx ingress + OpenTelemetry + cAdvisor sampling) should add only
+// marginal latency. The run also exhibits Fission's quirk of median latency
+// *decreasing* with load before saturation (router address-cache effects).
+#include "bench/bench_util.h"
+#include "src/apps/deathstarbench.h"
+
+namespace quilt {
+namespace bench {
+namespace {
+
+struct Point {
+  double achieved = 0.0;
+  int64_t median = 0;
+  int64_t p99 = 0;
+};
+
+Point RunPoint(bool profiling, double rps) {
+  Env env;
+  const WorkflowApp app = NoOpFunction();
+  if (!env.controller.RegisterWorkflow(app).ok()) {
+    return {};
+  }
+  if (profiling) {
+    env.controller.StartProfiling();
+  }
+  const LoadResult load = RunOpenLoop(env, app.root_handle, rps, Seconds(20), Seconds(4));
+  return Point{load.AchievedRps(), load.latency.Median(), load.latency.P99()};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace quilt
+
+int main() {
+  using namespace quilt;
+  using namespace quilt::bench;
+
+  PrintHeader("Figure 8a: no-op function latency/throughput with and without profiling");
+  const std::vector<double> rates = {1, 5, 20, 100, 500, 2000, 8000, 16000};
+
+  std::printf("%10s | %12s %12s | %12s %12s | %10s\n", "offered", "p50 (off)", "p99 (off)",
+              "p50 (on)", "p99 (on)", "p50 delta");
+  for (double rps : rates) {
+    const Point off = RunPoint(false, rps);
+    const Point on = RunPoint(true, rps);
+    std::printf("%10.0f | %12s %12s | %12s %12s | %10s\n", rps,
+                FormatDuration(off.median).c_str(), FormatDuration(off.p99).c_str(),
+                FormatDuration(on.median).c_str(), FormatDuration(on.p99).c_str(),
+                FormatDuration(on.median - off.median).c_str());
+  }
+  std::printf(
+      "\nShape check: the profiling hop adds only the ingress overhead (~0.15ms);\n"
+      "median latency dips as load rises (warm route cache) before queueing takes over.\n");
+  return 0;
+}

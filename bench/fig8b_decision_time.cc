@@ -1,0 +1,125 @@
+// Figure 8b: time to find merge groupings (§7.5.2).
+//
+// Random rDAGs (|E| = 1.2|V|, 10% async edges, random CPU/memory, limits
+// sized so at least two containers are needed); three algorithms:
+//   - optimal (exhaustive k-sweep over candidate root sets, Phase-2 ILP),
+//   - simple heuristic (weighted in-degree candidate pool),
+//   - Downstream Impact heuristic.
+// Medians with p5/p95 over repeated trials. The optimal solver is only run
+// on small graphs (its candidate-set count is 2^(|V|-1)); for graphs beyond
+// the heuristic pool regime the GRASP large-graph procedure (Appendix C.4)
+// carries the DIH column, as in the paper.
+#include <algorithm>
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/graph/random_dag.h"
+#include "src/partition/grasp_solver.h"
+#include "src/partition/heuristic_solver.h"
+#include "src/partition/optimal_solver.h"
+#include "src/partition/scorers.h"
+
+namespace quilt {
+namespace bench {
+namespace {
+
+MergeProblem ProblemFor(const CallGraph& graph) {
+  double total_mem = 0.0;
+  double max_mem = 0.0;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    total_mem += graph.node(id).memory;
+    max_mem = std::max(max_mem, graph.node(id).memory);
+  }
+  // At least 2 containers required: limit below the full-merge demand.
+  return MergeProblem{&graph, /*cpu_limit=*/1e9, std::max(total_mem * 0.5, max_mem * 2.0)};
+}
+
+struct Timing {
+  std::vector<double> ms;
+  double Quantile(double q) {
+    if (ms.empty()) {
+      return 0.0;
+    }
+    std::sort(ms.begin(), ms.end());
+    const size_t index = std::min(ms.size() - 1, static_cast<size_t>(q * ms.size()));
+    return ms[index];
+  }
+};
+
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace quilt
+
+int main() {
+  using namespace quilt;
+  using namespace quilt::bench;
+
+  PrintHeader("Figure 8b: merge-decision time vs graph size (median [p5,p95] ms)");
+  std::printf("%6s %7s | %26s | %26s | %26s\n", "nodes", "trials", "optimal",
+              "weighted-in-degree", "downstream-impact");
+
+  const std::vector<int> sizes = {5, 8, 10, 12, 25, 50, 100, 200, 400, 800};
+  Rng master(20250704);
+
+  for (int n : sizes) {
+    const int trials = n <= 25 ? 15 : (n <= 200 ? 6 : 3);
+    const bool run_optimal = n <= 12;
+    Timing optimal_t;
+    Timing indeg_t;
+    Timing dih_t;
+    for (int trial = 0; trial < trials; ++trial) {
+      RandomDagOptions options;
+      options.num_nodes = n;
+      CallGraph graph = GenerateRandomRdag(options, master);
+      MergeProblem problem = ProblemFor(graph);
+
+      if (run_optimal) {
+        OptimalSolver solver;
+        optimal_t.ms.push_back(TimeMs([&] { (void)solver.Solve(problem); }));
+      }
+      if (n <= 25) {
+        WeightedInDegreeScorer indeg;
+        DownstreamImpactScorer dih;
+        HeuristicSolver hs_indeg(indeg);
+        HeuristicSolver hs_dih(dih);
+        indeg_t.ms.push_back(TimeMs([&] { (void)hs_indeg.Solve(problem); }));
+        dih_t.ms.push_back(TimeMs([&] { (void)hs_dih.Solve(problem); }));
+      } else {
+        // Large-graph regime: GRASP (Appendix C.4) with each scorer.
+        WeightedInDegreeScorer indeg;
+        DownstreamImpactScorer dih;
+        GraspSolver gs_indeg(indeg);
+        GraspSolver gs_dih(dih);
+        GraspOptions grasp_options;
+        grasp_options.draws_per_size = 2;
+        grasp_options.max_nodes_per_ilp = 150000;  // Bound pathological pools.
+        Rng r1(1000 + trial);
+        Rng r2(1000 + trial);
+        indeg_t.ms.push_back(
+            TimeMs([&] { (void)gs_indeg.Solve(problem, r1, grasp_options); }));
+        dih_t.ms.push_back(TimeMs([&] { (void)gs_dih.Solve(problem, r2, grasp_options); }));
+      }
+    }
+    auto cell = [](Timing& t) {
+      if (t.ms.empty()) {
+        return std::string("--");
+      }
+      return StrCat(FormatDouble(t.Quantile(0.5), 1), " [", FormatDouble(t.Quantile(0.05), 1),
+                    ", ", FormatDouble(t.Quantile(0.95), 1), "]");
+    };
+    std::printf("%6d %7d | %26s | %26s | %26s\n", n, trials, cell(optimal_t).c_str(),
+                cell(indeg_t).c_str(), cell(dih_t).c_str());
+  }
+  std::printf(
+      "\nShape check (paper): optimal explodes beyond ~20 nodes; DIH stays sub-second\n"
+      "up to 200 nodes and a few seconds at 800.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Resource fragmentation vs merge granularity (§4, "Are container limits
+// reasonable?").
+//
+// For the compose-post workflow, sweeps merge granularity from "no merging"
+// (11 small containers per replica) to "merge everything into one giant
+// container with proportionally raised limits", packing the resulting
+// container fleet onto 16-vCPU workers. The paper's argument: simply raising
+// the limits instead of constraint-aware merging turns placement into a
+// wasteful bin-packing problem.
+#include "bench/bench_util.h"
+#include "src/apps/deathstarbench.h"
+#include "src/platform/cluster.h"
+
+namespace quilt {
+namespace bench {
+namespace {
+
+struct Scenario {
+  const char* name;
+  // Containers per workflow replica: (cpu, count).
+  std::vector<ContainerRequest> PerReplica(int replicas) const {
+    std::vector<ContainerRequest> requests;
+    for (const auto& [cpu, mem, count] : shapes) {
+      requests.push_back({"c", cpu, mem, count * replicas});
+    }
+    return requests;
+  }
+  std::vector<std::tuple<double, double, int>> shapes;
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace quilt
+
+int main() {
+  using namespace quilt;
+  using namespace quilt::bench;
+
+  PrintHeader(
+      "Resource fragmentation vs merge granularity (compose-post, 16-vCPU workers)\n"
+      "packing 40 workflow replicas with first-fit decreasing");
+
+  // Granularities: the same total demand (~11 x 0.8 vCPU per replica),
+  // consolidated into ever-larger containers with raised limits.
+  const std::vector<Scenario> scenarios = {
+      {"no merge (11 x 0.8 vCPU)", {{0.8, 512, 11}}},
+      {"pairs (5 x 1.6 + 1 x 0.8)", {{1.6, 1024, 5}, {0.8, 512, 1}}},
+      {"quarters (3 x 3 vCPU)", {{3.0, 2048, 3}}},
+      {"halves (2 x 4.5 vCPU)", {{4.5, 3072, 2}}},
+      {"merge all (1 x 9 vCPU)", {{9.0, 6144, 1}}},
+      {"merge all, padded limits (1 x 12 vCPU)", {{12.0, 8192, 1}}},
+  };
+
+  const WorkerSpec worker{16.0, 32768.0};
+  const int replicas = 40;
+
+  std::printf("%-42s | %8s %8s | %10s | %10s\n", "granularity", "workers", "unplaced",
+              "stranded", "cpu util");
+  for (const Scenario& scenario : scenarios) {
+    const PlacementResult result =
+        PlaceContainers(scenario.PerReplica(replicas), worker, /*max_workers=*/1000);
+    std::printf("%-42s | %8d %8d | %8.1f vC | %9.1f%%\n", scenario.name, result.workers_used,
+                result.containers_unplaced, result.stranded_cpu,
+                100.0 * (1.0 - result.StrandedCpuFraction(worker)));
+  }
+  std::printf(
+      "\nShape check (§4): small containers pack at ~100%%; as merged containers grow\n"
+      "toward worker size, stranded capacity rises -- the fragmentation cost that\n"
+      "motivates constraint-aware merging instead of raising the limits.\n");
+  return 0;
+}

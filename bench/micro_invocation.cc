@@ -1,0 +1,132 @@
+// Microbenchmarks (google-benchmark): the primitive costs behind the
+// paper's headline claim that merged invocations take nanoseconds instead of
+// milliseconds (§1), plus the hot paths of the decision machinery.
+#include <benchmark/benchmark.h>
+
+#include "src/common/histogram.h"
+#include "src/common/json.h"
+#include "src/graph/descendants.h"
+#include "src/graph/random_dag.h"
+#include "src/ilp/ilp_solver.h"
+#include "src/platform/platform.h"
+#include "src/partition/ilp_encoding.h"
+#include "src/partition/scorers.h"
+#include "src/runtime/executor.h"
+#include "src/sim/simulation.h"
+
+namespace quilt {
+namespace {
+
+// Virtual-time cost of a localized (merged) call vs the full remote path.
+// Reported as "items" of simulated nanoseconds per invocation.
+void BM_SimulatedLocalCallPath(benchmark::State& state) {
+  RuntimeCosts costs;
+  SimDuration total = 0;
+  for (auto _ : state) {
+    total += costs.local_call_overhead;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["sim_ns_per_call"] = static_cast<double>(costs.local_call_overhead);
+}
+BENCHMARK(BM_SimulatedLocalCallPath);
+
+void BM_SimulatedRemoteCallPath(benchmark::State& state) {
+  // serialize + rtt/2 + gateway (x2 for the response) + handler work, taken
+  // from the platform's default configuration.
+  const PlatformConfig config;
+  const SimDuration remote_path =
+      2 * (config.serialize_latency + config.network_rtt / 2 + config.gateway_overhead) +
+      Milliseconds(config.runtime.handler_cpu_ms + config.runtime.invoke_cpu_ms);
+  SimDuration total = 0;
+  for (auto _ : state) {
+    total += remote_path;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["sim_ns_per_call"] = static_cast<double>(remote_path);
+}
+BENCHMARK(BM_SimulatedRemoteCallPath);
+
+void BM_JsonPayloadRoundTrip(benchmark::State& state) {
+  Json payload = Json::MakeObject();
+  payload["user"] = "alice";
+  payload["text"] = "a review body with some characters in it";
+  payload["rating"] = 5;
+  const std::string text = payload.Dump();
+  for (auto _ : state) {
+    Result<Json> parsed = Json::Parse(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_JsonPayloadRoundTrip);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram histogram;
+  int64_t v = 1;
+  for (auto _ : state) {
+    histogram.Record(v);
+    v = v * 1664525 + 1013904223;
+    v &= 0xFFFFFFF;
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_DescendantAnalysis(benchmark::State& state) {
+  Rng rng(1);
+  RandomDagOptions options;
+  options.num_nodes = static_cast<int>(state.range(0));
+  const CallGraph graph = GenerateRandomRdag(options, rng);
+  for (auto _ : state) {
+    DescendantAnalysis analysis(graph);
+    benchmark::DoNotOptimize(analysis.DownstreamCpu(0));
+  }
+}
+BENCHMARK(BM_DescendantAnalysis)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_DihScoring(benchmark::State& state) {
+  Rng rng(2);
+  RandomDagOptions options;
+  options.num_nodes = static_cast<int>(state.range(0));
+  const CallGraph graph = GenerateRandomRdag(options, rng);
+  MergeProblem problem{&graph, 100.0, 10000.0};
+  DownstreamImpactScorer scorer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.Score(problem));
+  }
+}
+BENCHMARK(BM_DihScoring)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_Phase2IlpSmall(benchmark::State& state) {
+  Rng rng(3);
+  RandomDagOptions options;
+  options.num_nodes = 10;
+  const CallGraph graph = GenerateRandomRdag(options, rng);
+  double total_mem = 0.0;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    total_mem += graph.node(id).memory;
+  }
+  MergeProblem problem{&graph, 1e9, total_mem * 0.5};
+  const std::vector<NodeId> roots = {graph.root(), 3, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveForRoots(problem, roots));
+  }
+}
+BENCHMARK(BM_Phase2IlpSmall);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopThroughput);
+
+}  // namespace
+}  // namespace quilt
+
+BENCHMARK_MAIN();

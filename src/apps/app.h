@@ -1,0 +1,57 @@
+// Application workflows: bundles of serverless functions with both their
+// static form (SourceFunction, consumed by the compilation pipeline) and
+// their dynamic form (FunctionBehavior, executed by the platform), plus a
+// ground-truth call graph for the merge-decision algorithms.
+#ifndef SRC_APPS_APP_H_
+#define SRC_APPS_APP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/frontend/source_function.h"
+#include "src/graph/call_graph.h"
+#include "src/runtime/behavior.h"
+
+namespace quilt {
+
+struct AppFunctionSpec {
+  std::string handle;
+  Lang lang = Lang::kRust;
+  // Dynamic model.
+  double request_memory_mb = 1.5;
+  std::vector<BehaviorStep> steps;
+  // Profiled node labels for the reference call graph (§4.1): average vCPUs
+  // while executing and peak container memory.
+  double profiled_cpu = 0.09;
+  double profiled_mem = 5.5;
+  // Static model.
+  int64_t user_code_bytes = 40 * 1024;
+  bool mergeable = true;
+};
+
+struct WorkflowApp {
+  std::string name;  // Workflow identifier, e.g. "compose-post-async".
+  std::string root_handle;
+  std::vector<AppFunctionSpec> functions;
+
+  const AppFunctionSpec* Find(const std::string& handle) const;
+
+  // Inputs to the compilation pipeline: invocation sites are derived from
+  // the CallSteps in each function's behavior.
+  std::map<std::string, SourceFunction> Sources() const;
+
+  // Inputs to the platform.
+  std::map<std::string, FunctionBehavior> Behaviors() const;
+
+  // The ground-truth call graph: one edge per static caller->callee pair
+  // with alpha = total calls per request and type = async iff the call step
+  // is parallel. `nominal_invocations` scales edge weights as if the
+  // workflow had been profiled that many times.
+  Result<CallGraph> ReferenceGraph(double nominal_invocations = 1000.0) const;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_APPS_APP_H_

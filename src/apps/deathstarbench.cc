@@ -1,0 +1,440 @@
+#include "src/apps/deathstarbench.h"
+
+namespace quilt {
+
+namespace {
+
+// Step-construction helpers.
+BehaviorStep Compute(double cpu_ms) { return ComputeStep{cpu_ms}; }
+BehaviorStep FakeDb(double latency_ms) { return SleepStep{latency_ms}; }
+BehaviorStep Alloc(double mb) { return AllocStep{mb}; }
+BehaviorStep Call(std::vector<CallItem> items, bool parallel) {
+  return CallStep{std::move(items), parallel};
+}
+CallItem To(const std::string& callee, int count = 1) { return CallItem{callee, count, false}; }
+
+// Fake-DB latencies are scaled so that the measured average CPU of a short
+// microservice (compute + HTTP handling over its execution time) lands near
+// the profiled node labels -- the regime in which entire DeathStarBench
+// workflows fit a 2-vCPU container when merged (§7.3.1).
+constexpr double kDbScale = 2.2;
+
+// Deterministic per-function user-code volume (binaries differ in size as
+// in Appendix E's min/avg/max columns).
+int64_t CodeBytesFor(const std::string& handle) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : handle) {
+    h = (h ^ static_cast<uint64_t>(c)) * 1099511628211ull;
+  }
+  return static_cast<int64_t>(26 + h % 120) * 1024;
+}
+
+// A typical short microservice: a little compute around a fake DB access.
+AppFunctionSpec Leaf(const std::string& handle, double cpu_ms, double db_ms,
+                     double profiled_cpu = 0.09) {
+  AppFunctionSpec fn;
+  fn.handle = handle;
+  fn.steps = {Compute(cpu_ms * 0.7), FakeDb(db_ms * kDbScale), Compute(cpu_ms * 0.3)};
+  fn.profiled_cpu = profiled_cpu;
+  fn.user_code_bytes = CodeBytesFor(handle);
+  return fn;
+}
+
+}  // namespace
+
+WorkflowApp ComposePost(bool async_fanout) {
+  WorkflowApp app;
+  app.name = async_fanout ? "compose-post-async" : "compose-post-sync";
+  app.root_handle = "compose-post";
+
+  AppFunctionSpec root;
+  root.handle = "compose-post";
+  root.profiled_cpu = 0.10;
+  root.steps = {
+      Compute(0.4),
+      Call({To("unique-id"), To("media-service"), To("text-service"), To("user-service")},
+           async_fanout),
+      Compute(0.3),
+      Call({To("post-storage")}, false),
+      Call({To("write-home-timeline"), To("write-user-timeline")}, async_fanout),
+      Compute(0.2),
+  };
+  app.functions.push_back(root);
+
+  app.functions.push_back(Leaf("unique-id", 0.25, 1.6));
+  app.functions.push_back(Leaf("media-service", 0.4, 2.2));
+
+  AppFunctionSpec text;
+  text.handle = "text-service";
+  text.profiled_cpu = 0.10;
+  text.steps = {
+      Compute(0.5),
+      Call({To("url-shorten"), To("user-mention")}, async_fanout),
+      Compute(0.2),
+  };
+  app.functions.push_back(text);
+
+  app.functions.push_back(Leaf("url-shorten", 0.3, 1.8));
+  app.functions.push_back(Leaf("user-mention", 0.3, 2.0));
+  app.functions.push_back(Leaf("user-service", 0.3, 2.0));
+  app.functions.push_back(Leaf("post-storage", 0.4, 2.6));
+
+  AppFunctionSpec write_home;
+  write_home.handle = "write-home-timeline";
+  write_home.profiled_cpu = 0.10;
+  write_home.steps = {
+      Compute(0.35),
+      FakeDb(2.0),
+      Call({To("social-graph")}, false),
+      Compute(0.1),
+  };
+  app.functions.push_back(write_home);
+
+  app.functions.push_back(Leaf("social-graph", 0.3, 2.2));
+  app.functions.push_back(Leaf("write-user-timeline", 0.35, 2.4));
+  return app;
+}
+
+WorkflowApp FollowWithUname(bool async_fanout) {
+  WorkflowApp app;
+  app.name = async_fanout ? "follow-with-uname-async" : "follow-with-uname-sync";
+  app.root_handle = "follow-with-uname";
+
+  AppFunctionSpec root;
+  root.handle = "follow-with-uname";
+  root.profiled_cpu = 0.10;
+  root.steps = {
+      Compute(0.3),
+      // Resolve both usernames to ids.
+      Call({To("uname-to-id", 2)}, async_fanout),
+      Compute(0.2),
+      Call({To("social-graph-follow")}, false),
+      Call({To("notify-service")}, false),
+  };
+  app.functions.push_back(root);
+  app.functions.push_back(Leaf("uname-to-id", 0.3, 1.8));
+  app.functions.push_back(Leaf("social-graph-follow", 0.4, 2.4));
+  app.functions.push_back(Leaf("notify-service", 0.25, 1.6));
+  return app;
+}
+
+WorkflowApp ReadHomeTimeline() {
+  WorkflowApp app;
+  app.name = "read-home-timeline-sync";
+  app.root_handle = "read-home-timeline";
+
+  AppFunctionSpec root;
+  root.handle = "read-home-timeline";
+  root.profiled_cpu = 0.10;
+  root.steps = {Compute(0.3), Call({To("post-storage-read")}, false), Compute(0.2)};
+  app.functions.push_back(root);
+  app.functions.push_back(Leaf("post-storage-read", 0.45, 2.6));
+  return app;
+}
+
+WorkflowApp ComposeReview(bool async_fanout) {
+  WorkflowApp app;
+  app.name = async_fanout ? "compose-review-async" : "compose-review-sync";
+  app.root_handle = "compose-review";
+
+  // Figure-3 structure: uploaders feed the shared compose-and-upload, which
+  // appends the partial review to a cache; the root then persists the
+  // completed review. compose-and-upload executes three times per workflow
+  // (once per calling uploader), which the call-graph alphas reflect.
+  AppFunctionSpec root;
+  root.handle = "compose-review";
+  root.profiled_cpu = 0.10;
+  root.steps = {
+      Compute(0.4),
+      Call({To("unique-id-mr"), To("user-mr"), To("movie-id-mr"), To("text-mr"),
+            To("rating-mr")},
+           async_fanout),
+      Compute(0.2),
+      Call({To("review-storage"), To("user-review-db"), To("movie-review-db")}, async_fanout),
+      Call({To("review-counter")}, false),
+  };
+  app.functions.push_back(root);
+
+  AppFunctionSpec unique_id = Leaf("unique-id-mr", 0.25, 1.4);
+  unique_id.steps.push_back(Call({To("compose-and-upload-mr")}, false));
+  app.functions.push_back(unique_id);
+
+  AppFunctionSpec user;
+  user.handle = "user-mr";
+  user.profiled_cpu = 0.10;
+  user.steps = {Compute(0.3), Call({To("user-verify")}, false), Compute(0.1)};
+  app.functions.push_back(user);
+
+  AppFunctionSpec movie;
+  movie.handle = "movie-id-mr";
+  movie.profiled_cpu = 0.10;
+  movie.steps = {Compute(0.3), Call({To("movie-info")}, false), Compute(0.1)};
+  app.functions.push_back(movie);
+
+  AppFunctionSpec text;
+  text.handle = "text-mr";
+  text.profiled_cpu = 0.10;
+  text.steps = {Compute(0.35), Call({To("text-filter"), To("sentiment")}, async_fanout),
+                Call({To("compose-and-upload-mr")}, false)};
+  app.functions.push_back(text);
+
+  AppFunctionSpec rating = Leaf("rating-mr", 0.25, 1.2);
+  rating.steps.push_back(Call({To("compose-and-upload-mr")}, false));
+  app.functions.push_back(rating);
+
+  app.functions.push_back(Leaf("text-filter", 0.3, 1.6));
+  app.functions.push_back(Leaf("sentiment", 0.3, 1.6));
+  app.functions.push_back(Leaf("movie-info", 0.3, 1.8));
+  app.functions.push_back(Leaf("user-verify", 0.3, 1.6));
+
+  // Shared callee (solid and dashed arrows in Figure 3): appends one review
+  // fragment to the cache per call.
+  app.functions.push_back(Leaf("compose-and-upload-mr", 0.3, 1.2));
+
+  app.functions.push_back(Leaf("review-storage", 0.3, 2.2));
+  app.functions.push_back(Leaf("user-review-db", 0.3, 2.0));
+  app.functions.push_back(Leaf("movie-review-db", 0.3, 2.0));
+  app.functions.push_back(Leaf("review-counter", 0.2, 1.0));
+  return app;
+}
+
+WorkflowApp PageService(bool async_fanout) {
+  WorkflowApp app;
+  app.name = async_fanout ? "page-service-async" : "page-service-sync";
+  app.root_handle = "page-service";
+
+  AppFunctionSpec root;
+  root.handle = "page-service";
+  root.profiled_cpu = 0.10;
+  root.steps = {
+      Compute(0.35),
+      Call({To("movie-info-page"), To("cast-info"), To("plot-service"), To("review-page")},
+           async_fanout),
+      Compute(0.2),
+  };
+  app.functions.push_back(root);
+  app.functions.push_back(Leaf("movie-info-page", 0.35, 2.0));
+  app.functions.push_back(Leaf("cast-info", 0.3, 2.2));
+  app.functions.push_back(Leaf("plot-service", 0.3, 1.8));
+
+  AppFunctionSpec review_page;
+  review_page.handle = "review-page";
+  review_page.profiled_cpu = 0.10;
+  review_page.steps = {Compute(0.3), Call({To("review-storage-read")}, false), Compute(0.1)};
+  app.functions.push_back(review_page);
+  app.functions.push_back(Leaf("review-storage-read", 0.4, 2.4));
+  return app;
+}
+
+WorkflowApp ReadUserReview() {
+  WorkflowApp app;
+  app.name = "read-user-review-sync";
+  app.root_handle = "read-user-review";
+
+  AppFunctionSpec root;
+  root.handle = "read-user-review";
+  root.profiled_cpu = 0.10;
+  root.steps = {Compute(0.3), Call({To("user-review-storage")}, false), Compute(0.1)};
+  app.functions.push_back(root);
+  app.functions.push_back(Leaf("user-review-storage", 0.45, 2.6));
+  return app;
+}
+
+WorkflowApp SearchHandler() {
+  WorkflowApp app;
+  app.name = "search-handler-sync";
+  app.root_handle = "search-handler";
+
+  // Multi-second workflow: invocation overhead is negligible here (§7.3.1).
+  AppFunctionSpec root;
+  root.handle = "search-handler";
+  root.profiled_cpu = 0.2;
+  root.profiled_mem = 10.0;
+  root.steps = {
+      Compute(2.0),
+      Call({To("geo-service")}, false),
+      Call({To("rate-service")}, false),
+      Call({To("profile-service")}, false),
+      Call({To("recommend-service")}, false),
+      Call({To("availability-service")}, false),
+      Compute(1.0),
+  };
+  app.functions.push_back(root);
+
+  auto heavy = [](const std::string& handle, double cpu_ms, double db_ms) {
+    AppFunctionSpec fn;
+    fn.handle = handle;
+    fn.profiled_cpu = 0.2;
+    fn.profiled_mem = 12.0;
+    fn.request_memory_mb = 4.0;
+    fn.steps = {Compute(cpu_ms * 0.6), FakeDb(db_ms), Compute(cpu_ms * 0.4)};
+    return fn;
+  };
+  app.functions.push_back(heavy("geo-service", 60, 420));
+  app.functions.push_back(heavy("rate-service", 45, 520));
+  app.functions.push_back(heavy("profile-service", 50, 610));
+  app.functions.push_back(heavy("recommend-service", 70, 380));
+  app.functions.push_back(heavy("availability-service", 40, 450));
+  return app;
+}
+
+WorkflowApp ReservationHandler() {
+  WorkflowApp app;
+  app.name = "reservation-handler-sync";
+  app.root_handle = "reservation-handler";
+
+  AppFunctionSpec root;
+  root.handle = "reservation-handler";
+  root.profiled_cpu = 0.2;
+  root.profiled_mem = 10.0;
+  root.steps = {
+      Compute(1.5),
+      Call({To("availability-check")}, false),
+      Call({To("make-reservation")}, false),
+      Compute(0.5),
+  };
+  app.functions.push_back(root);
+
+  AppFunctionSpec check;
+  check.handle = "availability-check";
+  check.profiled_cpu = 0.2;
+  check.profiled_mem = 12.0;
+  check.steps = {Compute(25), FakeDb(640), Compute(15)};
+  app.functions.push_back(check);
+
+  AppFunctionSpec reserve;
+  reserve.handle = "make-reservation";
+  reserve.profiled_cpu = 0.2;
+  reserve.profiled_mem = 12.0;
+  reserve.steps = {Compute(20), FakeDb(950), Compute(12)};
+  app.functions.push_back(reserve);
+  return app;
+}
+
+WorkflowApp NearbyCinema() {
+  WorkflowApp app;
+  app.name = "nearby-cinema-sync";
+  app.root_handle = "nearby-cinema";
+
+  AppFunctionSpec root;
+  root.handle = "nearby-cinema";
+  root.profiled_cpu = 0.10;
+  root.steps = {Compute(0.4), Call({To("get-nearby-points")}, false), Compute(0.3)};
+  app.functions.push_back(root);
+
+  AppFunctionSpec gnp;
+  gnp.handle = "get-nearby-points";
+  gnp.profiled_cpu = 0.4;
+  gnp.profiled_mem = 12.0;
+  gnp.request_memory_mb = 6.0;
+  gnp.steps = {FakeDb(4.0), Compute(6.0), Compute(1.0)};
+  app.functions.push_back(gnp);
+  return app;
+}
+
+WorkflowApp ModifiedNearbyCinema() {
+  WorkflowApp app;
+  app.name = "nearby-cinema-modified";
+  app.root_handle = "nearby-cinema-mod";
+
+  AppFunctionSpec root;
+  root.handle = "nearby-cinema-mod";
+  root.profiled_cpu = 0.1;
+  root.profiled_mem = 24.0;
+  root.request_memory_mb = 2.0;
+  root.steps = {
+      Compute(0.3),
+      Call({To("nearby-agg-1"), To("nearby-agg-2")}, true),
+      Compute(0.2),
+  };
+  app.functions.push_back(root);
+
+  auto aggregator = [](const std::string& handle, const std::string& a, const std::string& b,
+                       const std::string& c) {
+    AppFunctionSpec fn;
+    fn.handle = handle;
+    fn.profiled_cpu = 0.15;
+    fn.profiled_mem = 26.0;
+    fn.request_memory_mb = 4.0;
+    fn.steps = {Compute(0.4), Call({CallItem{a, 1, false}, CallItem{b, 1, false},
+                                    CallItem{c, 1, false}},
+                                   true),
+                Compute(0.8)};
+    return fn;
+  };
+  app.functions.push_back(aggregator("nearby-agg-1", "gnp-1", "gnp-2", "gnp-3"));
+  app.functions.push_back(aggregator("nearby-agg-2", "gnp-4", "gnp-5", "gnp-6"));
+
+  for (int i = 1; i <= 6; ++i) {
+    AppFunctionSpec gnp;
+    gnp.handle = "gnp-" + std::to_string(i);
+    // CPU-intensive relative to its siblings: filters 300K points after a
+    // bulk fetch (§7.4.1). Six of these run in parallel per request, so the
+    // merged process demands ~6 vCPUs in bursts against a 1.6-vCPU quota.
+    gnp.profiled_cpu = 0.42;
+    gnp.profiled_mem = 56.0;
+    gnp.request_memory_mb = 20.0;
+    gnp.steps = {FakeDb(8.0), Alloc(6.0), Compute(2.0), Compute(0.6)};
+    app.functions.push_back(gnp);
+  }
+  return app;
+}
+
+WorkflowApp NoOpFunction() {
+  WorkflowApp app;
+  app.name = "no-op";
+  app.root_handle = "no-op";
+  AppFunctionSpec fn;
+  fn.handle = "no-op";
+  fn.profiled_cpu = 0.05;
+  fn.profiled_mem = 4.0;
+  fn.request_memory_mb = 0.1;
+  fn.steps = {Compute(0.05)};
+  app.functions.push_back(fn);
+  return app;
+}
+
+WorkflowApp FanOutApp(int profiled_alpha) {
+  WorkflowApp app;
+  app.name = "fan-out";
+  app.root_handle = "fan-out-root";
+
+  AppFunctionSpec root;
+  root.handle = "fan-out-root";
+  root.profiled_cpu = 0.15;
+  root.profiled_mem = 8.0;
+  root.request_memory_mb = 2.0;
+  CallItem item;
+  item.callee = "fan-callee";
+  item.count = profiled_alpha;  // The profiled expectation; actual count
+  item.data_dependent = true;   // comes from the request's "num" field.
+  root.steps = {Compute(0.3), Call({item}, true), Compute(0.2)};
+  app.functions.push_back(root);
+
+  // Memory-intensive (not CPU-intensive) callee: only ~8 instances fit in
+  // one process (§7.6).
+  AppFunctionSpec callee;
+  callee.handle = "fan-callee";
+  callee.profiled_cpu = 0.2;
+  callee.profiled_mem = 30.0;
+  callee.request_memory_mb = 26.0;
+  callee.steps = {Compute(0.5), FakeDb(2.5), Compute(0.1)};
+  app.functions.push_back(callee);
+  return app;
+}
+
+std::vector<WorkflowApp> AllFigure6Workflows() {
+  return {
+      ComposePost(false),     ComposePost(true),
+      FollowWithUname(false), FollowWithUname(true),
+      ReadHomeTimeline(),
+      ComposeReview(false),   ComposeReview(true),
+      PageService(false),     PageService(true),
+      ReadUserReview(),
+      // Hotel Reservation: sync only (§7.3.1).
+      SearchHandler(),        ReservationHandler(),
+      NearbyCinema(),
+  };
+}
+
+}  // namespace quilt

@@ -1,0 +1,51 @@
+// DeathStarBench-derived workflows (§7.2, Appendices E/F), ported to the
+// simulator: Social Network (compose-post, follow-with-uname,
+// read-home-timeline), Media/Movie Review (compose-review, page-service,
+// read-user-review), and Hotel Reservation (search-handler,
+// reservation-handler, nearby-cinema); plus the paper's synthetic workloads:
+// the modified nearby-cinema (§7.4.1), the no-op function (§7.5.1), and the
+// data-dependent fan-out app (§5.6/§7.6).
+//
+// Workflows that profit from parallel invocations come in sync and async
+// variants (Figure 6); the Hotel Reservation app "cannot profitably use
+// asynchronous invocations" and has sync-only workflows.
+#ifndef SRC_APPS_DEATHSTARBENCH_H_
+#define SRC_APPS_DEATHSTARBENCH_H_
+
+#include <vector>
+
+#include "src/apps/app.h"
+
+namespace quilt {
+
+// ---- Social Network ----
+WorkflowApp ComposePost(bool async_fanout);      // 11 functions.
+WorkflowApp FollowWithUname(bool async_fanout);  // 4 functions.
+WorkflowApp ReadHomeTimeline();                  // 2 functions.
+
+// ---- Media / Movie Review ----
+WorkflowApp ComposeReview(bool async_fanout);  // 15 functions.
+WorkflowApp PageService(bool async_fanout);    // 6 functions.
+WorkflowApp ReadUserReview();                  // 2 functions.
+
+// ---- Hotel Reservation (multi-second workflows) ----
+WorkflowApp SearchHandler();       // 6 functions.
+WorkflowApp ReservationHandler();  // 3 functions.
+WorkflowApp NearbyCinema();        // 2 functions.
+
+// ---- Synthetic workloads from the evaluation ----
+// §7.4.1: 9 functions; six CPU-heavy get-nearby-points workers feeding two
+// aggregators under the original entry point.
+WorkflowApp ModifiedNearbyCinema();
+// §7.5.1: a function that performs no computation or allocation.
+WorkflowApp NoOpFunction();
+// §5.6/§7.6: data-dependent fan-out with a memory-intensive callee; the
+// profiled per-request call count is `profiled_alpha`.
+WorkflowApp FanOutApp(int profiled_alpha);
+
+// All Figure-6 workflow variants in presentation order.
+std::vector<WorkflowApp> AllFigure6Workflows();
+
+}  // namespace quilt
+
+#endif  // SRC_APPS_DEATHSTARBENCH_H_

@@ -1,0 +1,130 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace quilt {
+
+// Bucketing scheme: values below 2*kSubBuckets are recorded exactly (one
+// bucket per value). Above that, each power-of-two octave is divided into
+// kSubBuckets linear sub-buckets (the 7 bits below the most significant bit),
+// bounding the relative error by 1/kSubBuckets.
+namespace {
+constexpr int kExactLimit = 2 * 128;  // Matches 2 * kSubBuckets.
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kExactLimit + kBuckets * kSubBuckets, 0) {}
+
+int LatencyHistogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kExactLimit) {
+    return static_cast<int>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);  // >= 8 here.
+  const int row = msb - kSubBucketBits;      // >= 1.
+  const int sub = static_cast<int>((v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  return kExactLimit + (row - 1) * kSubBuckets + sub;
+}
+
+int64_t LatencyHistogram::BucketMidpoint(int index) {
+  if (index < kExactLimit) {
+    return index;
+  }
+  const int rest = index - kExactLimit;
+  const int row = rest / kSubBuckets + 1;
+  const int sub = rest % kSubBuckets;
+  const int64_t lo = static_cast<int64_t>(kSubBuckets + sub) << row;
+  const int64_t width = static_cast<int64_t>(1) << row;
+  return lo + width / 2;
+}
+
+void LatencyHistogram::Record(int64_t value_ns) { RecordMany(value_ns, 1); }
+
+void LatencyHistogram::RecordMany(int64_t value_ns, int64_t count) {
+  assert(count >= 0);
+  if (count == 0) {
+    return;
+  }
+  if (value_ns < 0) {
+    value_ns = 0;
+  }
+  const int index = BucketIndex(value_ns);
+  if (index >= static_cast<int>(counts_.size())) {
+    counts_.resize(index + 1, 0);
+  }
+  counts_[index] += count;
+  if (count_ == 0) {
+    min_ = value_ns;
+    max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  count_ += count;
+  sum_ += static_cast<double>(value_ns) * static_cast<double>(count);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencyHistogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+int64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  const int64_t rank = std::max<int64_t>(1, static_cast<int64_t>(q * static_cast<double>(count_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const int64_t mid = BucketMidpoint(static_cast<int>(i));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace quilt

@@ -1,0 +1,56 @@
+// HDR-style latency histogram.
+//
+// Log2 buckets with linear sub-buckets give a bounded relative error
+// (~1/kSubBuckets) over the full int64 nanosecond range while using O(1)
+// memory. This mirrors the methodology of wrk2 / HdrHistogram used in the
+// paper's evaluation (median and tail latency extraction).
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace quilt {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(int64_t value_ns);
+  void RecordMany(int64_t value_ns, int64_t count);
+
+  // Merges another histogram's samples into this one.
+  void Merge(const LatencyHistogram& other);
+
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  // Value at quantile q in [0, 1]; e.g. Quantile(0.5) is the median,
+  // Quantile(0.99) the 99th percentile. Returns 0 for an empty histogram.
+  int64_t Quantile(double q) const;
+
+  int64_t Median() const { return Quantile(0.5); }
+  int64_t P99() const { return Quantile(0.99); }
+
+ private:
+  static constexpr int kSubBucketBits = 7;  // 128 sub-buckets per power of two.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = 64 - kSubBucketBits;
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketMidpoint(int index);
+
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,447 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace quilt {
+
+namespace {
+
+const Json kNullJson{};
+const std::string kEmptyString;
+
+void EscapeTo(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void NumberTo(double d, std::string& out) {
+  if (std::floor(d) == d && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    Result<Json> value = ParseValue();
+    if (!value.ok()) {
+      return value;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                                what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) {
+          return s.status();
+        }
+        return Json(std::move(s).value());
+      }
+      case 't':
+        return ParseLiteral("true", Json(true));
+      case 'f':
+        return ParseLiteral("false", Json(false));
+      case 'n':
+        return ParseLiteral("null", Json(nullptr));
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseLiteral(const char* lit, Json value) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("expected literal '") + lit + "'");
+      }
+      ++pos_;
+    }
+    return value;
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("invalid value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    return Json(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Error("expected '\"'");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // Encode as UTF-8 (BMP only; surrogate pairs are passed through
+          // as-is, which is sufficient for simulator payloads).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    Json::Object obj;
+    SkipWs();
+    if (Consume('}')) {
+      return Json(std::move(obj));
+    }
+    while (true) {
+      SkipWs();
+      Result<std::string> key = ParseString();
+      if (!key.ok()) {
+        return key.status();
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Error("expected ':' in object");
+      }
+      SkipWs();
+      Result<Json> value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      obj[std::move(key).value()] = std::move(value).value();
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Json(std::move(obj));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    Json::Array arr;
+    SkipWs();
+    if (Consume(']')) {
+      return Json(std::move(arr));
+    }
+    while (true) {
+      SkipWs();
+      Result<Json> value = ParseValue();
+      if (!value.ok()) {
+        return value;
+      }
+      arr.push_back(std::move(value).value());
+      SkipWs();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Json(std::move(arr));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json::Type Json::type() const {
+  switch (value_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kNumber;
+    case 3:
+      return Type::kString;
+    case 4:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
+
+bool Json::AsBool(bool fallback) const {
+  if (const bool* b = std::get_if<bool>(&value_)) {
+    return *b;
+  }
+  return fallback;
+}
+
+double Json::AsDouble(double fallback) const {
+  if (const double* d = std::get_if<double>(&value_)) {
+    return *d;
+  }
+  return fallback;
+}
+
+int64_t Json::AsInt(int64_t fallback) const {
+  if (const double* d = std::get_if<double>(&value_)) {
+    return static_cast<int64_t>(*d);
+  }
+  return fallback;
+}
+
+const std::string& Json::AsString() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) {
+    return *s;
+  }
+  return kEmptyString;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (!is_object()) {
+    value_ = Object{};
+  }
+  return std::get<Object>(value_)[key];
+}
+
+const Json& Json::Get(const std::string& key) const {
+  if (const Object* obj = std::get_if<Object>(&value_)) {
+    auto it = obj->find(key);
+    if (it != obj->end()) {
+      return it->second;
+    }
+  }
+  return kNullJson;
+}
+
+bool Json::Has(const std::string& key) const {
+  const Object* obj = std::get_if<Object>(&value_);
+  return obj != nullptr && obj->count(key) > 0;
+}
+
+void Json::Append(Json value) {
+  if (!is_array()) {
+    value_ = Array{};
+  }
+  std::get<Array>(value_).push_back(std::move(value));
+}
+
+size_t Json::size() const {
+  if (const Array* arr = std::get_if<Array>(&value_)) {
+    return arr->size();
+  }
+  if (const Object* obj = std::get_if<Object>(&value_)) {
+    return obj->size();
+  }
+  return 0;
+}
+
+const Json& Json::At(size_t index) const {
+  if (const Array* arr = std::get_if<Array>(&value_)) {
+    if (index < arr->size()) {
+      return (*arr)[index];
+    }
+  }
+  return kNullJson;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  switch (type()) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = std::get<bool>(value_) ? "true" : "false";
+      break;
+    case Type::kNumber:
+      NumberTo(std::get<double>(value_), out);
+      break;
+    case Type::kString:
+      EscapeTo(std::get<std::string>(value_), out);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : std::get<Array>(value_)) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        out += item.Dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : std::get<Object>(value_)) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        EscapeTo(key, out);
+        out.push_back(':');
+        out += item.Dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace quilt

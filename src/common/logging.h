@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: QLOG(kInfo) << "deployed " << name;
+// The global level defaults to kWarning so library code is quiet in tests
+// and benchmarks; tools can raise verbosity via SetLogLevel.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace quilt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace quilt
+
+#define QLOG(level)                                                                      \
+  if (::quilt::LogLevel::level < ::quilt::GetLogLevel()) {                               \
+  } else                                                                                 \
+    ::quilt::internal::LogMessage(::quilt::LogLevel::level, __FILE__, __LINE__).stream()
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for simulations and
+// randomized algorithms (GRASP, random rDAG generation, workloads).
+//
+// xoshiro256++ seeded via SplitMix64. All Quilt randomness flows through Rng
+// so experiments are reproducible from a single seed.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace quilt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [0, 1).
+  double UniformDouble();
+
+  // Uniform real in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Returns a new Rng whose stream is independent of this one.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,26 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace quilt {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[48];
+  const bool negative = d < 0;
+  const double abs_ns = negative ? -static_cast<double>(d) : static_cast<double>(d);
+  const char* sign = negative ? "-" : "";
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%s%.0fns", sign, abs_ns);
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fus", sign, abs_ns / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fms", sign, abs_ns / 1e6);
+  } else if (abs_ns < 60e9) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fs", sign, abs_ns / 1e9);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.1fmin", sign, abs_ns / 60e9);
+  }
+  return buf;
+}
+
+}  // namespace quilt

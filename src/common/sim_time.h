@@ -1,0 +1,49 @@
+// Virtual time used throughout the discrete-event simulator.
+//
+// SimTime is an absolute instant in nanoseconds since simulation start;
+// SimDuration is a span in nanoseconds. Plain integers keep the event queue
+// cheap and make arithmetic explicit.
+#ifndef SRC_COMMON_SIM_TIME_H_
+#define SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace quilt {
+
+using SimTime = int64_t;      // Nanoseconds since simulation start.
+using SimDuration = int64_t;  // Nanoseconds.
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+
+constexpr SimDuration Nanoseconds(double n) { return static_cast<SimDuration>(n); }
+constexpr SimDuration Microseconds(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimDuration Milliseconds(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration Seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double ToMicros(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Renders a duration with an adaptive unit, e.g. "1.25ms", "830ns", "2.5s".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_SIM_TIME_H_

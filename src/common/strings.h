@@ -1,0 +1,46 @@
+// Small string formatting helpers (gcc 12 lacks full std::format support).
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace quilt {
+
+namespace internal {
+inline void StrAppendOne(std::ostringstream& os) {}
+
+template <typename T, typename... Rest>
+void StrAppendOne(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  StrAppendOne(os, rest...);
+}
+}  // namespace internal
+
+// Concatenates streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendOne(os, args...);
+  return os.str();
+}
+
+// Joins items with a separator.
+std::string StrJoin(const std::vector<std::string>& items, const std::string& sep);
+
+// Splits on a single character, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& text, char sep);
+
+bool StartsWith(const std::string& text, const std::string& prefix);
+bool EndsWith(const std::string& text, const std::string& suffix);
+
+// Formats a double with the given precision (fixed notation).
+std::string FormatDouble(double value, int precision);
+
+// Formats bytes with adaptive unit ("1.25 MB").
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,520 @@
+#include "src/core/quilt_controller.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/partition/heuristic_solver.h"
+#include "src/partition/optimal_solver.h"
+#include "src/partition/scorers.h"
+
+namespace quilt {
+
+QuiltController::QuiltController(Simulation* sim, Platform* platform, ControllerOptions options)
+    : sim_(sim),
+      platform_(platform),
+      options_(options),
+      compiler_(options.quiltc),
+      tracer_(sim, &span_store_),
+      metrics_store_(),
+      monitor_(sim, &metrics_store_, [platform] { return platform->SampleResources(); },
+               options.monitor_interval) {
+  platform_->ConnectTracer(&tracer_);
+}
+
+namespace {
+
+// Worst-case live memory of one request against a behavior: its working set
+// plus every allocation it performs (merged behaviors add the footprint of
+// the local callees that can run concurrently within the request).
+double FunctionFootprintMb(const FunctionBehavior& fn) {
+  double mb = fn.request_memory_mb;
+  for (const BehaviorStep& step : fn.steps) {
+    if (const auto* alloc = std::get_if<AllocStep>(&step)) {
+      mb += alloc->mb;
+    }
+  }
+  return mb;
+}
+
+double RequestFootprintMb(const DeployedBehavior& behavior) {
+  if (behavior.single != nullptr) {
+    return FunctionFootprintMb(*behavior.single);
+  }
+  const MergedBehavior& merged = *behavior.merged;
+  auto root = merged.functions.find(merged.root_handle);
+  double mb = root != merged.functions.end() ? FunctionFootprintMb(root->second) : 0.0;
+  for (const auto& [key, budget] : merged.edge_budgets) {
+    const std::string callee = key.substr(key.find("->") + 2);
+    auto it = merged.functions.find(callee);
+    if (it != merged.functions.end()) {
+      mb += std::max(1, budget) * FunctionFootprintMb(it->second);
+    }
+  }
+  return mb;
+}
+
+// How many requests fit in a container without risking the memory limit.
+int MemoryPlannedConcurrency(const DeployedBehavior& behavior,
+                             const ContainerConfig& container) {
+  const double footprint = RequestFootprintMb(behavior);
+  if (footprint <= 0.0) {
+    return 0;  // No information: platform default.
+  }
+  const double headroom = container.memory_limit_mb - container.base_memory_mb;
+  return std::max(1, static_cast<int>(headroom / footprint));
+}
+
+}  // namespace
+
+double QuiltController::BaseMemoryMb(const BinaryImage& image) const {
+  // Resident footprint of an idle process: mapped binary + heap bootstrap.
+  return 2.5 + 0.4 * static_cast<double>(image.size_bytes) / (1024.0 * 1024.0);
+}
+
+const WorkflowApp* QuiltController::AppForHandle(const std::string& handle) const {
+  auto it = app_of_handle_.find(handle);
+  if (it == app_of_handle_.end()) {
+    return nullptr;
+  }
+  return &apps_[it->second];
+}
+
+Result<DeploymentSpec> QuiltController::BaselineSpec(const WorkflowApp& app,
+                                                     const std::string& handle) const {
+  const AppFunctionSpec* fn = app.Find(handle);
+  if (fn == nullptr) {
+    return NotFoundError(StrCat("function '", handle, "' not in workflow '", app.name, "'"));
+  }
+  const std::map<std::string, SourceFunction> sources = app.Sources();
+  Result<MergedArtifact> artifact = compiler_.BuildSingleFunction(sources.at(handle));
+  if (!artifact.ok()) {
+    return artifact.status();
+  }
+  DeploymentSpec spec;
+  spec.handle = handle;
+  spec.max_scale = options_.max_scale;
+  spec.container.cpu_limit = options_.container_cpu_limit;
+  spec.container.memory_limit_mb = options_.container_memory_limit_mb;
+  spec.container.image_size_bytes = artifact->image.size_bytes;
+  spec.container.eager_libs = artifact->image.eager_libs;
+  spec.container.lazy_libs = artifact->image.lazy_libs;
+  spec.container.base_memory_mb = BaseMemoryMb(artifact->image);
+  auto behavior = std::make_shared<FunctionBehavior>();
+  behavior->handle = handle;
+  behavior->request_memory_mb = fn->request_memory_mb;
+  behavior->steps = fn->steps;
+  spec.behavior.single = std::move(behavior);
+  spec.max_concurrent_requests = MemoryPlannedConcurrency(spec.behavior, spec.container);
+  return spec;
+}
+
+Result<DeploymentSpec> QuiltController::MergedSpec(const WorkflowApp& app,
+                                                   const CallGraph& graph,
+                                                   const MergeGroup& group,
+                                                   const MergedArtifact& artifact) const {
+  auto merged = std::make_shared<MergedBehavior>();
+  merged->mode = MergedBehavior::Mode::kQuilt;
+  merged->root_handle = artifact.handle;
+  const std::map<std::string, FunctionBehavior> behaviors = app.Behaviors();
+  for (const std::string& handle : artifact.member_handles) {
+    auto it = behaviors.find(handle);
+    if (it == behaviors.end()) {
+      return NotFoundError(StrCat("no behavior for merged member '", handle, "'"));
+    }
+    merged->functions[handle] = it->second;
+  }
+  for (const LocalizedEdge& edge : artifact.localized_edges) {
+    merged->edge_budgets[MergedBehavior::EdgeKey(edge.caller_handle, edge.callee_handle)] =
+        edge.budget;
+  }
+
+  DeploymentSpec spec;
+  spec.handle = artifact.handle;
+  spec.max_scale = options_.merged_scale_is_member_sum
+                       ? options_.max_scale * static_cast<int>(artifact.member_handles.size())
+                       : options_.max_scale;
+  spec.container.cpu_limit = options_.container_cpu_limit;
+  spec.container.memory_limit_mb = options_.container_memory_limit_mb;
+  spec.container.image_size_bytes = artifact.image.size_bytes;
+  spec.container.eager_libs = artifact.image.eager_libs;
+  spec.container.lazy_libs = artifact.image.lazy_libs;
+  spec.container.base_memory_mb = BaseMemoryMb(artifact.image);
+  spec.behavior.merged = std::move(merged);
+  spec.max_concurrent_requests = MemoryPlannedConcurrency(spec.behavior, spec.container);
+  return spec;
+}
+
+Status QuiltController::RegisterWorkflow(const WorkflowApp& app) {
+  for (const AppFunctionSpec& fn : app.functions) {
+    if (app_of_handle_.count(fn.handle) > 0) {
+      return AlreadyExistsError(StrCat("function '", fn.handle, "' already registered"));
+    }
+  }
+  apps_.push_back(app);
+  const int index = static_cast<int>(apps_.size()) - 1;
+  for (const AppFunctionSpec& fn : app.functions) {
+    app_of_handle_[fn.handle] = index;
+    Result<DeploymentSpec> spec = BaselineSpec(app, fn.handle);
+    if (!spec.ok()) {
+      return spec.status();
+    }
+    QUILT_RETURN_IF_ERROR(platform_->Deploy(std::move(spec).value()));
+  }
+  return Status::Ok();
+}
+
+void QuiltController::StartProfiling() {
+  profile_window_start_ = sim_->now();
+  platform_->SetProfiling(true);
+  monitor_.Start();
+}
+
+void QuiltController::StopProfiling() {
+  platform_->SetProfiling(false);
+  monitor_.Stop();
+  tracer_.Flush();
+}
+
+Result<CallGraph> QuiltController::BuildCallGraph(const std::string& root_handle) {
+  tracer_.Flush();
+  const std::vector<Span> spans = span_store_.Query(profile_window_start_, sim_->now() + 1);
+  return BuildCallGraphFromTraces(spans, metrics_store_.Aggregate(), root_handle);
+}
+
+Result<MergeSolution> QuiltController::Decide(const CallGraph& graph) {
+  MergeProblem problem;
+  problem.graph = &graph;
+  problem.cpu_limit = options_.container_cpu_limit;
+  problem.memory_limit = options_.container_memory_limit_mb;
+  QUILT_RETURN_IF_ERROR(problem.Validate());
+
+  if (graph.num_nodes() <= options_.optimal_solver_max_nodes) {
+    OptimalSolver solver;
+    OptimalSolverOptions solver_options;
+    solver_options.mip_gap = options_.mip_gap;
+    return solver.Solve(problem, solver_options);
+  }
+  DownstreamImpactScorer scorer;
+  HeuristicSolver solver(scorer);
+  HeuristicSolverOptions solver_options;
+  solver_options.pool_size = options_.dih_pool_size;
+  solver_options.mip_gap = options_.mip_gap;
+  return solver.Solve(problem, solver_options);
+}
+
+Result<std::vector<MergedArtifact>> QuiltController::Merge(const CallGraph& graph,
+                                                           const MergeSolution& solution,
+                                                           const std::string& workflow_root) {
+  const WorkflowApp* app = AppForHandle(workflow_root);
+  if (app == nullptr) {
+    return NotFoundError(StrCat("workflow root '", workflow_root, "' not registered"));
+  }
+  return compiler_.MergeSolution(graph, solution, app->Sources());
+}
+
+Status QuiltController::DeployMerged(const CallGraph& graph, const MergeSolution& solution,
+                                     const std::vector<MergedArtifact>& artifacts,
+                                     const std::string& workflow_root) {
+  const WorkflowApp* app = AppForHandle(workflow_root);
+  if (app == nullptr) {
+    return NotFoundError(StrCat("workflow root '", workflow_root, "' not registered"));
+  }
+  if (artifacts.size() != solution.groups.size()) {
+    return InvalidArgumentError("artifact count does not match group count");
+  }
+  for (size_t i = 0; i < artifacts.size(); ++i) {
+    const MergedArtifact& artifact = artifacts[i];
+    if (artifact.IsSingleFunction()) {
+      continue;  // Unmerged group: the baseline deployment already serves it.
+    }
+    Result<DeploymentSpec> spec = MergedSpec(*app, graph, solution.groups[i], artifact);
+    if (!spec.ok()) {
+      return spec.status();
+    }
+    // The same mechanism as a developer uploading an updated function: the
+    // scheduler just sees a new image for this handle (§5.5).
+    QUILT_RETURN_IF_ERROR(platform_->UpdateFunction(std::move(spec).value()));
+  }
+
+  // Record what is live so the merge monitor can detect drift/misbehavior.
+  DeployedState state;
+  state.signature = SolutionSignature(graph, solution);
+  state.graph = graph;
+  state.solution = solution;
+  for (const MergeGroup& group : solution.groups) {
+    if (group.members.size() < 2) {
+      continue;
+    }
+    const std::string& group_root = graph.node(group.root).name;
+    const DeploymentStats* stats = platform_->StatsFor(group_root);
+    state.oom_baseline[group_root] = stats != nullptr ? stats->oom_kills : 0;
+  }
+  deployed_[workflow_root] = std::move(state);
+  return Status::Ok();
+}
+
+Result<MergeSolution> QuiltController::OptimizeWorkflow(const std::string& root_handle) {
+  Result<CallGraph> graph = BuildCallGraph(root_handle);
+  if (!graph.ok()) {
+    return graph.status();
+  }
+  Result<MergeSolution> solution = Decide(*graph);
+  if (!solution.ok()) {
+    return solution.status();
+  }
+  Result<std::vector<MergedArtifact>> artifacts = Merge(*graph, *solution, root_handle);
+  if (!artifacts.ok()) {
+    return artifacts.status();
+  }
+  QUILT_RETURN_IF_ERROR(DeployMerged(*graph, *solution, *artifacts, root_handle));
+  return solution;
+}
+
+Status QuiltController::DeploySolutionDirect(const WorkflowApp& app,
+                                             const MergeSolution& solution) {
+  Result<CallGraph> graph = app.ReferenceGraph();
+  if (!graph.ok()) {
+    return graph.status();
+  }
+  Result<std::vector<MergedArtifact>> artifacts =
+      compiler_.MergeSolution(*graph, solution, app.Sources());
+  if (!artifacts.ok()) {
+    return artifacts.status();
+  }
+  return DeployMerged(*graph, solution, *artifacts, app.root_handle);
+}
+
+std::string QuiltController::SolutionSignature(const CallGraph& graph,
+                                               const MergeSolution& solution) const {
+  // Canonical text form: per group, the sorted member handles; plus every
+  // edge's alpha (which becomes the conditional-invocation budget). Any
+  // change in grouping *or* in profiled call frequencies alters it.
+  std::vector<std::string> group_strings;
+  for (const MergeGroup& group : solution.groups) {
+    std::vector<std::string> members;
+    for (NodeId id : group.members) {
+      members.push_back(graph.node(id).name);
+    }
+    std::sort(members.begin(), members.end());
+    group_strings.push_back(StrCat(graph.node(group.root).name, ":", StrJoin(members, ",")));
+  }
+  std::sort(group_strings.begin(), group_strings.end());
+  std::vector<std::string> edge_strings;
+  for (const CallEdge& e : graph.edges()) {
+    edge_strings.push_back(
+        StrCat(graph.node(e.from).name, ">", graph.node(e.to).name, "=", e.alpha));
+  }
+  std::sort(edge_strings.begin(), edge_strings.end());
+  return StrJoin(group_strings, ";") + "|" + StrJoin(edge_strings, ";");
+}
+
+Result<QuiltController::ReconsiderReport> QuiltController::ReconsiderWorkflow(
+    const std::string& root_handle) {
+  auto deployed_it = deployed_.find(root_handle);
+  if (deployed_it == deployed_.end()) {
+    return FailedPreconditionError(
+        StrCat("workflow '", root_handle, "' has no merged deployment to reconsider"));
+  }
+  ReconsiderReport report;
+
+  // 1. Misbehavior: merged containers being OOM-killed means the profile
+  //    under-estimated memory; roll back first (§8).
+  for (const auto& [group_root, baseline] : deployed_it->second.oom_baseline) {
+    const DeploymentStats* stats = platform_->StatsFor(group_root);
+    if (stats != nullptr && stats->oom_kills > baseline) {
+      QUILT_RETURN_IF_ERROR(Rollback(root_handle));
+      deployed_.erase(root_handle);
+      report.rolled_back = true;
+      report.reason = StrCat("merged function '", group_root, "' exceeded its memory limit ",
+                             stats->oom_kills - baseline, " time(s)");
+      return report;
+    }
+  }
+
+  // 2. Workload drift: reconstruct the workflow's true call graph from the
+  //    deployed graph plus what the current window observed (client arrivals
+  //    and conditional-invocation fallbacks), then re-run the decision.
+  Result<CallGraph> graph = UpdatedGraphFromObservations(deployed_it->second, root_handle);
+  if (!graph.ok()) {
+    return graph.status();
+  }
+  Result<MergeSolution> solution = Decide(*graph);
+  if (!solution.ok()) {
+    return solution.status();
+  }
+  const std::string signature = SolutionSignature(*graph, *solution);
+  if (signature == deployed_it->second.signature) {
+    report.reason = "profile unchanged; keeping the current merge";
+    return report;
+  }
+  Result<std::vector<MergedArtifact>> artifacts = Merge(*graph, *solution, root_handle);
+  if (!artifacts.ok()) {
+    return artifacts.status();
+  }
+  QUILT_RETURN_IF_ERROR(DeployMerged(*graph, *solution, *artifacts, root_handle));
+  report.redeployed = true;
+  report.reason = "workload profile changed; merged functions rebuilt";
+  return report;
+}
+
+Result<CallGraph> QuiltController::UpdatedGraphFromObservations(
+    const DeployedState& state, const std::string& root_handle) {
+  // What did the ingress see this window? (Errors if there was no traffic:
+  // the monitor needs a fresh profile window.)
+  Result<CallGraph> observed = BuildCallGraph(root_handle);
+  if (!observed.ok()) {
+    return observed.status();
+  }
+
+  // Which deployed edges are internal to a merged group (invisible except
+  // for over-budget fallbacks)?
+  const CallGraph& base = state.graph;
+  std::vector<bool> internal(base.num_edges(), false);
+  for (const MergeGroup& group : state.solution.groups) {
+    if (group.members.size() < 2) {
+      continue;
+    }
+    for (EdgeId eid = 0; eid < base.num_edges(); ++eid) {
+      if (group.Contains(base.edge(eid).from) && group.Contains(base.edge(eid).to)) {
+        internal[eid] = true;
+      }
+    }
+  }
+  const bool conditional = options_.quiltc.conditional_invocations;
+
+  CallGraph updated;
+  for (NodeId id = 0; id < base.num_nodes(); ++id) {
+    // Keep the deploy-time resource labels: fresh samples describe merged
+    // *containers*, not individual functions (a merged root's container
+    // carries its whole group's memory). Resource misbehavior is caught by
+    // the OOM signal instead.
+    updated.AddNode(base.node(id));
+  }
+  updated.SetRoot(base.root());
+  for (EdgeId eid = 0; eid < base.num_edges(); ++eid) {
+    const CallEdge& e = base.edge(eid);
+    const NodeId from = observed->FindNode(base.node(e.from).name);
+    const NodeId to = observed->FindNode(base.node(e.to).name);
+    const EdgeId seen =
+        (from != kInvalidNode && to != kInvalidNode) ? observed->FindEdge(from, to) : -1;
+    const int observed_alpha = seen != -1 ? observed->edge(seen).alpha : 0;
+    int alpha = e.alpha;
+    if (internal[eid] && conditional) {
+      // Local up to the budget; any ingress-visible call is overflow.
+      alpha = e.alpha + observed_alpha;
+    } else if (!internal[eid] && seen != -1) {
+      // Cut (remote) edge: fully observable, take the fresh value.
+      alpha = observed_alpha;
+    }
+    QUILT_RETURN_IF_ERROR(updated.AddEdgeWithAlpha(e.from, e.to, alpha * 1000.0, alpha, e.type));
+  }
+  // Entirely new caller->callee pairs (code paths that never profiled
+  // before) appear only between known functions here; exotic cases fall back
+  // to a full re-profile after rollback.
+  QUILT_RETURN_IF_ERROR(updated.Validate());
+  return updated;
+}
+
+Status QuiltController::RevokeMergePermission(const std::string& handle) {
+  auto it = app_of_handle_.find(handle);
+  if (it == app_of_handle_.end()) {
+    return NotFoundError(StrCat("function '", handle, "' not registered"));
+  }
+  WorkflowApp& app = apps_[it->second];
+  for (AppFunctionSpec& fn : app.functions) {
+    if (fn.handle == handle) {
+      fn.mergeable = false;
+    }
+  }
+  // Any live merge containing the function reverts to the originals.
+  if (deployed_.count(app.root_handle) > 0) {
+    QUILT_RETURN_IF_ERROR(Rollback(app.root_handle));
+    deployed_.erase(app.root_handle);
+  }
+  return Status::Ok();
+}
+
+Status QuiltController::UpdateFunctionSource(const std::string& handle,
+                                             const SourceFunction& source) {
+  auto it = app_of_handle_.find(handle);
+  if (it == app_of_handle_.end()) {
+    return NotFoundError(StrCat("function '", handle, "' not registered"));
+  }
+  WorkflowApp& app = apps_[it->second];
+  for (AppFunctionSpec& fn : app.functions) {
+    if (fn.handle == handle) {
+      fn.lang = source.lang;
+      fn.user_code_bytes = source.user_code_bytes;
+      fn.mergeable = source.mergeable;
+    }
+  }
+  if (deployed_.count(app.root_handle) > 0) {
+    // Merged binaries containing the old code are stale (§1.1): revert; the
+    // provider re-optimizes in the background later.
+    QUILT_RETURN_IF_ERROR(Rollback(app.root_handle));
+    deployed_.erase(app.root_handle);
+    return Status::Ok();
+  }
+  // No merge live: just refresh the single-function image.
+  Result<DeploymentSpec> spec = BaselineSpec(app, handle);
+  if (!spec.ok()) {
+    return spec.status();
+  }
+  return platform_->UpdateFunction(std::move(spec).value());
+}
+
+Status QuiltController::Rollback(const std::string& workflow_root) {
+  const WorkflowApp* app = AppForHandle(workflow_root);
+  if (app == nullptr) {
+    return NotFoundError(StrCat("workflow root '", workflow_root, "' not registered"));
+  }
+  // Replace every handle with its original single-function image. Handles
+  // that were never merged are refreshed harmlessly.
+  for (const AppFunctionSpec& fn : app->functions) {
+    Result<DeploymentSpec> spec = BaselineSpec(*app, fn.handle);
+    if (!spec.ok()) {
+      return spec.status();
+    }
+    QUILT_RETURN_IF_ERROR(platform_->UpdateFunction(std::move(spec).value()));
+  }
+  return Status::Ok();
+}
+
+Status QuiltController::DeployContainerMerge(const WorkflowApp& app, double memory_limit_mb) {
+  // One container image holding every function as a separate process plus
+  // the internal API gateway (WiseFuse-inspired CM baseline, §7.2).
+  auto merged = std::make_shared<MergedBehavior>();
+  merged->mode = MergedBehavior::Mode::kContainerMerge;
+  merged->root_handle = app.root_handle;
+  for (const auto& [handle, behavior] : app.Behaviors()) {
+    merged->functions[handle] = behavior;
+  }
+
+  // Image: the sum of all function binaries (nothing is deduplicated).
+  int64_t image_bytes = 0;
+  const std::map<std::string, SourceFunction> sources = app.Sources();
+  for (const auto& [handle, source] : sources) {
+    Result<MergedArtifact> artifact = compiler_.BuildSingleFunction(source);
+    if (!artifact.ok()) {
+      return artifact.status();
+    }
+    image_bytes += artifact->image.size_bytes;
+  }
+
+  DeploymentSpec spec;
+  spec.handle = app.root_handle;
+  spec.max_scale = options_.max_scale * static_cast<int>(app.functions.size());
+  spec.container.cpu_limit = options_.container_cpu_limit;
+  spec.container.memory_limit_mb =
+      memory_limit_mb > 0.0 ? memory_limit_mb : options_.container_memory_limit_mb;
+  spec.container.image_size_bytes = image_bytes;
+  spec.container.eager_libs = 43 * static_cast<int>(app.functions.size());
+  spec.container.lazy_libs = 0;
+  // Internal gateway + the root function's resident process.
+  spec.container.base_memory_mb =
+      10.0 + platform_->config().runtime.cm_process_base_mb;
+  spec.behavior.merged = std::move(merged);
+  return platform_->UpdateFunction(std::move(spec));
+}
+
+}  // namespace quilt

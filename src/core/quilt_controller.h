@@ -1,0 +1,168 @@
+// QuiltController: the public top-level API (§1.1).
+//
+// Runs in the background next to an unmodified serverless platform:
+//   1. developers upload functions (RegisterWorkflow deploys the status-quo
+//      baseline, one container image per function);
+//   2. the provider flips the profiler-enabled token (StartProfiling):
+//      invocations take the ingress path, spans and resource samples flow
+//      into the stores;
+//   3. BuildCallGraph + Decide run the constraint-aware merge decision (§4);
+//   4. Merge runs the LLVM pipeline (§5) and DeployMerged replaces each
+//      group root's function through the platform's normal update mechanism
+//      (§5.5) -- the scheduler never learns a merge happened;
+//   5. Rollback restores the original function if the workload shifts (§8).
+#ifndef SRC_CORE_QUILT_CONTROLLER_H_
+#define SRC_CORE_QUILT_CONTROLLER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/app.h"
+#include "src/common/status.h"
+#include "src/partition/problem.h"
+#include "src/platform/platform.h"
+#include "src/quiltc/compiler.h"
+#include "src/tracing/call_graph_builder.h"
+#include "src/tracing/resource_monitor.h"
+#include "src/tracing/tracer.h"
+
+namespace quilt {
+
+struct ControllerOptions {
+  // Per-container limits the provider grants each function (§7.3.1).
+  double container_cpu_limit = 2.0;
+  double container_memory_limit_mb = 128.0;
+  int max_scale = 10;
+
+  // Merge decision: exact solver up to this size, DIH beyond (§4.2/§4.3).
+  int optimal_solver_max_nodes = 11;
+  int dih_pool_size = 6;
+  double mip_gap = 0.0;
+
+  // When a merged function replaces a group, it receives the containers of
+  // all its members (resource parity with the baseline, §7.3.1).
+  bool merged_scale_is_member_sum = true;
+
+  QuiltcOptions quiltc;
+
+  SimDuration monitor_interval = Seconds(1);
+};
+
+class QuiltController {
+ public:
+  QuiltController(Simulation* sim, Platform* platform, ControllerOptions options = {});
+
+  // --- Developer-facing: upload a workflow's functions. Deploys every
+  // function as its own (baseline) container image.
+  Status RegisterWorkflow(const WorkflowApp& app);
+
+  // --- Profiling (§3).
+  void StartProfiling();
+  void StopProfiling();
+  bool profiling() const { return platform_->profiling(); }
+  Result<CallGraph> BuildCallGraph(const std::string& root_handle);
+
+  // --- Decision (§4).
+  Result<MergeSolution> Decide(const CallGraph& graph);
+
+  // --- Merging (§5) and deployment (§5.5).
+  Result<std::vector<MergedArtifact>> Merge(const CallGraph& graph,
+                                            const MergeSolution& solution,
+                                            const std::string& workflow_root);
+  Status DeployMerged(const CallGraph& graph, const MergeSolution& solution,
+                      const std::vector<MergedArtifact>& artifacts,
+                      const std::string& workflow_root);
+
+  // End-to-end: profile data must already be in the stores.
+  Result<MergeSolution> OptimizeWorkflow(const std::string& root_handle);
+
+  // Deploys a chosen solution using the app's reference graph (bypasses
+  // profiling; used by benchmarks that pin the grouping).
+  Status DeploySolutionDirect(const WorkflowApp& app, const MergeSolution& solution);
+
+  // Restores the original (unmerged) functions of a workflow (§8).
+  Status Rollback(const std::string& workflow_root);
+
+  // --- Merge monitoring (§1.1, §5.6, §8). Quilt keeps watching merged
+  // workflows: big workload changes re-run the decision, misbehaving merged
+  // containers (OOM kills) trigger a rollback, and revoked merge permission
+  // reverts the workflow.
+  struct ReconsiderReport {
+    bool rolled_back = false;
+    bool redeployed = false;
+    std::string reason;
+  };
+  // Re-examines a previously optimized workflow against the *current*
+  // profile window. Call StartProfiling()/StopProfiling() around fresh
+  // traffic first.
+  Result<ReconsiderReport> ReconsiderWorkflow(const std::string& root_handle);
+
+  // Developer revokes a function's merge permission: any merged deployment
+  // containing it reverts to the unmerged originals.
+  Status RevokeMergePermission(const std::string& handle);
+
+  // The function's code changed: merged binaries containing it are stale, so
+  // the owning workflow reverts (a later OptimizeWorkflow can re-merge).
+  Status UpdateFunctionSource(const std::string& handle, const SourceFunction& source);
+
+  // --- Baseline helpers for the evaluation.
+  // Container-merge (CM, §7.2): the whole workflow in one container, one
+  // process per function behind an internal API gateway.
+  Status DeployContainerMerge(const WorkflowApp& app, double memory_limit_mb = 0.0);
+
+  Platform* platform() { return platform_; }
+  Tracer* tracer() { return &tracer_; }
+  SpanStore* span_store() { return &span_store_; }
+  MetricsStore* metrics_store() { return &metrics_store_; }
+  const ControllerOptions& options() const { return options_; }
+
+  // Deployment-spec builders (exposed for benchmarks/tests).
+  Result<DeploymentSpec> BaselineSpec(const WorkflowApp& app, const std::string& handle) const;
+  Result<DeploymentSpec> MergedSpec(const WorkflowApp& app, const CallGraph& graph,
+                                    const MergeGroup& group,
+                                    const MergedArtifact& artifact) const;
+
+ private:
+  const WorkflowApp* AppForHandle(const std::string& handle) const;
+  double BaseMemoryMb(const BinaryImage& image) const;
+
+  Simulation* sim_;
+  Platform* platform_;
+  ControllerOptions options_;
+  QuiltCompiler compiler_;
+
+  SpanStore span_store_;
+  Tracer tracer_;
+  MetricsStore metrics_store_;
+  ResourceMonitor monitor_;
+  SimTime profile_window_start_ = 0;
+
+  std::vector<WorkflowApp> apps_;
+  std::map<std::string, int> app_of_handle_;  // handle -> index into apps_.
+
+  // Deployment ledger for merge monitoring: the signature of what is live
+  // (sorted group member sets + localized-edge budgets) and the failure
+  // counters observed at deploy time.
+  struct DeployedState {
+    std::string signature;
+    std::map<std::string, int64_t> oom_baseline;  // group root -> oom_kills.
+    // The graph and grouping the live merge was built from. Needed to
+    // reconstruct workload drift: localized calls are invisible to the
+    // ingress, so a merged workflow's observable spans are only the
+    // conditional-invocation fallbacks (true alpha = budget + observed).
+    CallGraph graph;
+    MergeSolution solution;
+  };
+  std::map<std::string, DeployedState> deployed_;  // workflow root -> state.
+
+  std::string SolutionSignature(const CallGraph& graph, const MergeSolution& solution) const;
+  // Applies the current window's observations on top of the deployed graph.
+  Result<CallGraph> UpdatedGraphFromObservations(const DeployedState& state,
+                                                 const std::string& root_handle);
+};
+
+}  // namespace quilt
+
+#endif  // SRC_CORE_QUILT_CONTROLLER_H_

@@ -1,0 +1,37 @@
+// Developer-facing description of a serverless function's source code.
+//
+// The simulator cannot ship real Rust/Go/Swift sources, so a SourceFunction
+// captures the properties the compilation pipeline cares about: language,
+// code volume, dependency count, the invocation sites in the code, and the
+// developer's merge opt-in flag (§1.1).
+#ifndef SRC_FRONTEND_SOURCE_FUNCTION_H_
+#define SRC_FRONTEND_SOURCE_FUNCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/lang.h"
+
+namespace quilt {
+
+struct InvocationSite {
+  std::string callee_handle;
+  bool async = false;
+  // True when the number of calls depends on request data (§5.6): the site
+  // sits in a loop whose bound comes from the payload.
+  bool data_dependent = false;
+};
+
+struct SourceFunction {
+  std::string handle;  // Platform-visible function name, e.g. "upload-text".
+  Lang lang = Lang::kRust;
+  int64_t user_code_bytes = 40 * 1024;  // Emitted machine code for user logic.
+  int num_dependencies = 8;             // Crates/packages beyond the std lib.
+  std::vector<InvocationSite> invocations;
+  bool mergeable = true;  // Developer opt-in: may Quilt merge this function?
+};
+
+}  // namespace quilt
+
+#endif  // SRC_FRONTEND_SOURCE_FUNCTION_H_

@@ -1,0 +1,53 @@
+#include "src/graph/betweenness.h"
+
+#include <deque>
+#include <vector>
+
+namespace quilt {
+
+std::vector<double> BetweennessCentrality(const CallGraph& graph) {
+  const int n = graph.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+
+  // Brandes' algorithm: one BFS per source accumulating pair dependencies.
+  for (NodeId source = 0; source < n; ++source) {
+    std::vector<std::vector<NodeId>> predecessors(n);
+    std::vector<double> sigma(n, 0.0);  // Number of shortest paths.
+    std::vector<int> dist(n, -1);
+    sigma[source] = 1.0;
+    dist[source] = 0;
+
+    std::vector<NodeId> visit_order;
+    std::deque<NodeId> queue = {source};
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      visit_order.push_back(v);
+      for (EdgeId eid : graph.OutEdges(v)) {
+        const NodeId w = graph.edge(eid).to;
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          predecessors[w].push_back(v);
+        }
+      }
+    }
+
+    std::vector<double> delta(n, 0.0);
+    for (auto it = visit_order.rbegin(); it != visit_order.rend(); ++it) {
+      const NodeId w = *it;
+      for (NodeId v : predecessors[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != source) {
+        centrality[w] += delta[w];
+      }
+    }
+  }
+  return centrality;
+}
+
+}  // namespace quilt

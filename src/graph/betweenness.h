@@ -1,0 +1,20 @@
+// Betweenness centrality (Brandes' algorithm) over the call graph.
+//
+// One of the simple root-selection heuristics that the paper compares the
+// Downstream Impact Heuristic against (§4.3, Appendix C).
+#ifndef SRC_GRAPH_BETWEENNESS_H_
+#define SRC_GRAPH_BETWEENNESS_H_
+
+#include <vector>
+
+#include "src/graph/call_graph.h"
+
+namespace quilt {
+
+// Returns betweenness centrality per node, treating edges as directed and
+// unweighted.
+std::vector<double> BetweennessCentrality(const CallGraph& graph);
+
+}  // namespace quilt
+
+#endif  // SRC_GRAPH_BETWEENNESS_H_

@@ -1,0 +1,89 @@
+// Dynamic fixed-capacity bitset used for descendant-set computations.
+//
+// std::vector<bool> is awkward for set algebra and std::bitset needs a
+// compile-time size; this small type supports the union/count/test operations
+// the memoized descendant analysis (Appendix C.3 of the paper) relies on.
+#ifndef SRC_GRAPH_BITSET_H_
+#define SRC_GRAPH_BITSET_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace quilt {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(int size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  int size() const { return size_; }
+
+  void Set(int index) {
+    assert(index >= 0 && index < size_);
+    words_[index >> 6] |= (uint64_t{1} << (index & 63));
+  }
+
+  void Clear(int index) {
+    assert(index >= 0 && index < size_);
+    words_[index >> 6] &= ~(uint64_t{1} << (index & 63));
+  }
+
+  bool Test(int index) const {
+    assert(index >= 0 && index < size_);
+    return (words_[index >> 6] >> (index & 63)) & 1;
+  }
+
+  // this |= other. Requires identical sizes.
+  void UnionWith(const Bitset& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  bool Intersects(const Bitset& other) const {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int Count() const {
+    int total = 0;
+    for (uint64_t word : words_) {
+      total += std::popcount(word);
+    }
+    return total;
+  }
+
+  // Invokes fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(static_cast<int>(w * 64) + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  int size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_GRAPH_BITSET_H_

@@ -1,0 +1,164 @@
+#include "src/graph/call_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+NodeId CallGraph::AddNode(FunctionNode node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  if (root_ == kInvalidNode) {
+    root_ = id;
+  }
+  return id;
+}
+
+NodeId CallGraph::AddNode(const std::string& name, double cpu, double memory_mb) {
+  return AddNode(FunctionNode{name, cpu, memory_mb});
+}
+
+Status CallGraph::AddEdge(NodeId from, NodeId to, double weight, CallType type) {
+  return AddEdgeWithAlpha(from, to, weight, /*alpha=*/1, type);
+}
+
+Status CallGraph::AddEdgeWithAlpha(NodeId from, NodeId to, double weight, int alpha,
+                                   CallType type) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    return InvalidArgumentError(StrCat("edge endpoints out of range: ", from, "->", to));
+  }
+  if (from == to) {
+    return InvalidArgumentError(StrCat("self edge on node ", from));
+  }
+  if (FindEdge(from, to) != -1) {
+    return AlreadyExistsError(StrCat("duplicate edge ", from, "->", to));
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(CallEdge{from, to, weight, alpha, type});
+  out_edges_[from].push_back(id);
+  in_edges_[to].push_back(id);
+  return Status::Ok();
+}
+
+NodeId CallGraph::FindNode(const std::string& name) const {
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (nodes_[id].name == name) {
+      return id;
+    }
+  }
+  return kInvalidNode;
+}
+
+EdgeId CallGraph::FindEdge(NodeId from, NodeId to) const {
+  if (from < 0 || from >= num_nodes()) {
+    return -1;
+  }
+  for (EdgeId eid : out_edges_[from]) {
+    if (edges_[eid].to == to) {
+      return eid;
+    }
+  }
+  return -1;
+}
+
+Status CallGraph::Finalize(double workflow_invocations) {
+  if (workflow_invocations <= 0.0) {
+    return InvalidArgumentError("workflow_invocations must be positive");
+  }
+  for (CallEdge& e : edges_) {
+    e.alpha = std::max(1, static_cast<int>(std::ceil(e.weight / workflow_invocations)));
+  }
+  return Validate();
+}
+
+Status CallGraph::Validate() const {
+  if (num_nodes() == 0 || root_ == kInvalidNode) {
+    return FailedPreconditionError("call graph has no root");
+  }
+  Result<std::vector<NodeId>> order = TopologicalOrder();
+  if (!order.ok()) {
+    return order.status();
+  }
+  // Reachability from the root.
+  std::vector<bool> reachable(num_nodes(), false);
+  std::deque<NodeId> queue = {root_};
+  reachable[root_] = true;
+  while (!queue.empty()) {
+    const NodeId id = queue.front();
+    queue.pop_front();
+    for (EdgeId eid : out_edges_[id]) {
+      const NodeId next = edges_[eid].to;
+      if (!reachable[next]) {
+        reachable[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (!reachable[id]) {
+      return FailedPreconditionError(
+          StrCat("node '", nodes_[id].name, "' (", id, ") unreachable from root"));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<NodeId>> CallGraph::TopologicalOrder() const {
+  std::vector<int> in_degree(num_nodes(), 0);
+  for (const CallEdge& e : edges_) {
+    ++in_degree[e.to];
+  }
+  std::deque<NodeId> ready;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (in_degree[id] == 0) {
+      ready.push_back(id);
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(num_nodes());
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (EdgeId eid : out_edges_[id]) {
+      const NodeId next = edges_[eid].to;
+      if (--in_degree[next] == 0) {
+        ready.push_back(next);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != num_nodes()) {
+    return Status(StatusCode::kFailedPrecondition, "call graph contains a cycle");
+  }
+  return order;
+}
+
+double CallGraph::TotalEdgeWeight() const {
+  double total = 0.0;
+  for (const CallEdge& e : edges_) {
+    total += e.weight;
+  }
+  return total;
+}
+
+std::string CallGraph::DebugString() const {
+  std::string out =
+      StrCat("CallGraph{nodes=", num_nodes(), " edges=", num_edges(), " root=", root_, "\n");
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    out += StrCat("  [", id, "] ", nodes_[id].name, " cpu=", nodes_[id].cpu,
+                  " mem=", nodes_[id].memory, "\n");
+  }
+  for (const CallEdge& e : edges_) {
+    out += StrCat("  ", nodes_[e.from].name, " -> ", nodes_[e.to].name, " w=", e.weight,
+                  " alpha=", e.alpha, e.type == CallType::kAsync ? " async" : " sync", "\n");
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace quilt

@@ -1,0 +1,97 @@
+// Workflow call graph: a connected rooted DAG (rDAG) where vertices are
+// serverless functions labeled with profiled resource usage, and directed
+// edges are caller→callee relationships labeled with call frequency (§3–§4).
+#ifndef SRC_GRAPH_CALL_GRAPH_H_
+#define SRC_GRAPH_CALL_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace quilt {
+
+using NodeId = int32_t;
+using EdgeId = int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+enum class CallType {
+  kSync,   // Caller waits for each invocation to finish before the next.
+  kAsync,  // Invocations run concurrently (async_inv).
+};
+
+struct FunctionNode {
+  std::string name;
+  double cpu = 0.0;     // Average CPU demand (vCPUs) while executing.
+  double memory = 0.0;  // Peak memory (MB).
+};
+
+struct CallEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double weight = 0.0;  // Total invocations observed in the profile window.
+  int alpha = 1;        // ⌈weight / N⌉: per-workflow invocation upper bound.
+  CallType type = CallType::kSync;
+};
+
+class CallGraph {
+ public:
+  CallGraph() = default;
+
+  NodeId AddNode(FunctionNode node);
+  NodeId AddNode(const std::string& name, double cpu, double memory_mb);
+
+  // Adds an edge; alpha is derived later by Finalize(), or set explicitly
+  // via AddEdgeWithAlpha for synthetic graphs.
+  Status AddEdge(NodeId from, NodeId to, double weight, CallType type);
+  Status AddEdgeWithAlpha(NodeId from, NodeId to, double weight, int alpha, CallType type);
+
+  // The workflow entry point. Defaults to the first added node.
+  void SetRoot(NodeId root) { root_ = root; }
+  NodeId root() const { return root_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const FunctionNode& node(NodeId id) const { return nodes_[id]; }
+  FunctionNode& mutable_node(NodeId id) { return nodes_[id]; }
+  const CallEdge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<CallEdge>& edges() const { return edges_; }
+
+  // Edge ids leaving / entering a node.
+  const std::vector<EdgeId>& OutEdges(NodeId id) const { return out_edges_[id]; }
+  const std::vector<EdgeId>& InEdges(NodeId id) const { return in_edges_[id]; }
+
+  NodeId FindNode(const std::string& name) const;
+  EdgeId FindEdge(NodeId from, NodeId to) const;
+
+  // Computes per-edge alpha = ⌈weight / workflow_invocations⌉ (§4.1) and
+  // validates the graph. workflow_invocations is N: how many times the
+  // workflow ran during the profiling window.
+  Status Finalize(double workflow_invocations);
+
+  // Checks: a root exists, the graph is acyclic, and every node is reachable
+  // from the root (connected rDAG).
+  Status Validate() const;
+
+  // Topological order (root first among its component). Error if cyclic.
+  Result<std::vector<NodeId>> TopologicalOrder() const;
+
+  // Sum of all edge weights: the baseline (no merging) number of non-local
+  // calls per profile window. Used for the optimality-gap metric (§7.5.2).
+  double TotalEdgeWeight() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<FunctionNode> nodes_;
+  std::vector<CallEdge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  NodeId root_ = kInvalidNode;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_GRAPH_CALL_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "src/graph/descendants.h"
+
+#include <cassert>
+
+namespace quilt {
+
+DescendantAnalysis::DescendantAnalysis(const CallGraph& graph) {
+  const int n = graph.num_nodes();
+  descendants_.assign(n, Bitset(n));
+  downstream_memory_.assign(n, 0.0);
+  downstream_cpu_.assign(n, 0.0);
+  weighted_in_degree_.assign(n, 0.0);
+  weighted_out_degree_.assign(n, 0.0);
+
+  for (const CallEdge& e : graph.edges()) {
+    weighted_in_degree_[e.to] += e.weight;
+    weighted_out_degree_[e.from] += e.weight;
+  }
+
+  Result<std::vector<NodeId>> order = graph.TopologicalOrder();
+  assert(order.ok() && "descendant analysis requires an acyclic graph");
+
+  // Reverse topological order: every successor's descendant set is already
+  // memoized when a node is processed, so each union is O(n/64) words and
+  // shared downstream subgraphs are never re-traversed.
+  const std::vector<NodeId>& topo = order.value();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId id = *it;
+    descendants_[id].Set(id);
+    for (EdgeId eid : graph.OutEdges(id)) {
+      descendants_[id].UnionWith(descendants_[graph.edge(eid).to]);
+    }
+  }
+
+  // Aggregate downstream resource costs. The sums range over edges internal
+  // to D(j), i.e. edges whose source is a descendant of j (the target then
+  // necessarily is too).
+  for (NodeId j = 0; j < n; ++j) {
+    double mem = graph.node(j).memory;
+    double cpu = graph.node(j).cpu;
+    for (const CallEdge& e : graph.edges()) {
+      if (!descendants_[j].Test(e.from)) {
+        continue;
+      }
+      mem += graph.node(e.to).memory;
+      cpu += graph.node(e.to).cpu * e.alpha;
+      if (e.type == CallType::kAsync) {
+        mem += graph.node(e.to).memory * (e.alpha - 1);
+      }
+    }
+    downstream_memory_[j] = mem;
+    downstream_cpu_[j] = cpu;
+  }
+}
+
+}  // namespace quilt

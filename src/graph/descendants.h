@@ -1,0 +1,46 @@
+// Descendant-set analysis with memoization (Appendix C.3).
+//
+// For every node j this computes, in a single reverse-topological pass:
+//   - D(j): all nodes reachable from j (including j), as a bitset;
+//   - M_ds(j): downstream memory if D(j) were merged (conservative bound);
+//   - C_ds(j): downstream CPU, scaling callees by the per-edge alpha;
+//   - W_in(j): weighted in-degree.
+// These are the inputs to the Downstream Impact Heuristic (Appendix C.1).
+#ifndef SRC_GRAPH_DESCENDANTS_H_
+#define SRC_GRAPH_DESCENDANTS_H_
+
+#include <vector>
+
+#include "src/graph/bitset.h"
+#include "src/graph/call_graph.h"
+
+namespace quilt {
+
+class DescendantAnalysis {
+ public:
+  explicit DescendantAnalysis(const CallGraph& graph);
+
+  // Nodes reachable from id, including id itself.
+  const Bitset& Descendants(NodeId id) const { return descendants_[id]; }
+
+  // M_ds(j) = m_j + Σ_{(u,v) ∈ E(D(j))} m_v + Σ_{async (u,v)} m_v·(α−1).
+  double DownstreamMemory(NodeId id) const { return downstream_memory_[id]; }
+
+  // C_ds(j) = c_j + Σ_{(u,v) ∈ E(D(j))} c_v·α_{u,v}.
+  double DownstreamCpu(NodeId id) const { return downstream_cpu_[id]; }
+
+  // W_in(j) = Σ_{(i,j) ∈ E} w_{i,j}.
+  double WeightedInDegree(NodeId id) const { return weighted_in_degree_[id]; }
+  double WeightedOutDegree(NodeId id) const { return weighted_out_degree_[id]; }
+
+ private:
+  std::vector<Bitset> descendants_;
+  std::vector<double> downstream_memory_;
+  std::vector<double> downstream_cpu_;
+  std::vector<double> weighted_in_degree_;
+  std::vector<double> weighted_out_degree_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_GRAPH_DESCENDANTS_H_

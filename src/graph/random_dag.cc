@@ -1,0 +1,65 @@
+#include "src/graph/random_dag.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+CallGraph GenerateRandomRdag(const RandomDagOptions& options, Rng& rng) {
+  assert(options.num_nodes >= 1);
+  CallGraph graph;
+  for (int i = 0; i < options.num_nodes; ++i) {
+    graph.AddNode(StrCat("fn", i), rng.UniformDouble(options.cpu_min, options.cpu_max),
+                  rng.UniformDouble(options.memory_min, options.memory_max));
+  }
+
+  auto add_edge = [&](NodeId from, NodeId to) {
+    const int alpha = static_cast<int>(rng.UniformInt(1, options.alpha_max));
+    const CallType type =
+        rng.Bernoulli(options.async_fraction) ? CallType::kAsync : CallType::kSync;
+    return graph.AddEdgeWithAlpha(from, to, alpha * options.weight_per_alpha, alpha, type);
+  };
+
+  // Spanning structure: node indices are a topological order by construction,
+  // and giving every non-root node a parent among lower indices guarantees
+  // reachability from node 0.
+  for (NodeId i = 1; i < options.num_nodes; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.UniformInt(0, i - 1));
+    const Status status = add_edge(parent, i);
+    assert(status.ok());
+  }
+
+  const int target_edges =
+      std::max(options.num_nodes - 1,
+               static_cast<int>(options.edge_factor * options.num_nodes));
+  int attempts = 0;
+  const int max_attempts = 50 * target_edges + 100;
+  while (graph.num_edges() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    if (options.num_nodes < 2) {
+      break;
+    }
+    NodeId a = static_cast<NodeId>(rng.UniformInt(0, options.num_nodes - 1));
+    NodeId b = static_cast<NodeId>(rng.UniformInt(0, options.num_nodes - 1));
+    if (a == b) {
+      continue;
+    }
+    if (a > b) {
+      std::swap(a, b);  // Edges go from lower to higher index: stays acyclic.
+    }
+    if (graph.FindEdge(a, b) != -1) {
+      continue;
+    }
+    const Status status = add_edge(a, b);
+    assert(status.ok());
+  }
+
+  const Status valid = graph.Validate();
+  assert(valid.ok());
+  (void)valid;
+  return graph;
+}
+
+}  // namespace quilt

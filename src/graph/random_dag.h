@@ -1,0 +1,31 @@
+// Random rooted-DAG generation following the methodology of §7.5.2:
+// "random rDAGs with varying numbers of vertices and 20% more edges than
+// vertices; 10% of the edges asynchronous; vertices assigned random CPU and
+// memory usage."
+#ifndef SRC_GRAPH_RANDOM_DAG_H_
+#define SRC_GRAPH_RANDOM_DAG_H_
+
+#include "src/common/rng.h"
+#include "src/graph/call_graph.h"
+
+namespace quilt {
+
+struct RandomDagOptions {
+  int num_nodes = 10;
+  double edge_factor = 1.2;      // |E| ≈ edge_factor * |V| (at least |V|-1).
+  double async_fraction = 0.1;   // Fraction of edges that are asynchronous.
+  double cpu_min = 0.05;         // vCPUs.
+  double cpu_max = 0.5;
+  double memory_min = 16.0;      // MB.
+  double memory_max = 96.0;
+  int alpha_max = 3;             // Per-edge alpha drawn uniformly in [1, alpha_max].
+  double weight_per_alpha = 100.0;  // Edge weight = alpha * this (profile-window counts).
+};
+
+// Generates a connected rooted DAG (root = node 0). Deterministic given rng
+// state. The result passes CallGraph::Validate().
+CallGraph GenerateRandomRdag(const RandomDagOptions& options, Rng& rng);
+
+}  // namespace quilt
+
+#endif  // SRC_GRAPH_RANDOM_DAG_H_

@@ -1,0 +1,81 @@
+// Function representation in Quilt's mini-IR.
+//
+// Quilt's real implementation operates on LLVM bitcode; its passes only
+// inspect and rewrite *structural* properties of functions: symbol names,
+// signatures, serverless-API call sites (sync_inv/async_inv/get_req/
+// send_res), library references, and reachability. This IR captures exactly
+// those properties, so the passes in src/passes implement the same
+// transformations the paper's LLVM passes perform (§5.2-§5.4, Appendix D).
+#ifndef SRC_IR_IR_FUNCTION_H_
+#define SRC_IR_IR_FUNCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/lang.h"
+
+namespace quilt {
+
+enum class Linkage {
+  kExternal,  // Visible across modules (handlers, shims, library entry points).
+  kInternal,  // Private to a module; freely renameable.
+};
+
+enum class CallOpcode {
+  kLocal,        // Direct call to a symbol in the same address space.
+  kSyncInvoke,   // sync_inv(handle, payload): remote serverless invocation.
+  kAsyncInvoke,  // async_inv(handle, payload): remote, spawns a thread.
+  kLibCall,      // Call into a shared-library symbol (e.g. curl_easy_perform).
+};
+
+struct CallInst {
+  CallOpcode opcode = CallOpcode::kLocal;
+  // kLocal / kLibCall: the target symbol. Empty for unresolved invokes.
+  std::string callee_symbol;
+  // kSyncInvoke / kAsyncInvoke: the serverless handle being invoked. After
+  // MergeFunc localizes a call this records the original handle so the
+  // conditional-invocation fallback can still reach the remote function.
+  std::string target_handle;
+  // Conditional invocation budget (§5.6): with a localized call, up to
+  // `budget` invocations per request run locally; the rest fall back to the
+  // remote path. 0 on non-localized calls.
+  int budget = 0;
+  // True if MergeFunc rewrote this invoke into a local call.
+  bool localized = false;
+  // True if the call was originally asynchronous.
+  bool is_async = false;
+};
+
+struct IrFunction {
+  std::string symbol;  // Mangled name, unique within a module.
+  Lang lang = Lang::kRust;
+  Linkage linkage = Linkage::kInternal;
+
+  // Serverless functions have signature string -> string in their language's
+  // native string type; shims translate between kinds (Appendix D).
+  StringKind param_kind = StringKind::kRustString;
+  StringKind ret_kind = StringKind::kRustString;
+
+  // True for a serverless handler: reads its input via get_req() and writes
+  // its output via send_res(). MergeFunc rewrites handlers into plain
+  // string -> string functions (§5.2).
+  bool is_handler = false;
+  bool uses_get_req = false;
+  bool uses_send_res = false;
+
+  // Library functions come from a dependency (crate/package); the linker
+  // deduplicates identical (origin, symbol) pairs so shared dependencies are
+  // compiled and stored once. Empty origin = user code.
+  std::string origin;
+
+  int64_t code_size = 0;  // Estimated machine-code bytes after lowering.
+
+  std::vector<CallInst> calls;
+
+  bool is_library() const { return !origin.empty(); }
+};
+
+}  // namespace quilt
+
+#endif  // SRC_IR_IR_FUNCTION_H_

@@ -1,0 +1,180 @@
+#include "src/ir/ir_module.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Status IrModule::AddFunction(IrFunction fn) {
+  if (fn.symbol.empty()) {
+    return InvalidArgumentError("function symbol must not be empty");
+  }
+  if (functions_.count(fn.symbol) > 0) {
+    return AlreadyExistsError(StrCat("symbol '", fn.symbol, "' already defined in module '",
+                                     name_, "'"));
+  }
+  order_.push_back(fn.symbol);
+  functions_.emplace(fn.symbol, std::move(fn));
+  return Status::Ok();
+}
+
+bool IrModule::HasFunction(const std::string& symbol) const {
+  return functions_.count(symbol) > 0;
+}
+
+const IrFunction* IrModule::GetFunction(const std::string& symbol) const {
+  auto it = functions_.find(symbol);
+  return it != functions_.end() ? &it->second : nullptr;
+}
+
+IrFunction* IrModule::GetMutableFunction(const std::string& symbol) {
+  auto it = functions_.find(symbol);
+  return it != functions_.end() ? &it->second : nullptr;
+}
+
+Status IrModule::RemoveFunction(const std::string& symbol) {
+  auto it = functions_.find(symbol);
+  if (it == functions_.end()) {
+    return NotFoundError(StrCat("symbol '", symbol, "' not in module"));
+  }
+  functions_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), symbol), order_.end());
+  return Status::Ok();
+}
+
+Status IrModule::RenameFunction(const std::string& old_symbol, const std::string& new_symbol) {
+  if (old_symbol == new_symbol) {
+    return Status::Ok();
+  }
+  auto it = functions_.find(old_symbol);
+  if (it == functions_.end()) {
+    return NotFoundError(StrCat("symbol '", old_symbol, "' not in module"));
+  }
+  if (functions_.count(new_symbol) > 0) {
+    return AlreadyExistsError(StrCat("symbol '", new_symbol, "' already exists"));
+  }
+  IrFunction fn = std::move(it->second);
+  functions_.erase(it);
+  fn.symbol = new_symbol;
+  functions_.emplace(new_symbol, std::move(fn));
+  std::replace(order_.begin(), order_.end(), old_symbol, new_symbol);
+  if (entry_symbol_ == old_symbol) {
+    entry_symbol_ = new_symbol;
+  }
+  // Update call sites referencing the renamed symbol.
+  for (auto& [symbol, function] : functions_) {
+    for (CallInst& call : function.calls) {
+      if ((call.opcode == CallOpcode::kLocal || call.opcode == CallOpcode::kLibCall) &&
+          call.callee_symbol == old_symbol) {
+        call.callee_symbol = new_symbol;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void IrModule::AddSharedLib(SharedLibDep lib) {
+  if (FindSharedLib(lib.name) == nullptr) {
+    shared_libs_.push_back(std::move(lib));
+  }
+}
+
+SharedLibDep* IrModule::FindSharedLib(const std::string& name) {
+  for (SharedLibDep& lib : shared_libs_) {
+    if (lib.name == name) {
+      return &lib;
+    }
+  }
+  return nullptr;
+}
+
+void IrModule::AddCtor(GlobalCtor ctor) {
+  for (const GlobalCtor& existing : ctors_) {
+    if (existing.name == ctor.name) {
+      return;
+    }
+  }
+  ctors_.push_back(std::move(ctor));
+}
+
+int64_t IrModule::TotalCodeSize() const {
+  int64_t total = 0;
+  for (const auto& [symbol, fn] : functions_) {
+    total += fn.code_size;
+  }
+  return total;
+}
+
+Status IrModule::Verify() const {
+  if (!entry_symbol_.empty() && functions_.count(entry_symbol_) == 0) {
+    return FailedPreconditionError(StrCat("entry symbol '", entry_symbol_, "' undefined"));
+  }
+  for (const auto& [symbol, fn] : functions_) {
+    if (fn.symbol != symbol) {
+      return InternalError(StrCat("symbol map inconsistency at '", symbol, "'"));
+    }
+    for (const CallInst& call : fn.calls) {
+      if (call.opcode == CallOpcode::kLocal) {
+        if (!HasFunction(call.callee_symbol)) {
+          return FailedPreconditionError(StrCat("function '", symbol,
+                                                "' calls undefined local symbol '",
+                                                call.callee_symbol, "'"));
+        }
+      }
+      if ((call.opcode == CallOpcode::kSyncInvoke || call.opcode == CallOpcode::kAsyncInvoke) &&
+          call.target_handle.empty()) {
+        return FailedPreconditionError(
+            StrCat("function '", symbol, "' has an invoke without a target handle"));
+      }
+      if (call.localized && call.opcode != CallOpcode::kLocal) {
+        return InternalError(StrCat("localized call in '", symbol, "' is not kLocal"));
+      }
+    }
+  }
+  if (static_cast<int>(order_.size()) != static_cast<int>(functions_.size())) {
+    return InternalError("function order list out of sync");
+  }
+  return Status::Ok();
+}
+
+std::string IrModule::DebugString() const {
+  std::string out = StrCat("module '", name_, "' entry='", entry_symbol_, "'\n");
+  for (const std::string& symbol : order_) {
+    const IrFunction& fn = functions_.at(symbol);
+    out += StrCat("  fn ", symbol, " [", LangName(fn.lang), ", ",
+                  fn.linkage == Linkage::kExternal ? "ext" : "int",
+                  fn.is_handler ? ", handler" : "", fn.is_library() ? ", lib:" + fn.origin : "",
+                  ", ", fn.code_size, "B]\n");
+    for (const CallInst& call : fn.calls) {
+      switch (call.opcode) {
+        case CallOpcode::kLocal:
+          out += StrCat("    call ", call.callee_symbol,
+                        call.localized ? StrCat(" (localized from '", call.target_handle,
+                                                "', budget=", call.budget, ")")
+                                       : "",
+                        "\n");
+          break;
+        case CallOpcode::kSyncInvoke:
+          out += StrCat("    sync_inv '", call.target_handle, "'\n");
+          break;
+        case CallOpcode::kAsyncInvoke:
+          out += StrCat("    async_inv '", call.target_handle, "'\n");
+          break;
+        case CallOpcode::kLibCall:
+          out += StrCat("    libcall ", call.callee_symbol, "\n");
+          break;
+      }
+    }
+  }
+  for (const SharedLibDep& lib : shared_libs_) {
+    out += StrCat("  sharedlib ", lib.name, " (", lib.size_bytes, "B, +", lib.transitive_libs,
+                  " transitive", lib.lazy ? ", lazy" : "", ")\n");
+  }
+  for (const GlobalCtor& ctor : ctors_) {
+    out += StrCat("  ctor ", ctor.name, ctor.is_http_init ? " [http-init]" : "", "\n");
+  }
+  return out;
+}
+
+}  // namespace quilt

@@ -1,0 +1,86 @@
+// Module (translation unit / bitcode file) in Quilt's mini-IR.
+#ifndef SRC_IR_IR_MODULE_H_
+#define SRC_IR_IR_MODULE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ir/ir_function.h"
+
+namespace quilt {
+
+// A shared library the module links against (e.g. libcurl plus the ~40
+// transitive libraries it drags in). Eager libraries are loaded at process
+// start; lazy ones (wrapped via the Implib.so technique, §5.2 step 9) load on
+// first use.
+struct SharedLibDep {
+  std::string name;
+  int64_t size_bytes = 0;
+  int transitive_libs = 0;  // Additional libs loaded alongside this one.
+  bool lazy = false;
+};
+
+// A global constructor that runs before main (e.g. curl_global_init). The
+// DelayHTTP pass relocates HTTP-related constructors into the sync_inv path.
+struct GlobalCtor {
+  std::string name;
+  bool is_http_init = false;
+};
+
+class IrModule {
+ public:
+  IrModule() = default;
+  explicit IrModule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // The serverless entry point (handler) symbol, if any.
+  const std::string& entry_symbol() const { return entry_symbol_; }
+  void set_entry_symbol(std::string symbol) { entry_symbol_ = std::move(symbol); }
+
+  Status AddFunction(IrFunction fn);
+  bool HasFunction(const std::string& symbol) const;
+  const IrFunction* GetFunction(const std::string& symbol) const;
+  IrFunction* GetMutableFunction(const std::string& symbol);
+  Status RemoveFunction(const std::string& symbol);
+
+  // Renames a function and updates every local call site in the module.
+  Status RenameFunction(const std::string& old_symbol, const std::string& new_symbol);
+
+  // Stable iteration order (insertion order).
+  const std::vector<std::string>& function_order() const { return order_; }
+  int num_functions() const { return static_cast<int>(order_.size()); }
+
+  std::vector<SharedLibDep>& shared_libs() { return shared_libs_; }
+  const std::vector<SharedLibDep>& shared_libs() const { return shared_libs_; }
+  void AddSharedLib(SharedLibDep lib);  // Deduplicates by name.
+  SharedLibDep* FindSharedLib(const std::string& name);
+
+  std::vector<GlobalCtor>& ctors() { return ctors_; }
+  const std::vector<GlobalCtor>& ctors() const { return ctors_; }
+  void AddCtor(GlobalCtor ctor);  // Deduplicates by name.
+
+  int64_t TotalCodeSize() const;
+
+  // Structural checks: entry exists (if set), local calls resolve to symbols
+  // in the module, no handler references another handler locally, etc.
+  Status Verify() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::string name_;
+  std::string entry_symbol_;
+  std::map<std::string, IrFunction> functions_;
+  std::vector<std::string> order_;
+  std::vector<SharedLibDep> shared_libs_;
+  std::vector<GlobalCtor> ctors_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_IR_IR_MODULE_H_

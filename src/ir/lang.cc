@@ -1,0 +1,69 @@
+#include "src/ir/lang.h"
+
+namespace quilt {
+
+const char* LangName(Lang lang) {
+  switch (lang) {
+    case Lang::kC:
+      return "c";
+    case Lang::kCpp:
+      return "cpp";
+    case Lang::kRust:
+      return "rust";
+    case Lang::kGo:
+      return "go";
+    case Lang::kSwift:
+      return "swift";
+  }
+  return "?";
+}
+
+const char* StringKindName(StringKind kind) {
+  switch (kind) {
+    case StringKind::kCChar:
+      return "char*";
+    case StringKind::kCppString:
+      return "std::string";
+    case StringKind::kRustString:
+      return "std::string::String";
+    case StringKind::kGoString:
+      return "go.string";
+    case StringKind::kSwiftString:
+      return "Swift.String";
+  }
+  return "?";
+}
+
+StringKind NativeStringKind(Lang lang) {
+  switch (lang) {
+    case Lang::kC:
+      return StringKind::kCChar;
+    case Lang::kCpp:
+      return StringKind::kCppString;
+    case Lang::kRust:
+      return StringKind::kRustString;
+    case Lang::kGo:
+      return StringKind::kGoString;
+    case Lang::kSwift:
+      return StringKind::kSwiftString;
+  }
+  return StringKind::kCChar;
+}
+
+const char* FrontendCompilerName(Lang lang) {
+  switch (lang) {
+    case Lang::kC:
+      return "clang";
+    case Lang::kCpp:
+      return "clang++";
+    case Lang::kRust:
+      return "rustc+nightly";
+    case Lang::kGo:
+      return "gollvm";
+    case Lang::kSwift:
+      return "swiftc";
+  }
+  return "?";
+}
+
+}  // namespace quilt

@@ -1,0 +1,44 @@
+#include "src/ir/linker.h"
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Status LinkInto(IrModule& dst, const IrModule& src, LinkStats* stats) {
+  LinkStats local;
+  LinkStats& st = stats != nullptr ? *stats : local;
+
+  for (const std::string& symbol : src.function_order()) {
+    const IrFunction& fn = *src.GetFunction(symbol);
+    const IrFunction* existing = dst.GetFunction(symbol);
+    if (existing != nullptr) {
+      if (fn.is_library() && existing->origin == fn.origin &&
+          existing->code_size == fn.code_size) {
+        // One-definition rule for identical dependency code: keep one copy.
+        ++st.functions_deduplicated;
+        st.bytes_deduplicated += fn.code_size;
+        continue;
+      }
+      return FailedPreconditionError(
+          StrCat("duplicate symbol '", symbol, "' while linking '", src.name(), "' into '",
+                 dst.name(), "' (run RenameFunc first)"));
+    }
+    QUILT_RETURN_IF_ERROR(dst.AddFunction(fn));
+    ++st.functions_added;
+  }
+
+  for (const SharedLibDep& lib : src.shared_libs()) {
+    SharedLibDep* existing = dst.FindSharedLib(lib.name);
+    if (existing == nullptr) {
+      dst.AddSharedLib(lib);
+    } else if (!lib.lazy) {
+      existing->lazy = false;  // Eager requirement wins.
+    }
+  }
+  for (const GlobalCtor& ctor : src.ctors()) {
+    dst.AddCtor(ctor);
+  }
+  return Status::Ok();
+}
+
+}  // namespace quilt

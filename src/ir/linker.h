@@ -1,0 +1,30 @@
+// Module linker: the llvm-link equivalent (§5.2 steps 3 and 5).
+//
+// Links a source module into a destination module. Library functions
+// (identified by their dependency origin) deduplicate: if both modules pull
+// in the same crate/package function it is kept once, which is how merged
+// binaries end up smaller than the sum of their parts (Appendix E). User
+// symbols must be unique -- the RenameFunc pass runs before linking to
+// guarantee that.
+#ifndef SRC_IR_LINKER_H_
+#define SRC_IR_LINKER_H_
+
+#include "src/common/status.h"
+#include "src/ir/ir_module.h"
+
+namespace quilt {
+
+struct LinkStats {
+  int functions_added = 0;
+  int functions_deduplicated = 0;
+  int64_t bytes_deduplicated = 0;
+};
+
+// Links `src` into `dst`. On symbol collision between non-identical
+// functions, returns an error and leaves dst partially updated (callers
+// treat link errors as fatal for the pipeline round).
+Status LinkInto(IrModule& dst, const IrModule& src, LinkStats* stats = nullptr);
+
+}  // namespace quilt
+
+#endif  // SRC_IR_LINKER_H_

@@ -1,0 +1,19 @@
+#include "src/ir/size_model.h"
+
+namespace quilt {
+
+BinaryImage ComputeBinaryImage(const IrModule& module) {
+  BinaryImage image;
+  image.size_bytes = kElfOverheadBytes + module.TotalCodeSize();
+  for (const SharedLibDep& lib : module.shared_libs()) {
+    if (lib.lazy) {
+      image.lazy_libs += 1 + lib.transitive_libs;
+    } else {
+      image.eager_libs += 1 + lib.transitive_libs;
+      image.eager_lib_bytes += lib.size_bytes;
+    }
+  }
+  return image;
+}
+
+}  // namespace quilt

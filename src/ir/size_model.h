@@ -1,0 +1,32 @@
+// Binary image size and load-cost model.
+//
+// The simulator does not emit real machine code; instead the final pipeline
+// stage computes the properties of the would-be binary that matter to the
+// platform: image size (drives cold-start fetch time, Appendix E) and the
+// number of eagerly- vs lazily-loaded shared libraries (drives process start
+// cost; the DelayHTTP and Implib.so wrapping passes make libraries lazy).
+#ifndef SRC_IR_SIZE_MODEL_H_
+#define SRC_IR_SIZE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/ir/ir_module.h"
+
+namespace quilt {
+
+struct BinaryImage {
+  int64_t size_bytes = 0;    // Static binary size (code + ELF overhead).
+  int eager_libs = 0;        // Shared libraries loaded at process start
+                             // (including transitive dependencies).
+  int lazy_libs = 0;         // Wrapped libraries loaded on first use.
+  int64_t eager_lib_bytes = 0;
+};
+
+// ELF headers, relocation/symbol tables, alignment padding.
+constexpr int64_t kElfOverheadBytes = 96 * 1024;
+
+BinaryImage ComputeBinaryImage(const IrModule& module);
+
+}  // namespace quilt
+
+#endif  // SRC_IR_SIZE_MODEL_H_

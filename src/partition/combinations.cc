@@ -1,0 +1,26 @@
+#include "src/partition/combinations.h"
+
+#include <limits>
+
+namespace quilt {
+
+int64_t BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) {
+    return 0;
+  }
+  if (k > n - k) {
+    k = n - k;
+  }
+  int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result *= (n - k + i) / i, guarding overflow.
+    const int64_t numerator = n - k + i;
+    if (result > std::numeric_limits<int64_t>::max() / numerator) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    result = result * numerator / i;
+  }
+  return result;
+}
+
+}  // namespace quilt

@@ -1,0 +1,79 @@
+#include "src/partition/dot_export.h"
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+namespace {
+
+std::string NodeLabel(const CallGraph& graph, NodeId id) {
+  const FunctionNode& node = graph.node(id);
+  return StrCat(node.name, "\\n", FormatDouble(node.cpu, 2), " vCPU / ",
+                FormatDouble(node.memory, 0), " MB");
+}
+
+std::string EdgeAttrs(const CallEdge& e) {
+  std::string attrs = StrCat("label=\"a=", e.alpha, "\"");
+  if (e.type == CallType::kAsync) {
+    attrs += ", style=dashed";
+  }
+  return attrs;
+}
+
+}  // namespace
+
+std::string ToDot(const CallGraph& graph) {
+  std::string out = "digraph callgraph {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    out += StrCat("  n", id, " [label=\"", NodeLabel(graph, id), "\"",
+                  id == graph.root() ? ", penwidth=2" : "", "];\n");
+  }
+  for (const CallEdge& e : graph.edges()) {
+    out += StrCat("  n", e.from, " -> n", e.to, " [", EdgeAttrs(e), "];\n");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ToDot(const CallGraph& graph, const MergeSolution& solution) {
+  std::string out = "digraph merged {\n  rankdir=TB;\n  node [shape=box];\n";
+  // One cluster per group; cloned nodes get per-cluster identities.
+  for (size_t g = 0; g < solution.groups.size(); ++g) {
+    const MergeGroup& group = solution.groups[g];
+    out += StrCat("  subgraph cluster_", g, " {\n    label=\"group: ",
+                  graph.node(group.root).name, "\";\n    style=rounded;\n");
+    for (NodeId id : group.members) {
+      out += StrCat("    g", g, "_n", id, " [label=\"", NodeLabel(graph, id), "\"",
+                    id == group.root ? ", penwidth=2" : "", "];\n");
+    }
+    // Internal (localized) edges.
+    for (const CallEdge& e : graph.edges()) {
+      if (group.Contains(e.from) && group.Contains(e.to)) {
+        out += StrCat("    g", g, "_n", e.from, " -> g", g, "_n", e.to, " [", EdgeAttrs(e),
+                      "];\n");
+      }
+    }
+    out += "  }\n";
+  }
+  // Cross-group (remote) edges: drawn once, from the first group containing
+  // the source to the group rooted at the target.
+  for (const CallEdge& e : graph.edges()) {
+    for (size_t from_g = 0; from_g < solution.groups.size(); ++from_g) {
+      const MergeGroup& source = solution.groups[from_g];
+      if (!source.Contains(e.from) || source.Contains(e.to)) {
+        continue;
+      }
+      for (size_t to_g = 0; to_g < solution.groups.size(); ++to_g) {
+        if (solution.groups[to_g].root == e.to) {
+          out += StrCat("  g", from_g, "_n", e.from, " -> g", to_g, "_n", e.to, " [",
+                        EdgeAttrs(e), ", color=red, label=\"remote\"];\n");
+        }
+      }
+      break;  // One arrow per edge.
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace quilt

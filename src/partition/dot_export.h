@@ -1,0 +1,26 @@
+// Graphviz DOT export for call graphs and merge solutions.
+//
+// Produces figures in the style of the paper's call-graph diagrams
+// (Figure 3, Appendix F, Figure 11): nodes labeled with resource usage,
+// edges with alpha, async edges dashed, and merge groups rendered as
+// clusters.
+#ifndef SRC_PARTITION_DOT_EXPORT_H_
+#define SRC_PARTITION_DOT_EXPORT_H_
+
+#include <string>
+
+#include "src/graph/call_graph.h"
+#include "src/partition/problem.h"
+
+namespace quilt {
+
+// Plain call graph.
+std::string ToDot(const CallGraph& graph);
+
+// Call graph with each merge group drawn as a subgraph cluster. Cloned
+// functions (members of several groups) appear once per cluster.
+std::string ToDot(const CallGraph& graph, const MergeSolution& solution);
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_DOT_EXPORT_H_

@@ -1,0 +1,118 @@
+#include "src/partition/grasp_solver.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/partition/ilp_encoding.h"
+
+namespace quilt {
+
+Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem, Rng& rng,
+                                         const GraspOptions& options, GraspStats* stats) {
+  QUILT_RETURN_IF_ERROR(problem.Validate());
+  const CallGraph& graph = *problem.graph;
+  const NodeId workflow_root = graph.root();
+  const int n = graph.num_nodes();
+
+  GraspStats local_stats;
+  GraspStats& st = stats != nullptr ? *stats : local_stats;
+  st = GraspStats{};
+
+  const std::vector<double> scores = scorer_.Score(problem);
+
+  // Candidates ranked by score, descending.
+  std::vector<NodeId> ranked;
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != workflow_root) {
+      ranked.push_back(id);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) {
+      return scores[a] > scores[b];
+    }
+    return a < b;
+  });
+
+  IlpSolveOptions ilp_options;
+  ilp_options.mip_gap = options.mip_gap;
+  ilp_options.max_nodes = options.max_nodes_per_ilp;
+
+  // ---- Stage 1: find an initial feasible solution. ----
+  std::optional<MergeSolution> best;
+  std::vector<NodeId> best_roots;
+  int pool_size = std::min<int>(options.initial_pool_size, static_cast<int>(ranked.size()));
+  while (!best.has_value()) {
+    if (pool_size > static_cast<int>(ranked.size())) {
+      return InfeasibleError("GRASP stage 1 exhausted all candidates without feasibility");
+    }
+    const int rcl = std::min<int>(std::max(options.rcl_size, pool_size),
+                                  static_cast<int>(ranked.size()));
+    for (int draw = 0; draw < options.draws_per_size && !best.has_value(); ++draw) {
+      ++st.stage1_attempts;
+      // Randomly select pool_size distinct candidates from the RCL.
+      std::vector<NodeId> rcl_nodes(ranked.begin(), ranked.begin() + rcl);
+      rng.Shuffle(rcl_nodes);
+      std::vector<NodeId> roots = {workflow_root};
+      roots.insert(roots.end(), rcl_nodes.begin(), rcl_nodes.begin() + pool_size);
+
+      ++st.ilp_solves;
+      Result<MergeSolution> solution = SolveForRoots(problem, roots, ilp_options);
+      if (solution.ok()) {
+        best = std::move(solution).value();
+        best_roots = roots;
+      }
+    }
+    if (!best.has_value()) {
+      ++pool_size;
+    }
+  }
+  st.final_pool_size = pool_size;
+
+  // ---- Stage 2: greedy refinement by pruning low-score roots. ----
+  int rounds = 0;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    if (options.max_refinement_rounds > 0 && ++rounds > options.max_refinement_rounds) {
+      break;
+    }
+    // Removable roots in ascending score order (least valuable first).
+    std::vector<NodeId> removable;
+    for (NodeId r : best_roots) {
+      if (r != workflow_root) {
+        removable.push_back(r);
+      }
+    }
+    std::sort(removable.begin(), removable.end(), [&](NodeId a, NodeId b) {
+      if (scores[a] != scores[b]) {
+        return scores[a] < scores[b];
+      }
+      return a < b;
+    });
+
+    for (NodeId remove : removable) {
+      std::vector<NodeId> candidate_roots;
+      for (NodeId r : best_roots) {
+        if (r != remove) {
+          candidate_roots.push_back(r);
+        }
+      }
+      IlpSolveOptions refine_options = ilp_options;
+      refine_options.cutoff = best->cross_cost;  // Strict improvement required.
+      ++st.ilp_solves;
+      Result<MergeSolution> solution = SolveForRoots(problem, candidate_roots, refine_options);
+      if (solution.ok() && solution->cross_cost < best->cross_cost) {
+        best = std::move(solution).value();
+        best_roots = candidate_roots;
+        ++st.refinement_removals;
+        improved = true;
+        break;  // Restart the scan with the smaller root set.
+      }
+    }
+  }
+
+  return *best;
+}
+
+}  // namespace quilt

@@ -1,0 +1,52 @@
+// Large-graph merge decision via GRASP + greedy refinement (Appendix C.4).
+//
+// Stage 1 finds an initial feasible solution: starting from a small pool
+// size ℓ, it randomly draws ℓ candidates from a Restricted Candidate List of
+// top-DIH-score nodes and solves the ILP with all of them as roots; on
+// infeasibility ℓ grows and the draw repeats.
+//
+// Stage 2 greedily prunes the root set: removable roots are tried in
+// ascending DIH-score order; any removal that stays feasible and lowers the
+// cross-edge cost is accepted and the scan restarts; a full pass with no
+// improvement is a local optimum.
+#ifndef SRC_PARTITION_GRASP_SOLVER_H_
+#define SRC_PARTITION_GRASP_SOLVER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/partition/problem.h"
+#include "src/partition/scorers.h"
+
+namespace quilt {
+
+struct GraspOptions {
+  int initial_pool_size = 2;  // Initial ℓ.
+  int rcl_size = 16;          // Restricted Candidate List size.
+  int draws_per_size = 3;     // Random pool draws before growing ℓ.
+  double mip_gap = 0.05;      // Stage ILPs may stop within 5% of optimal.
+  int64_t max_nodes_per_ilp = 500000;
+  int max_refinement_rounds = 0;  // 0 = until local optimum.
+};
+
+struct GraspStats {
+  int stage1_attempts = 0;
+  int final_pool_size = 0;
+  int refinement_removals = 0;
+  int64_t ilp_solves = 0;
+};
+
+class GraspSolver {
+ public:
+  explicit GraspSolver(const RootScorer& scorer) : scorer_(scorer) {}
+
+  Result<MergeSolution> Solve(const MergeProblem& problem, Rng& rng,
+                              const GraspOptions& options = {}, GraspStats* stats = nullptr);
+
+ private:
+  const RootScorer& scorer_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_GRASP_SOLVER_H_

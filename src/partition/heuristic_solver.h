@@ -1,0 +1,47 @@
+// Approximate merge-decision solver (§4.3, Appendix C.1).
+//
+// Phase 1 ranks nodes with a RootScorer (e.g. the Downstream Impact
+// Heuristic) and keeps the top-ℓ as the candidate pool P; root sets are then
+// built as {workflow root} ∪ (k-1 nodes from P) for increasing k, solving the
+// Phase-2 ILP for each. The sweep stops early once additional subgraphs stop
+// helping ("keep increasing k until we find good enough groupings").
+#ifndef SRC_PARTITION_HEURISTIC_SOLVER_H_
+#define SRC_PARTITION_HEURISTIC_SOLVER_H_
+
+#include <cstdint>
+
+#include "src/partition/problem.h"
+#include "src/partition/scorers.h"
+
+namespace quilt {
+
+struct HeuristicSolverOptions {
+  int pool_size = 6;  // ℓ: number of top-scoring candidates kept.
+  int max_k = 0;      // 0 = up to pool_size + 1 subgraphs.
+  // Stop after this many consecutive k values without improvement over the
+  // incumbent (once one feasible solution exists). 0 = sweep all k.
+  int stall_limit = 2;
+  double mip_gap = 0.0;
+  int64_t max_nodes_per_ilp = 0;
+};
+
+struct HeuristicSolverStats {
+  int64_t candidate_sets_tried = 0;
+  int64_t feasible_sets = 0;
+};
+
+class HeuristicSolver {
+ public:
+  explicit HeuristicSolver(const RootScorer& scorer) : scorer_(scorer) {}
+
+  Result<MergeSolution> Solve(const MergeProblem& problem,
+                              const HeuristicSolverOptions& options = {},
+                              HeuristicSolverStats* stats = nullptr);
+
+ private:
+  const RootScorer& scorer_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_HEURISTIC_SOLVER_H_

@@ -1,0 +1,60 @@
+// Encodes Phase 2 of the merge decision — subgraph construction for a fixed
+// candidate root set R — as the 0-1 ILP of Appendix B, and decodes solver
+// output back into a MergeSolution.
+#ifndef SRC_PARTITION_ILP_ENCODING_H_
+#define SRC_PARTITION_ILP_ENCODING_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ilp/ilp_model.h"
+#include "src/ilp/ilp_solver.h"
+#include "src/partition/problem.h"
+
+namespace quilt {
+
+// Variable layout for one encoded instance.
+struct AssignmentIlp {
+  IlpModel model;
+  std::vector<NodeId> roots;       // The candidate root set R.
+  std::vector<int> x_var;          // Per edge id: cross-edge indicator.
+  std::vector<std::vector<int>> y_var;  // y_var[node][root_index]: membership.
+
+  // Decodes a solver solution into merge groups (cross_cost = objective).
+  MergeSolution Decode(const CallGraph& graph, const IlpSolution& solution) const;
+};
+
+// Builds the ILP for the given problem and candidate roots. `roots` must
+// contain the workflow root and be duplicate-free.
+AssignmentIlp BuildAssignmentIlp(const MergeProblem& problem, const std::vector<NodeId>& roots);
+
+// Convenience: build + solve + decode. Returns kInfeasible /
+// kNoBetterThanCutoff errors when no acceptable assignment exists.
+//
+// Large graphs automatically use the compact encoding below.
+Result<MergeSolution> SolveForRoots(const MergeProblem& problem,
+                                    const std::vector<NodeId>& roots,
+                                    const IlpSolveOptions& options = {});
+
+// Compact "root absorption" encoding for large graphs.
+//
+// With the candidate roots fixed, the Appendix-B ILP has very little real
+// freedom: constraint 5 forces every subgraph to be closed over non-root
+// successors, so a subgraph is exactly a union of *regions* -- region(s)
+// being the nodes reachable from root s without stepping into another root.
+// The only decisions are which regions each subgraph absorbs: k^2 binaries
+// instead of |V|*k + |E|*k. Membership and the cross-edge objective are
+// exact under this reformulation; the resource accounting is slightly more
+// conservative (overlapping regions and absorbed roots' in-edges are charged
+// in full), so any solution it accepts also satisfies the true constraints.
+Result<MergeSolution> SolveForRootsCompact(const MergeProblem& problem,
+                                           const std::vector<NodeId>& roots,
+                                           const IlpSolveOptions& options = {});
+
+// Node-count threshold above which SolveForRoots switches to the compact
+// encoding.
+inline constexpr int kCompactEncodingThreshold = 48;
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_ILP_ENCODING_H_

@@ -1,0 +1,21 @@
+// Solution-quality metrics (§7.5.2).
+#ifndef SRC_PARTITION_METRICS_H_
+#define SRC_PARTITION_METRICS_H_
+
+namespace quilt {
+
+// Optimality gap: (Cost_H - Cost_O) / (Cost_B - Cost_O), the fraction of the
+// possible improvement over the non-merging baseline that a heuristic fails
+// to capture. 0 = heuristic matched the optimum, 1 = no better than baseline.
+// When the baseline is already optimal (denominator 0) the gap is 0.
+inline double OptimalityGap(double heuristic_cost, double optimal_cost, double baseline_cost) {
+  const double denom = baseline_cost - optimal_cost;
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return (heuristic_cost - optimal_cost) / denom;
+}
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_METRICS_H_

@@ -1,0 +1,80 @@
+#include "src/partition/optimal_solver.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "src/partition/combinations.h"
+#include "src/partition/ilp_encoding.h"
+
+namespace quilt {
+
+Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
+                                           const OptimalSolverOptions& options,
+                                           OptimalSolverStats* stats) {
+  QUILT_RETURN_IF_ERROR(problem.Validate());
+  const CallGraph& graph = *problem.graph;
+  const int n = graph.num_nodes();
+  const NodeId workflow_root = graph.root();
+
+  // Non-root nodes eligible as extra roots.
+  std::vector<NodeId> others;
+  others.reserve(n - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != workflow_root) {
+      others.push_back(id);
+    }
+  }
+
+  OptimalSolverStats local_stats;
+  OptimalSolverStats& st = stats != nullptr ? *stats : local_stats;
+  st = OptimalSolverStats{};
+
+  std::optional<MergeSolution> best;
+  const int max_k = options.max_k > 0 ? std::min(options.max_k, n) : n;
+
+  for (int k = 1; k <= max_k; ++k) {
+    const bool completed = ForEachCombination(
+        static_cast<int>(others.size()), k - 1, [&](const std::vector<int>& combo) {
+          if (options.max_candidate_sets > 0 &&
+              st.candidate_sets_tried >= options.max_candidate_sets) {
+            st.exhaustive = false;
+            return false;
+          }
+          ++st.candidate_sets_tried;
+
+          std::vector<NodeId> roots = {workflow_root};
+          for (int index : combo) {
+            roots.push_back(others[index]);
+          }
+
+          IlpSolveOptions ilp_options;
+          ilp_options.mip_gap = options.mip_gap;
+          ilp_options.max_nodes = options.max_nodes_per_ilp;
+          if (best.has_value()) {
+            ilp_options.cutoff = best->cross_cost;  // Strict improvement only.
+          }
+          Result<MergeSolution> solution = SolveForRoots(problem, roots, ilp_options);
+          if (solution.ok()) {
+            ++st.feasible_sets;
+            best = std::move(solution).value();
+            if (best->cross_cost <= 0.0) {
+              return false;  // Cannot improve on zero cross cost.
+            }
+          }
+          return true;
+        });
+    if (!completed && best.has_value() && best->cross_cost <= 0.0) {
+      break;  // Early exit on perfect solution.
+    }
+    if (!completed && !st.exhaustive) {
+      break;  // Candidate-set budget exhausted.
+    }
+  }
+
+  if (!best.has_value()) {
+    return InfeasibleError("no feasible grouping satisfies the resource constraints");
+  }
+  return *best;
+}
+
+}  // namespace quilt

@@ -1,0 +1,44 @@
+// Exact merge-decision solver (§4.2).
+//
+// Sweeps every subgraph count k from 1 to |V|, enumerates all candidate root
+// sets {workflow root} ∪ (k-1 other nodes), and solves the Appendix-B ILP for
+// each set, keeping the global best. The running incumbent is passed to the
+// ILP as a cutoff so dominated candidate sets are pruned cheaply. Appendix A
+// shows that fewer subgraphs are not always better, hence the full k sweep.
+//
+// Practical only for small call graphs (the paper says <= 20 vertices; the
+// candidate-set count is 1 + C(|V|-1, k-1) summed over k, i.e. 2^(|V|-1)).
+#ifndef SRC_PARTITION_OPTIMAL_SOLVER_H_
+#define SRC_PARTITION_OPTIMAL_SOLVER_H_
+
+#include <cstdint>
+
+#include "src/partition/problem.h"
+
+namespace quilt {
+
+struct OptimalSolverOptions {
+  double mip_gap = 0.0;
+  int max_k = 0;  // 0 = sweep all k up to |V|.
+  int64_t max_nodes_per_ilp = 0;
+  // Abort enumeration after this many candidate root sets (0 = unlimited);
+  // the best solution found so far is returned (marked non-exhaustive).
+  int64_t max_candidate_sets = 0;
+};
+
+struct OptimalSolverStats {
+  int64_t candidate_sets_tried = 0;
+  int64_t feasible_sets = 0;
+  bool exhaustive = true;  // False when a limit stopped the sweep early.
+};
+
+class OptimalSolver {
+ public:
+  Result<MergeSolution> Solve(const MergeProblem& problem,
+                              const OptimalSolverOptions& options = {},
+                              OptimalSolverStats* stats = nullptr);
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_OPTIMAL_SOLVER_H_

@@ -1,0 +1,226 @@
+#include "src/partition/problem.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Status MergeProblem::Validate() const {
+  if (graph == nullptr) {
+    return InvalidArgumentError("MergeProblem.graph is null");
+  }
+  QUILT_RETURN_IF_ERROR(graph->Validate());
+  if (cpu_limit <= 0.0 || memory_limit <= 0.0) {
+    return InvalidArgumentError("resource limits must be positive");
+  }
+  for (NodeId id = 0; id < graph->num_nodes(); ++id) {
+    const FunctionNode& node = graph->node(id);
+    if (node.cpu > cpu_limit) {
+      return FailedPreconditionError(
+          StrCat("function '", node.name, "' needs ", node.cpu, " vCPUs > limit ", cpu_limit));
+    }
+    if (node.memory > memory_limit) {
+      return FailedPreconditionError(StrCat("function '", node.name, "' needs ", node.memory,
+                                            " MB > limit ", memory_limit));
+    }
+  }
+  return Status::Ok();
+}
+
+bool MergeGroup::Contains(NodeId id) const {
+  return std::find(members.begin(), members.end(), id) != members.end();
+}
+
+bool MergeSolution::IsFullMerge(const CallGraph& graph) const {
+  return groups.size() == 1 &&
+         static_cast<int>(groups[0].members.size()) == graph.num_nodes();
+}
+
+GroupResources ComputeGroupResources(const CallGraph& graph, const MergeGroup& group) {
+  std::vector<bool> in_group(graph.num_nodes(), false);
+  for (NodeId id : group.members) {
+    in_group[id] = true;
+  }
+  GroupResources res;
+  res.cpu = graph.node(group.root).cpu;
+  res.memory = graph.node(group.root).memory;
+  for (const CallEdge& e : graph.edges()) {
+    if (!in_group[e.from] || !in_group[e.to]) {
+      continue;
+    }
+    res.cpu += e.alpha * graph.node(e.to).cpu;
+    res.memory += graph.node(e.to).memory;
+    if (e.type == CallType::kAsync) {
+      res.memory += (e.alpha - 1) * graph.node(e.to).memory;
+    }
+  }
+  return res;
+}
+
+double ComputeCrossCost(const CallGraph& graph, const MergeSolution& solution) {
+  double cost = 0.0;
+  for (const CallEdge& e : graph.edges()) {
+    bool cut = false;
+    for (const MergeGroup& group : solution.groups) {
+      if (group.Contains(e.from) && !group.Contains(e.to)) {
+        cut = true;
+        break;
+      }
+    }
+    if (cut) {
+      cost += e.weight;
+    }
+  }
+  return cost;
+}
+
+Status CheckSolution(const MergeProblem& problem, const MergeSolution& solution) {
+  QUILT_RETURN_IF_ERROR(problem.Validate());
+  const CallGraph& graph = *problem.graph;
+
+  if (solution.groups.empty()) {
+    return FailedPreconditionError("solution has no groups");
+  }
+
+  // Unique roots; the workflow root must be one of them.
+  std::set<NodeId> roots;
+  bool has_graph_root = false;
+  for (const MergeGroup& group : solution.groups) {
+    if (group.root < 0 || group.root >= graph.num_nodes()) {
+      return FailedPreconditionError("group root out of range");
+    }
+    if (!roots.insert(group.root).second) {
+      return FailedPreconditionError(
+          StrCat("duplicate group root '", graph.node(group.root).name, "'"));
+    }
+    if (group.root == graph.root()) {
+      has_graph_root = true;
+    }
+    if (!group.Contains(group.root)) {
+      return FailedPreconditionError("group does not contain its own root");
+    }
+  }
+  if (!has_graph_root) {
+    return FailedPreconditionError("no group is rooted at the workflow entry point");
+  }
+
+  // Coverage.
+  std::vector<bool> covered(graph.num_nodes(), false);
+  for (const MergeGroup& group : solution.groups) {
+    for (NodeId id : group.members) {
+      if (id < 0 || id >= graph.num_nodes()) {
+        return FailedPreconditionError("group member out of range");
+      }
+      covered[id] = true;
+    }
+  }
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    if (!covered[id]) {
+      return FailedPreconditionError(
+          StrCat("function '", graph.node(id).name, "' not covered by any group"));
+    }
+  }
+
+  for (const MergeGroup& group : solution.groups) {
+    // Connected rDAG: every member reachable from the group root using only
+    // in-group edges.
+    std::vector<bool> in_group(graph.num_nodes(), false);
+    for (NodeId id : group.members) {
+      in_group[id] = true;
+    }
+    std::vector<bool> reached(graph.num_nodes(), false);
+    std::deque<NodeId> queue = {group.root};
+    reached[group.root] = true;
+    while (!queue.empty()) {
+      const NodeId id = queue.front();
+      queue.pop_front();
+      for (EdgeId eid : graph.OutEdges(id)) {
+        const NodeId next = graph.edge(eid).to;
+        if (in_group[next] && !reached[next]) {
+          reached[next] = true;
+          queue.push_back(next);
+        }
+      }
+    }
+    for (NodeId id : group.members) {
+      if (!reached[id]) {
+        return FailedPreconditionError(StrCat("group rooted at '", graph.node(group.root).name,
+                                              "' is not connected: '", graph.node(id).name,
+                                              "' unreachable"));
+      }
+    }
+
+    // Resource limits.
+    const GroupResources res = ComputeGroupResources(graph, group);
+    if (res.cpu > problem.cpu_limit + 1e-9) {
+      return ResourceExhaustedError(StrCat("group rooted at '", graph.node(group.root).name,
+                                           "' needs ", res.cpu, " vCPUs > limit ",
+                                           problem.cpu_limit));
+    }
+    if (res.memory > problem.memory_limit + 1e-9) {
+      return ResourceExhaustedError(StrCat("group rooted at '", graph.node(group.root).name,
+                                           "' needs ", res.memory, " MB > limit ",
+                                           problem.memory_limit));
+    }
+  }
+
+  // Cross-edge root rule: edges into non-roots must be internal to every
+  // group that contains the source.
+  for (const CallEdge& e : graph.edges()) {
+    if (roots.count(e.to) > 0) {
+      continue;
+    }
+    for (const MergeGroup& group : solution.groups) {
+      if (group.Contains(e.from) && !group.Contains(e.to)) {
+        return FailedPreconditionError(
+            StrCat("edge ", graph.node(e.from).name, "->", graph.node(e.to).name,
+                   " is cut but its target is not a group root"));
+      }
+    }
+  }
+
+  return Status::Ok();
+}
+
+MergeSolution BaselineSolution(const CallGraph& graph) {
+  MergeSolution solution;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    solution.groups.push_back(MergeGroup{id, {id}});
+  }
+  solution.cross_cost = ComputeCrossCost(graph, solution);
+  return solution;
+}
+
+MergeSolution FullMergeSolution(const CallGraph& graph) {
+  MergeSolution solution;
+  MergeGroup group;
+  group.root = graph.root();
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    group.members.push_back(id);
+  }
+  solution.groups.push_back(std::move(group));
+  solution.cross_cost = 0.0;
+  return solution;
+}
+
+std::string SolutionToString(const CallGraph& graph, const MergeSolution& solution) {
+  std::string out = StrCat("MergeSolution{cost=", solution.cross_cost, "\n");
+  for (const MergeGroup& group : solution.groups) {
+    out += StrCat("  group root=", graph.node(group.root).name, " members=[");
+    std::vector<std::string> names;
+    names.reserve(group.members.size());
+    for (NodeId id : group.members) {
+      names.push_back(graph.node(id).name);
+    }
+    out += StrJoin(names, ", ");
+    const GroupResources res = ComputeGroupResources(graph, group);
+    out += StrCat("] cpu=", FormatDouble(res.cpu, 2), " mem=", FormatDouble(res.memory, 1), "\n");
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace quilt

@@ -1,0 +1,75 @@
+// Merge-decision problem statement (§4.1).
+//
+// Given a profiled call graph and the platform's per-container CPU / memory
+// limits, find subgraphs (groups of functions to merge) that cover the graph,
+// are each a connected rDAG, satisfy the resource constraints, and minimize
+// the total weight of cross-subgraph edges (remote invocations).
+#ifndef SRC_PARTITION_PROBLEM_H_
+#define SRC_PARTITION_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/call_graph.h"
+
+namespace quilt {
+
+struct MergeProblem {
+  const CallGraph* graph = nullptr;
+  double cpu_limit = 0.0;     // C: max vCPUs per container.
+  double memory_limit = 0.0;  // M: max MB per container.
+
+  // Sanity checks: graph validates and every single function fits in a
+  // container on its own (otherwise even the unmerged baseline is invalid).
+  Status Validate() const;
+};
+
+// One merged group: a subgraph rooted at `root` containing `members`
+// (members always includes the root). Nodes may appear in multiple groups.
+struct MergeGroup {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> members;
+
+  bool Contains(NodeId id) const;
+};
+
+struct MergeSolution {
+  std::vector<MergeGroup> groups;
+  double cross_cost = 0.0;  // Σ of cross-edge weights (the ILP objective).
+
+  int num_groups() const { return static_cast<int>(groups.size()); }
+  // True when the whole workflow fused into one binary.
+  bool IsFullMerge(const CallGraph& graph) const;
+};
+
+// Resource usage of a single group under the paper's accounting (App. B.6/7):
+//   cpu = c_root + Σ_{internal (i,j)} α_ij · c_j
+//   mem = m_root + Σ_{internal (i,j)} m_j + Σ_{internal async (i,j)} (α_ij−1)·m_j
+struct GroupResources {
+  double cpu = 0.0;
+  double memory = 0.0;
+};
+GroupResources ComputeGroupResources(const CallGraph& graph, const MergeGroup& group);
+
+// Cross-edge cost of a solution: edge (i,j) is a cross edge if any group
+// contains i but not j (Appendix B constraint 4); cost is Σ w over cross
+// edges.
+double ComputeCrossCost(const CallGraph& graph, const MergeSolution& solution);
+
+// Full validity check: coverage, unique roots, per-group connected rDAG
+// rooted at the group root, and resource limits.
+Status CheckSolution(const MergeProblem& problem, const MergeSolution& solution);
+
+// The no-merge baseline: every function its own group; cost = Σ all weights.
+MergeSolution BaselineSolution(const CallGraph& graph);
+
+// The "merge everything" solution (single group, may violate constraints --
+// callers must CheckSolution if they care).
+MergeSolution FullMergeSolution(const CallGraph& graph);
+
+std::string SolutionToString(const CallGraph& graph, const MergeSolution& solution);
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_PROBLEM_H_

@@ -1,0 +1,53 @@
+#include "src/partition/scorers.h"
+
+#include <algorithm>
+
+#include "src/graph/betweenness.h"
+#include "src/graph/descendants.h"
+
+namespace quilt {
+
+std::vector<double> WeightedInDegreeScorer::Score(const MergeProblem& problem) const {
+  const CallGraph& graph = *problem.graph;
+  std::vector<double> scores(graph.num_nodes(), 0.0);
+  for (const CallEdge& e : graph.edges()) {
+    scores[e.to] += e.weight;
+  }
+  return scores;
+}
+
+std::vector<double> WeightedOutDegreeScorer::Score(const MergeProblem& problem) const {
+  const CallGraph& graph = *problem.graph;
+  std::vector<double> scores(graph.num_nodes(), 0.0);
+  for (const CallEdge& e : graph.edges()) {
+    scores[e.from] += e.weight;
+  }
+  return scores;
+}
+
+std::vector<double> BetweennessScorer::Score(const MergeProblem& problem) const {
+  return BetweennessCentrality(*problem.graph);
+}
+
+std::vector<double> DownstreamImpactScorer::Score(const MergeProblem& problem) const {
+  const CallGraph& graph = *problem.graph;
+  const DescendantAnalysis analysis(graph);
+
+  double max_win = 0.0;
+  for (NodeId j = 0; j < graph.num_nodes(); ++j) {
+    if (j == graph.root()) {
+      continue;
+    }
+    max_win = std::max(max_win, analysis.WeightedInDegree(j));
+  }
+
+  std::vector<double> scores(graph.num_nodes(), 0.0);
+  for (NodeId j = 0; j < graph.num_nodes(); ++j) {
+    scores[j] = beta_ * analysis.WeightedInDegree(j) / (max_win + epsilon_) +
+                gamma_ * analysis.DownstreamMemory(j) / (problem.memory_limit + epsilon_) +
+                delta_ * analysis.DownstreamCpu(j) / (problem.cpu_limit + epsilon_);
+  }
+  return scores;
+}
+
+}  // namespace quilt

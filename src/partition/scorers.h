@@ -1,0 +1,70 @@
+// Root-candidate scoring heuristics (§4.3, Appendix C).
+//
+// Phase 1 of the approximate merge decision ranks nodes by how promising
+// they are as subgraph roots. The paper compares simple local heuristics
+// (weighted degree, betweenness) against the Downstream Impact Heuristic,
+// which also accounts for the resource footprint of a node's descendants.
+#ifndef SRC_PARTITION_SCORERS_H_
+#define SRC_PARTITION_SCORERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/partition/problem.h"
+
+namespace quilt {
+
+class RootScorer {
+ public:
+  virtual ~RootScorer() = default;
+  virtual std::string name() const = 0;
+  // Returns one score per node; higher means more promising as a root.
+  // The workflow root's score is irrelevant (it is always a root).
+  virtual std::vector<double> Score(const MergeProblem& problem) const = 0;
+};
+
+// W_in(j): sum of incoming edge weights.
+class WeightedInDegreeScorer : public RootScorer {
+ public:
+  std::string name() const override { return "weighted-in-degree"; }
+  std::vector<double> Score(const MergeProblem& problem) const override;
+};
+
+// Sum of outgoing edge weights.
+class WeightedOutDegreeScorer : public RootScorer {
+ public:
+  std::string name() const override { return "weighted-out-degree"; }
+  std::vector<double> Score(const MergeProblem& problem) const override;
+};
+
+// Brandes betweenness centrality.
+class BetweennessScorer : public RootScorer {
+ public:
+  std::string name() const override { return "betweenness"; }
+  std::vector<double> Score(const MergeProblem& problem) const override;
+};
+
+// Downstream Impact Heuristic (Appendix C.1):
+//   Score(j) = β · W_in(j)/(max W_in + ε)
+//            + γ · M_ds(j)/(M + ε)
+//            + δ · C_ds(j)/(C + ε)
+class DownstreamImpactScorer : public RootScorer {
+ public:
+  explicit DownstreamImpactScorer(double beta = 0.4, double gamma = 0.3, double delta = 0.3,
+                                  double epsilon = 1e-9)
+      : beta_(beta), gamma_(gamma), delta_(delta), epsilon_(epsilon) {}
+
+  std::string name() const override { return "downstream-impact"; }
+  std::vector<double> Score(const MergeProblem& problem) const override;
+
+ private:
+  double beta_;
+  double gamma_;
+  double delta_;
+  double epsilon_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_SCORERS_H_

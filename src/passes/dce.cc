@@ -1,0 +1,96 @@
+#include "src/passes/dce.h"
+
+#include <deque>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Result<PassStats> RunDcePass(IrModule& module, const DceOptions& options) {
+  PassStats stats;
+  stats.pass_name = "DCE";
+
+  std::set<std::string> reachable;
+  std::deque<std::string> queue;
+  auto mark = [&](const std::string& symbol) {
+    if (module.HasFunction(symbol) && reachable.insert(symbol).second) {
+      queue.push_back(symbol);
+    }
+  };
+  if (!module.entry_symbol().empty()) {
+    mark(module.entry_symbol());
+  }
+  for (const std::string& root : options.extra_roots) {
+    mark(root);
+  }
+  if (reachable.empty()) {
+    return FailedPreconditionError("DCE needs an entry symbol or extra roots");
+  }
+
+  std::set<std::string> lib_symbols_called;  // kLibCall targets that survive.
+  while (!queue.empty()) {
+    const std::string symbol = queue.front();
+    queue.pop_front();
+    const IrFunction& fn = *module.GetFunction(symbol);
+    for (const CallInst& call : fn.calls) {
+      switch (call.opcode) {
+        case CallOpcode::kLocal:
+          mark(call.callee_symbol);
+          // A conditional local call keeps its remote fallback alive.
+          if (call.localized && call.budget > 0) {
+            mark(StrCat("rt.", LangName(fn.lang), ".sync_inv"));
+          }
+          break;
+        case CallOpcode::kSyncInvoke:
+        case CallOpcode::kAsyncInvoke:
+          mark(StrCat("rt.", LangName(fn.lang), ".sync_inv"));
+          break;
+        case CallOpcode::kLibCall:
+          lib_symbols_called.insert(call.callee_symbol);
+          break;
+      }
+    }
+  }
+
+  // Remove unreachable functions.
+  int64_t removed = 0;
+  int64_t bytes_removed = 0;
+  const std::vector<std::string> all = module.function_order();
+  for (const std::string& symbol : all) {
+    if (reachable.count(symbol) > 0) {
+      continue;
+    }
+    bytes_removed += module.GetFunction(symbol)->code_size;
+    QUILT_RETURN_IF_ERROR(module.RemoveFunction(symbol));
+    ++removed;
+  }
+
+  // Drop shared libs with no remaining callers (libc always stays).
+  int64_t libs_removed = 0;
+  auto& libs = module.shared_libs();
+  for (auto it = libs.begin(); it != libs.end();) {
+    const bool is_libc = StartsWith(it->name, "libc.");
+    const bool is_curl = it->name.find("curl") != std::string::npos;
+    bool used = is_libc;
+    if (is_curl) {
+      used = used || lib_symbols_called.count("curl_easy_perform") > 0;
+    } else {
+      used = true;  // Non-curl, non-libc libs are language runtimes: keep.
+    }
+    if (!used) {
+      it = libs.erase(it);
+      ++libs_removed;
+    } else {
+      ++it;
+    }
+  }
+
+  stats.counters["functions_removed"] = removed;
+  stats.counters["bytes_removed"] = bytes_removed;
+  stats.counters["shared_libs_removed"] = libs_removed;
+  stats.changed = removed > 0 || libs_removed > 0;
+  return stats;
+}
+
+}  // namespace quilt

@@ -1,0 +1,31 @@
+// Dead-code elimination / program debloating (§1.1, §5.2 step 10).
+//
+// Computes reachability from the module entry (plus the scaffold, if
+// present) across local calls and removes unreferenced functions. A
+// localized call with a conditional-invocation budget still references the
+// remote sync_inv glue (its fallback), so the HTTP stack is only removed
+// when no remote path remains at all; shared libraries whose last caller was
+// removed are dropped as well (the -Wl,-gc-sections effect).
+#ifndef SRC_PASSES_DCE_H_
+#define SRC_PASSES_DCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ir/ir_module.h"
+#include "src/passes/pass.h"
+
+namespace quilt {
+
+struct DceOptions {
+  // Extra roots kept alive besides the module entry (e.g. the merged
+  // scaffold main).
+  std::vector<std::string> extra_roots;
+};
+
+Result<PassStats> RunDcePass(IrModule& module, const DceOptions& options = {});
+
+}  // namespace quilt
+
+#endif  // SRC_PASSES_DCE_H_

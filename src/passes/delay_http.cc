@@ -1,0 +1,32 @@
+#include "src/passes/delay_http.h"
+
+#include <algorithm>
+
+namespace quilt {
+
+Result<PassStats> RunDelayHttpPass(IrModule& module) {
+  PassStats stats;
+  stats.pass_name = "DelayHTTP";
+
+  // Relocate HTTP global constructors into the (guarded) sync_inv path.
+  auto& ctors = module.ctors();
+  const size_t before = ctors.size();
+  ctors.erase(std::remove_if(ctors.begin(), ctors.end(),
+                             [](const GlobalCtor& ctor) { return ctor.is_http_init; }),
+              ctors.end());
+  stats.counters["ctors_deferred"] = static_cast<int64_t>(before - ctors.size());
+
+  // Defer loading of the HTTP shared libraries.
+  int64_t libs_deferred = 0;
+  for (SharedLibDep& lib : module.shared_libs()) {
+    if (lib.name.find("curl") != std::string::npos && !lib.lazy) {
+      lib.lazy = true;
+      ++libs_deferred;
+    }
+  }
+  stats.counters["libs_deferred"] = libs_deferred;
+  stats.changed = stats.counter("ctors_deferred") > 0 || libs_deferred > 0;
+  return stats;
+}
+
+}  // namespace quilt

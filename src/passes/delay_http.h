@@ -1,0 +1,23 @@
+// DelayHTTP pass (§5.2 step 6).
+//
+// In a merged function most invocations became local calls, so the HTTP
+// stack is rarely (or never) used -- yet curl_global_init still runs before
+// main and libcurl eagerly drags ~40 shared libraries into the process,
+// costing several milliseconds at every cold start. This pass relocates the
+// HTTP-init constructors into the sync_inv call path (guarded, one-time) and
+// marks libcurl lazy so the loader defers it until a real remote invocation
+// happens.
+#ifndef SRC_PASSES_DELAY_HTTP_H_
+#define SRC_PASSES_DELAY_HTTP_H_
+
+#include "src/common/status.h"
+#include "src/ir/ir_module.h"
+#include "src/passes/pass.h"
+
+namespace quilt {
+
+Result<PassStats> RunDelayHttpPass(IrModule& module);
+
+}  // namespace quilt
+
+#endif  // SRC_PASSES_DELAY_HTTP_H_

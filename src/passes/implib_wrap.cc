@@ -1,0 +1,45 @@
+#include "src/passes/implib_wrap.h"
+
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Result<PassStats> RunImplibWrapPass(IrModule& module) {
+  PassStats stats;
+  stats.pass_name = "ImplibWrap";
+
+  // A library is "infrequently used" when every call into it originates from
+  // dependency glue (origin-tagged library functions) rather than from user
+  // code on the hot path. In this model that identifies the HTTP stack,
+  // whose only remaining users after MergeFunc are sync_inv fallbacks.
+  std::set<std::string> hot_lib_symbols;
+  for (const std::string& symbol : module.function_order()) {
+    const IrFunction& fn = *module.GetFunction(symbol);
+    const bool is_glue = StartsWith(fn.origin, "quilt-invoke-");
+    for (const CallInst& call : fn.calls) {
+      if (call.opcode == CallOpcode::kLibCall && !is_glue) {
+        hot_lib_symbols.insert(call.callee_symbol);
+      }
+    }
+  }
+
+  int64_t wrapped = 0;
+  for (SharedLibDep& lib : module.shared_libs()) {
+    if (StartsWith(lib.name, "libc.")) {
+      continue;  // The dynamic loader itself needs libc.
+    }
+    const bool is_curl = lib.name.find("curl") != std::string::npos;
+    const bool hot = is_curl ? hot_lib_symbols.count("curl_easy_perform") > 0 : true;
+    if (is_curl && !hot && !lib.lazy) {
+      lib.lazy = true;
+      ++wrapped;
+    }
+  }
+  stats.counters["libs_wrapped"] = wrapped;
+  stats.changed = wrapped > 0;
+  return stats;
+}
+
+}  // namespace quilt

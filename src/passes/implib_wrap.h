@@ -1,0 +1,21 @@
+// Implib.so-style lazy-loading wrappers (§5.2 step 9).
+//
+// Generates import-library wrappers so that infrequently used shared
+// libraries are not loaded until the first call into them. In the merged
+// binary the HTTP stack is the canonical example: it is only exercised by
+// conditional-invocation fallbacks, so its ~40-library dependency closure
+// should not be paid at every cold start.
+#ifndef SRC_PASSES_IMPLIB_WRAP_H_
+#define SRC_PASSES_IMPLIB_WRAP_H_
+
+#include "src/common/status.h"
+#include "src/ir/ir_module.h"
+#include "src/passes/pass.h"
+
+namespace quilt {
+
+Result<PassStats> RunImplibWrapPass(IrModule& module);
+
+}  // namespace quilt
+
+#endif  // SRC_PASSES_IMPLIB_WRAP_H_

@@ -1,0 +1,82 @@
+#include "src/passes/merge_func.h"
+
+#include "src/common/strings.h"
+#include "src/passes/shims.h"
+
+namespace quilt {
+
+Result<PassStats> RunMergeFuncPass(IrModule& module, const MergeFuncOptions& options) {
+  PassStats stats;
+  stats.pass_name = "MergeFunc";
+
+  IrFunction* callee = module.GetMutableFunction(options.callee_entry_symbol);
+  if (callee == nullptr) {
+    return NotFoundError(
+        StrCat("callee entry '", options.callee_entry_symbol, "' not in module"));
+  }
+
+  // Convert the callee to a local function: drop the serverless I/O plumbing
+  // (get_req/send_res) in favor of a plain string parameter/return.
+  if (callee->is_handler) {
+    callee->is_handler = false;
+    callee->uses_get_req = false;
+    callee->uses_send_res = false;
+    stats.counters["handlers_localized"] = 1;
+    stats.changed = true;
+  }
+  const Lang callee_lang = callee->lang;
+
+  // The callee's standalone main loop is dead once the function is local.
+  if (!options.callee_scaffold_symbol.empty() &&
+      module.HasFunction(options.callee_scaffold_symbol)) {
+    QUILT_RETURN_IF_ERROR(module.RemoveFunction(options.callee_scaffold_symbol));
+    stats.counters["scaffolds_removed"] = 1;
+    stats.changed = true;
+  }
+
+  // Rewrite matching invoke sites everywhere in the module (the caller may
+  // itself have been merged earlier, so scan all functions).
+  int64_t localized = 0;
+  int64_t shimmed = 0;
+  for (const std::string& symbol : module.function_order()) {
+    IrFunction* fn = module.GetMutableFunction(symbol);
+    for (CallInst& call : fn->calls) {
+      const bool is_invoke = call.opcode == CallOpcode::kSyncInvoke ||
+                             call.opcode == CallOpcode::kAsyncInvoke;
+      if (!is_invoke || call.target_handle != options.callee_handle) {
+        continue;
+      }
+      std::string local_target = options.callee_entry_symbol;
+      if (fn->lang != callee_lang) {
+        Result<std::string> shim = EnsureCrossLangShims(module, fn->lang,
+                                                        options.callee_entry_symbol,
+                                                        options.callee_handle);
+        if (!shim.ok()) {
+          return shim.status();
+        }
+        local_target = std::move(shim).value();
+        ++shimmed;
+      }
+      call.is_async = call.opcode == CallOpcode::kAsyncInvoke;
+      call.opcode = CallOpcode::kLocal;
+      call.callee_symbol = local_target;
+      call.localized = true;
+      int budget = options.profiled_alpha;
+      auto it = options.budget_by_function_symbol.find(fn->symbol);
+      if (it != options.budget_by_function_symbol.end()) {
+        budget = it->second;
+      }
+      call.budget = options.conditional_invocations ? budget : 0;
+      ++localized;
+    }
+  }
+  stats.counters["calls_localized"] = localized;
+  stats.counters["cross_lang_shims"] = shimmed;
+  stats.changed = stats.changed || localized > 0;
+  // localized may be 0 on re-runs: §5.4 re-enters this pass when a new BFS
+  // round links a caller whose callee is already local; sites localized in
+  // earlier rounds are not revisited.
+  return stats;
+}
+
+}  // namespace quilt

@@ -1,0 +1,43 @@
+// MergeFunc pass (§5.2 step 4, §5.6).
+//
+// Converts a serverless callee into a local function and rewrites matching
+// sync_inv/async_inv call sites in the module into local calls:
+//   - the callee handler loses its get_req/send_res plumbing and becomes a
+//     plain string -> string function;
+//   - the callee's standalone scaffold ("main" loop) is deleted;
+//   - every invoke of the callee's handle becomes a kLocal call, routed
+//     through cross-language shims when caller and callee languages differ;
+//   - with conditional invocations enabled, localized calls carry the
+//     profiled per-request budget alpha: calls beyond the budget fall back
+//     to the remote sync_inv path at runtime, preserving correctness and
+//     elasticity when profiling under-estimated the fan-out.
+#ifndef SRC_PASSES_MERGE_FUNC_H_
+#define SRC_PASSES_MERGE_FUNC_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ir/ir_module.h"
+#include "src/passes/pass.h"
+
+namespace quilt {
+
+struct MergeFuncOptions {
+  std::string callee_handle;           // The handle invokes refer to.
+  std::string callee_entry_symbol;     // The callee handler, post-rename.
+  std::string callee_scaffold_symbol;  // The callee "main" loop, post-rename
+                                       // (empty if already removed).
+  int profiled_alpha = 1;              // Per-request budget (§5.6).
+  bool conditional_invocations = true;
+  // Per-edge budgets: alpha differs per caller, so call sites in a given
+  // containing function can carry their own budget (keyed by the containing
+  // function's symbol). Falls back to profiled_alpha.
+  std::map<std::string, int> budget_by_function_symbol;
+};
+
+Result<PassStats> RunMergeFuncPass(IrModule& module, const MergeFuncOptions& options);
+
+}  // namespace quilt
+
+#endif  // SRC_PASSES_MERGE_FUNC_H_

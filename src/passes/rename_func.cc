@@ -1,0 +1,42 @@
+#include "src/passes/rename_func.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+std::string RenamedSymbol(const std::string& symbol, const std::string& suffix) {
+  return StrCat(symbol, "__", suffix);
+}
+
+Result<RenameResult> RunRenameFuncPass(IrModule& module, const std::string& suffix) {
+  if (suffix.empty()) {
+    return InvalidArgumentError("rename suffix must not be empty");
+  }
+  RenameResult result;
+  result.stats.pass_name = "RenameFunc";
+
+  const std::string marker = StrCat("__", suffix);
+  std::vector<std::string> to_rename;
+  for (const std::string& symbol : module.function_order()) {
+    const IrFunction& fn = *module.GetFunction(symbol);
+    if (fn.is_library()) {
+      continue;  // Dependency code keeps its symbols for dedup.
+    }
+    if (EndsWith(symbol, marker)) {
+      continue;  // Already suffixed (pass re-run).
+    }
+    to_rename.push_back(symbol);
+  }
+  for (const std::string& symbol : to_rename) {
+    const std::string renamed = RenamedSymbol(symbol, suffix);
+    QUILT_RETURN_IF_ERROR(module.RenameFunction(symbol, renamed));
+    result.renames[symbol] = renamed;
+  }
+  result.stats.counters["functions_renamed"] = static_cast<int64_t>(to_rename.size());
+  result.stats.changed = !to_rename.empty();
+  return result;
+}
+
+}  // namespace quilt

@@ -1,0 +1,35 @@
+// RenameFunc pass (§5.2 step 2).
+//
+// Before a callee module is linked into the merged module, every user
+// (non-library) symbol is renamed with a per-function suffix so that
+// functions with identical signatures/names (every module has "main",
+// "parse_input", ...) can coexist in one address space. Library symbols keep
+// their names so the linker can deduplicate shared dependencies.
+#ifndef SRC_PASSES_RENAME_FUNC_H_
+#define SRC_PASSES_RENAME_FUNC_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ir/ir_module.h"
+#include "src/passes/pass.h"
+
+namespace quilt {
+
+struct RenameResult {
+  PassStats stats;
+  // old symbol -> new symbol for every renamed function.
+  std::map<std::string, std::string> renames;
+};
+
+// Suffix is typically derived from the function handle. Idempotent for
+// symbols already carrying the suffix.
+Result<RenameResult> RunRenameFuncPass(IrModule& module, const std::string& suffix);
+
+// The symbol a given symbol maps to under the pass's naming rule.
+std::string RenamedSymbol(const std::string& symbol, const std::string& suffix);
+
+}  // namespace quilt
+
+#endif  // SRC_PASSES_RENAME_FUNC_H_

@@ -1,0 +1,54 @@
+#include "src/passes/shims.h"
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Result<std::string> EnsureCrossLangShims(IrModule& module, Lang caller_lang,
+                                         const std::string& callee_symbol,
+                                         const std::string& callee_handle) {
+  const IrFunction* callee = module.GetFunction(callee_symbol);
+  if (callee == nullptr) {
+    return NotFoundError(StrCat("shim target '", callee_symbol, "' not in module"));
+  }
+  const Lang callee_lang = callee->lang;
+
+  std::string flat = callee_handle;
+  for (char& c : flat) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+
+  // Layer 2 first: c2callee in the callee's language, char* -> native string.
+  const std::string c2callee_symbol = StrCat("c2callee_", flat);
+  if (!module.HasFunction(c2callee_symbol)) {
+    IrFunction c2callee;
+    c2callee.symbol = c2callee_symbol;
+    c2callee.lang = callee_lang;
+    c2callee.linkage = Linkage::kExternal;
+    c2callee.param_kind = StringKind::kCChar;
+    c2callee.ret_kind = StringKind::kCChar;
+    c2callee.code_size = 2 * 1024;
+    c2callee.calls.push_back(CallInst{CallOpcode::kLocal, callee_symbol, "", 0, false, false});
+    QUILT_RETURN_IF_ERROR(module.AddFunction(std::move(c2callee)));
+  }
+
+  // Layer 1: caller2c in the caller's language, native string -> char*.
+  const std::string caller2c_symbol =
+      StrCat("caller2c_", flat, "_from_", LangName(caller_lang));
+  if (!module.HasFunction(caller2c_symbol)) {
+    IrFunction caller2c;
+    caller2c.symbol = caller2c_symbol;
+    caller2c.lang = caller_lang;
+    caller2c.linkage = Linkage::kExternal;
+    caller2c.param_kind = NativeStringKind(caller_lang);
+    caller2c.ret_kind = NativeStringKind(caller_lang);
+    caller2c.code_size = 2 * 1024;
+    caller2c.calls.push_back(CallInst{CallOpcode::kLocal, c2callee_symbol, "", 0, false, false});
+    QUILT_RETURN_IF_ERROR(module.AddFunction(std::move(caller2c)));
+  }
+  return caller2c_symbol;
+}
+
+}  // namespace quilt

@@ -1,0 +1,27 @@
+// Cross-language shim generation (§5.3, Appendix D).
+//
+// When caller and callee are in different languages, MergeFunc routes the
+// localized call through a two-layer shim:
+//   caller --> caller2c (caller's language: native string -> char*)
+//          --> c2callee (callee's language: char* -> native string)
+//          --> callee handler.
+#ifndef SRC_PASSES_SHIMS_H_
+#define SRC_PASSES_SHIMS_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ir/ir_module.h"
+
+namespace quilt {
+
+// Ensures the shim pair for (caller_lang -> callee) exists in the module and
+// returns the symbol the caller should invoke (the caller2c layer). The
+// callee_symbol must already be present.
+Result<std::string> EnsureCrossLangShims(IrModule& module, Lang caller_lang,
+                                         const std::string& callee_symbol,
+                                         const std::string& callee_handle);
+
+}  // namespace quilt
+
+#endif  // SRC_PASSES_SHIMS_H_

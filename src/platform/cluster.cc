@@ -1,0 +1,67 @@
+#include "src/platform/cluster.h"
+
+#include <algorithm>
+
+namespace quilt {
+
+PlacementResult PlaceContainers(const std::vector<ContainerRequest>& requests,
+                                const WorkerSpec& worker, int max_workers) {
+  // Expand replicas and sort descending (first-fit decreasing).
+  struct Item {
+    double cpu;
+    double memory_mb;
+  };
+  std::vector<Item> items;
+  for (const ContainerRequest& request : requests) {
+    for (int i = 0; i < request.count; ++i) {
+      items.push_back({request.cpu, request.memory_mb});
+    }
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.cpu != b.cpu) {
+      return a.cpu > b.cpu;
+    }
+    return a.memory_mb > b.memory_mb;
+  });
+
+  struct Worker {
+    double cpu_free;
+    double memory_free;
+  };
+  std::vector<Worker> workers;
+
+  PlacementResult result;
+  for (const Item& item : items) {
+    if (item.cpu > worker.cpu || item.memory_mb > worker.memory_mb) {
+      ++result.containers_unplaced;  // Fits no worker even when empty.
+      continue;
+    }
+    bool placed = false;
+    for (Worker& w : workers) {
+      if (w.cpu_free >= item.cpu && w.memory_free >= item.memory_mb) {
+        w.cpu_free -= item.cpu;
+        w.memory_free -= item.memory_mb;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed && static_cast<int>(workers.size()) < max_workers) {
+      workers.push_back({worker.cpu - item.cpu, worker.memory_mb - item.memory_mb});
+      placed = true;
+    }
+    if (placed) {
+      ++result.containers_placed;
+    } else {
+      ++result.containers_unplaced;
+    }
+  }
+
+  result.workers_used = static_cast<int>(workers.size());
+  for (const Worker& w : workers) {
+    result.stranded_cpu += w.cpu_free;
+    result.stranded_memory_mb += w.memory_free;
+  }
+  return result;
+}
+
+}  // namespace quilt

@@ -1,0 +1,58 @@
+// Cluster placement model (§4, "Are container limits reasonable?").
+//
+// The paper's argument for *not* merging everything into giant containers:
+// placing heterogeneous containers onto workers is bin packing, and as
+// container demands grow relative to worker capacity, more resources strand
+// (in the extreme, one container per worker and the leftovers are wasted).
+// This model packs container requests onto fixed-capacity workers with
+// first-fit-decreasing and reports utilization and stranding, quantifying
+// the fragmentation cost of large merges.
+#ifndef SRC_PLATFORM_CLUSTER_H_
+#define SRC_PLATFORM_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace quilt {
+
+struct WorkerSpec {
+  double cpu = 16.0;        // vCPUs.
+  double memory_mb = 32768.0;
+};
+
+struct ContainerRequest {
+  std::string handle;
+  double cpu = 0.0;
+  double memory_mb = 0.0;
+  int count = 1;  // Identical replicas.
+};
+
+struct PlacementResult {
+  int workers_used = 0;
+  int containers_placed = 0;
+  int containers_unplaced = 0;  // Did not fit anywhere.
+  // Resources stranded on used workers: capacity minus allocations.
+  double stranded_cpu = 0.0;
+  double stranded_memory_mb = 0.0;
+  // Stranded fraction of the used workers' capacity (0..1), per dimension.
+  double StrandedCpuFraction(const WorkerSpec& worker) const {
+    const double total = workers_used * worker.cpu;
+    return total > 0.0 ? stranded_cpu / total : 0.0;
+  }
+  double StrandedMemoryFraction(const WorkerSpec& worker) const {
+    const double total = workers_used * worker.memory_mb;
+    return total > 0.0 ? stranded_memory_mb / total : 0.0;
+  }
+};
+
+// Packs the requested containers onto at most `max_workers` identical
+// workers using first-fit decreasing (by CPU, then memory). Requests that
+// fit no worker at all are reported as unplaced.
+PlacementResult PlaceContainers(const std::vector<ContainerRequest>& requests,
+                                const WorkerSpec& worker, int max_workers);
+
+}  // namespace quilt
+
+#endif  // SRC_PLATFORM_CLUSTER_H_

@@ -1,0 +1,346 @@
+#include "src/platform/platform.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Platform::Platform(Simulation* sim, PlatformConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+Platform::~Platform() = default;
+
+Status Platform::Deploy(DeploymentSpec spec) {
+  if (spec.handle.empty()) {
+    return InvalidArgumentError("deployment needs a handle");
+  }
+  if (!spec.behavior.valid()) {
+    return InvalidArgumentError(StrCat("deployment '", spec.handle,
+                                       "' must have exactly one behavior"));
+  }
+  if (deployments_.count(spec.handle) > 0) {
+    return AlreadyExistsError(StrCat("function '", spec.handle, "' already deployed"));
+  }
+  auto dep = std::make_unique<Deployment>();
+  dep->spec = std::move(spec);
+  Deployment* raw = dep.get();
+  deployments_.emplace(raw->spec.handle, std::move(dep));
+  for (int i = 0; i < raw->spec.warm_containers && i < raw->spec.max_scale; ++i) {
+    CreateContainer(*raw);
+  }
+  return Status::Ok();
+}
+
+Status Platform::UpdateFunction(DeploymentSpec spec) {
+  auto it = deployments_.find(spec.handle);
+  if (it == deployments_.end()) {
+    return NotFoundError(StrCat("function '", spec.handle, "' not deployed"));
+  }
+  if (!spec.behavior.valid()) {
+    return InvalidArgumentError("updated deployment must have exactly one behavior");
+  }
+  Deployment& dep = *it->second;
+  dep.spec = std::move(spec);
+  ++dep.version;
+  RetireStaleContainers(dep);
+  return Status::Ok();
+}
+
+Status Platform::RemoveFunction(const std::string& handle) {
+  auto it = deployments_.find(handle);
+  if (it == deployments_.end()) {
+    return NotFoundError(StrCat("function '", handle, "' not deployed"));
+  }
+  for (const auto& container : it->second->containers) {
+    container->Kill();
+  }
+  deployments_.erase(it);
+  return Status::Ok();
+}
+
+bool Platform::HasDeployment(const std::string& handle) const {
+  return deployments_.count(handle) > 0;
+}
+
+void Platform::SetProfiling(bool enabled) {
+  // The one-bit Kubernetes token: containers pick the ingress path iff set.
+  config_.profiling_enabled = enabled;
+}
+
+const DeploymentStats* Platform::StatsFor(const std::string& handle) const {
+  auto it = deployments_.find(handle);
+  return it != deployments_.end() ? &it->second->stats : nullptr;
+}
+
+std::vector<ResourceSample> Platform::SampleResources() const {
+  std::vector<ResourceSample> samples;
+  for (const auto& [handle, dep] : deployments_) {
+    for (const auto& container : dep->containers) {
+      ResourceSample sample;
+      sample.handle = handle;
+      sample.container_id = container->id();
+      sample.timestamp = sim_->now();
+      sample.cpu_seconds_cum = container->cpu().cpu_seconds_used();
+      sample.busy_seconds_cum = container->request_busy_seconds();
+      sample.memory_mb = container->memory_in_use_mb();
+      sample.peak_memory_mb = container->peak_memory_mb();
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+double Platform::BilledCpuSeconds(const std::string& function_handle) const {
+  auto it = billing_.find(function_handle);
+  return it != billing_.end() ? it->second : 0.0;
+}
+
+double Platform::TotalMemoryInUseMb() const {
+  double total = 0.0;
+  for (const auto& [handle, dep] : deployments_) {
+    for (const auto& container : dep->containers) {
+      total += container->memory_in_use_mb();
+    }
+  }
+  return total;
+}
+
+int Platform::TotalContainers() const {
+  int total = 0;
+  for (const auto& [handle, dep] : deployments_) {
+    total += static_cast<int>(dep->containers.size());
+  }
+  return total;
+}
+
+void Platform::Invoke(const std::string& caller_handle, const std::string& callee_handle,
+                      const Json& payload, bool async,
+                      std::function<void(Result<Json>)> done) {
+  // Request path: serialize -> network -> (ingress) -> gateway.
+  SimDuration request_path = config_.serialize_latency + config_.network_rtt / 2;
+  if (config_.profiling_enabled && tracer_ != nullptr) {
+    request_path += config_.ingress_overhead;
+    Span span;
+    span.trace_id = next_trace_id_++;
+    span.caller = caller_handle;
+    span.callee = callee_handle;
+    span.async = async;
+    span.timestamp = sim_->now();
+    tracer_->Record(std::move(span));
+  }
+  request_path += config_.gateway_overhead;
+
+  // Response path: gateway -> network -> deserialize at the caller.
+  const SimDuration response_path =
+      config_.gateway_overhead + config_.network_rtt / 2 + config_.serialize_latency;
+  auto respond = [this, response_path, done = std::move(done)](Result<Json> result) {
+    sim_->Schedule(response_path,
+                   [done, result = std::move(result)]() mutable { done(std::move(result)); });
+  };
+
+  sim_->Schedule(request_path, [this, callee_handle, payload, respond]() mutable {
+    auto it = deployments_.find(callee_handle);
+    if (it == deployments_.end()) {
+      respond(NotFoundError(StrCat("no function '", callee_handle, "'")));
+      return;
+    }
+    RouteRequest(*it->second, std::move(payload), std::move(respond));
+  });
+}
+
+SimDuration Platform::ColdStartDelay(const Deployment& dep) const {
+  const double image_mb =
+      static_cast<double>(dep.spec.container.image_size_bytes) / (1024.0 * 1024.0);
+  return config_.cold_start_base + Milliseconds(image_mb * config_.image_fetch_ms_per_mb) +
+         config_.eager_lib_load_per_lib * dep.spec.container.eager_libs;
+}
+
+std::shared_ptr<Container> Platform::SelectContainer(Deployment& dep) const {
+  std::shared_ptr<Container> best;
+  for (const auto& container : dep.containers) {
+    if (container->state() != ContainerState::kReady) {
+      continue;
+    }
+    auto version_it = dep.container_versions.find(container->id());
+    if (version_it == dep.container_versions.end() || version_it->second != dep.version) {
+      continue;  // Retiring container from a previous function version.
+    }
+    int inflight_cap = config_.max_requests_per_container;
+    if (dep.spec.max_concurrent_requests > 0) {
+      inflight_cap = std::min(inflight_cap, dep.spec.max_concurrent_requests);
+    }
+    if (container->active_requests() >= inflight_cap) {
+      continue;
+    }
+    // Fission packs instances into a container until its CPU utilization
+    // crosses the threshold.
+    const double used = container->cpu().cpu_in_use();
+    if (used >= config_.container_utilization_threshold * container->config().cpu_limit) {
+      continue;
+    }
+    if (container->memory_in_use_mb() >=
+        config_.memory_admission_threshold * container->config().memory_limit_mb) {
+      continue;
+    }
+    if (best == nullptr || container->active_requests() < best->active_requests()) {
+      best = container;
+    }
+  }
+  return best;
+}
+
+void Platform::CreateContainer(Deployment& dep) {
+  auto container = std::make_shared<Container>(sim_, dep.spec.handle, next_container_id_++,
+                                               dep.spec.container);
+  dep.containers.push_back(container);
+  dep.container_versions[container->id()] = dep.version;
+  ++dep.stats.containers_created;
+  ++dep.stats.cold_starts;
+  const std::string handle = dep.spec.handle;
+  sim_->Schedule(ColdStartDelay(dep), [this, handle, container] {
+    if (container->state() == ContainerState::kKilled) {
+      return;
+    }
+    container->set_state(ContainerState::kReady);
+    auto it = deployments_.find(handle);
+    if (it != deployments_.end()) {
+      DrainPending(*it->second);
+    }
+  });
+}
+
+void Platform::RouteRequest(Deployment& dep, Json payload,
+                            std::function<void(Result<Json>)> respond) {
+  // Router address-cache staleness penalty.
+  SimDuration penalty = 0;
+  if (dep.last_routed >= 0 && sim_->now() - dep.last_routed > config_.route_cache_ttl) {
+    penalty = config_.route_stale_penalty;
+    ++dep.stats.stale_route_hits;
+  } else if (dep.last_routed < 0) {
+    penalty = config_.route_stale_penalty;
+    ++dep.stats.stale_route_hits;
+  }
+  dep.last_routed = sim_->now();
+
+  const std::string handle = dep.spec.handle;
+  sim_->Schedule(penalty, [this, handle, payload = std::move(payload),
+                           respond = std::move(respond)]() mutable {
+    auto it = deployments_.find(handle);
+    if (it == deployments_.end()) {
+      respond(NotFoundError("function removed while routing"));
+      return;
+    }
+    Deployment& dep = *it->second;
+    std::shared_ptr<Container> container = SelectContainer(dep);
+    if (container != nullptr) {
+      Dispatch(dep, container, std::move(payload), std::move(respond));
+      return;
+    }
+    // No capacity: scale out if allowed, otherwise queue.
+    dep.pending.push_back(PendingRequest{std::move(payload), std::move(respond)});
+    dep.stats.pending_peak =
+        std::max(dep.stats.pending_peak, static_cast<int64_t>(dep.pending.size()));
+    int live = 0;
+    for (const auto& c : dep.containers) {
+      auto version_it = dep.container_versions.find(c->id());
+      if (c->state() != ContainerState::kKilled && version_it != dep.container_versions.end() &&
+          version_it->second == dep.version) {
+        ++live;
+      }
+    }
+    if (live < dep.spec.max_scale) {
+      CreateContainer(dep);
+    }
+  });
+}
+
+void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& container,
+                        Json payload, std::function<void(Result<Json>)> respond) {
+  const std::string handle = dep.spec.handle;
+  ExecutionEnv env;
+  env.sim = sim_;
+  env.container = container;
+  env.remote = this;
+  env.costs = &config_.runtime;
+  env.trigger_oom = [this, handle, container] {
+    auto it = deployments_.find(handle);
+    if (it != deployments_.end()) {
+      KillContainer(*it->second, container);
+    } else {
+      container->Kill();
+    }
+  };
+  env.bill_cpu = [this](const std::string& fn, double cpu_ms) {
+    billing_[fn] += cpu_ms / 1000.0;
+  };
+  env.trigger_crash = [this, handle, container] {
+    auto it = deployments_.find(handle);
+    if (it != deployments_.end()) {
+      ++it->second->stats.crashes;
+      --it->second->stats.oom_kills;  // KillContainer charges OOM; rebalance.
+      KillContainer(*it->second, container);
+    } else {
+      container->Kill();
+    }
+  };
+  ExecuteRequest(env, dep.spec.behavior, std::move(payload), /*remote_entry=*/true,
+                 [this, handle, container, respond = std::move(respond)](Result<Json> result) {
+                   auto it = deployments_.find(handle);
+                   if (it != deployments_.end()) {
+                     Deployment& dep = *it->second;
+                     if (result.ok()) {
+                       ++dep.stats.completed;
+                     } else {
+                       ++dep.stats.failed;
+                     }
+                     RetireStaleContainers(dep);
+                     DrainPending(dep);
+                   }
+                   respond(std::move(result));
+                 });
+}
+
+void Platform::DrainPending(Deployment& dep) {
+  if (dep.draining) {
+    return;
+  }
+  dep.draining = true;
+  while (!dep.pending.empty()) {
+    std::shared_ptr<Container> container = SelectContainer(dep);
+    if (container == nullptr) {
+      break;
+    }
+    PendingRequest request = std::move(dep.pending.front());
+    dep.pending.pop_front();
+    Dispatch(dep, container, std::move(request.payload), std::move(request.respond));
+  }
+  dep.draining = false;
+}
+
+void Platform::KillContainer(Deployment& dep, const std::shared_ptr<Container>& container) {
+  ++dep.stats.oom_kills;
+  dep.containers.erase(std::remove(dep.containers.begin(), dep.containers.end(), container),
+                       dep.containers.end());
+  dep.container_versions.erase(container->id());
+  container->Kill();
+}
+
+void Platform::RetireStaleContainers(Deployment& dep) {
+  for (auto it = dep.containers.begin(); it != dep.containers.end();) {
+    const std::shared_ptr<Container>& container = *it;
+    auto version_it = dep.container_versions.find(container->id());
+    const bool stale =
+        version_it == dep.container_versions.end() || version_it->second != dep.version;
+    if (stale && container->active_requests() == 0) {
+      dep.container_versions.erase(container->id());
+      container->Kill();
+      it = dep.containers.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace quilt

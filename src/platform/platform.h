@@ -1,0 +1,163 @@
+// The serverless platform substrate: API gateway, optional profiling
+// ingress, Fission-style executor (container pools, utilization-based
+// packing, max-scale, cold starts), and the full invocation path of
+// Figure 1. Quilt treats this platform as unmodified: merged functions are
+// deployed through the same UpdateFunction mechanism developers use (§5.5).
+#ifndef SRC_PLATFORM_PLATFORM_H_
+#define SRC_PLATFORM_PLATFORM_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/runtime/behavior.h"
+#include "src/runtime/executor.h"
+#include "src/sim/container.h"
+#include "src/sim/simulation.h"
+#include "src/tracing/resource_monitor.h"
+#include "src/tracing/tracer.h"
+
+namespace quilt {
+
+struct PlatformConfig {
+  // Network and message costs (cluster: 1 Gbps, ~200us RTT, §7.1).
+  SimDuration network_rtt = Microseconds(200);
+  SimDuration serialize_latency = Microseconds(60);
+  SimDuration gateway_overhead = Microseconds(2400);
+  SimDuration ingress_overhead = Microseconds(150);
+
+  // Router address-cache behavior: requests arriving after the cache went
+  // stale pay the executor/poolmgr specialization path. This reproduces
+  // Fission's counter-intuitive "median latency decreases as load increases"
+  // effect (§7.3.2, §7.5.1).
+  SimDuration route_cache_ttl = Milliseconds(500);
+  SimDuration route_stale_penalty = Microseconds(1200);
+
+  // Cold starts (§2): base sandbox setup + image fetch + eager shared-lib
+  // loading.
+  SimDuration cold_start_base = Milliseconds(80);
+  double image_fetch_ms_per_mb = 5.0;
+  SimDuration eager_lib_load_per_lib = Microseconds(110);
+
+  // Fission-style packing: a container accepts more concurrent requests
+  // until its CPU utilization crosses this fraction of its quota.
+  double container_utilization_threshold = 0.8;
+  // ... or until its memory utilization crosses this fraction (the router
+  // stops handing requests to pods already close to their memory limit).
+  double memory_admission_threshold = 0.8;
+  int max_requests_per_container = 100;
+
+  RuntimeCosts runtime;
+
+  // The profiler-enabled Kubernetes token (§3): when true, invocations take
+  // the ingress path and are traced.
+  bool profiling_enabled = false;
+};
+
+struct DeploymentSpec {
+  std::string handle;
+  ContainerConfig container;
+  int max_scale = 10;
+  int warm_containers = 0;  // Containers created eagerly at deploy time.
+  // Per-container in-flight cap (0 = platform default). Deployments that
+  // know their per-request memory footprint (Quilt does; the naive CM
+  // baseline does not) set this so containers never overcommit memory.
+  int max_concurrent_requests = 0;
+  DeployedBehavior behavior;
+};
+
+struct DeploymentStats {
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t cold_starts = 0;
+  int64_t oom_kills = 0;
+  int64_t crashes = 0;
+  int64_t containers_created = 0;
+  int64_t stale_route_hits = 0;
+  int64_t pending_peak = 0;
+};
+
+class Platform : public Invoker {
+ public:
+  Platform(Simulation* sim, PlatformConfig config);
+  ~Platform() override;
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  // Attaches the tracing pipeline (required before enabling profiling).
+  void ConnectTracer(Tracer* tracer) { tracer_ = tracer; }
+
+  Status Deploy(DeploymentSpec spec);
+  // Replaces an existing function with a new image/behavior; in-flight
+  // requests finish on the old containers, new requests go to the new
+  // version (§5.5). Also how merges are rolled back (§8).
+  Status UpdateFunction(DeploymentSpec spec);
+  Status RemoveFunction(const std::string& handle);
+  bool HasDeployment(const std::string& handle) const;
+
+  void SetProfiling(bool enabled);
+  bool profiling() const { return config_.profiling_enabled; }
+
+  // Invoker: the full client/function -> gateway -> container path.
+  void Invoke(const std::string& caller_handle, const std::string& callee_handle,
+              const Json& payload, bool async,
+              std::function<void(Result<Json>)> done) override;
+
+  const DeploymentStats* StatsFor(const std::string& handle) const;
+  // Per-function CPU attribution (§8 extension): vCPU-seconds billed to each
+  // function handle, including functions running inside merged processes.
+  double BilledCpuSeconds(const std::string& function_handle) const;
+  const std::map<std::string, double>& billing_ledger() const { return billing_; }
+  // Snapshot of all live containers (the cAdvisor sample source).
+  std::vector<ResourceSample> SampleResources() const;
+  double TotalMemoryInUseMb() const;
+  int TotalContainers() const;
+
+  PlatformConfig& config() { return config_; }
+  Simulation* sim() { return sim_; }
+
+ private:
+  struct PendingRequest {
+    Json payload;
+    std::function<void(Result<Json>)> respond;
+  };
+
+  struct Deployment {
+    DeploymentSpec spec;
+    int64_t version = 1;
+    std::vector<std::shared_ptr<Container>> containers;
+    std::map<int64_t, int64_t> container_versions;  // container id -> version.
+    std::deque<PendingRequest> pending;
+    SimTime last_routed = -1;
+    DeploymentStats stats;
+    bool draining = false;
+  };
+
+  SimDuration ColdStartDelay(const Deployment& dep) const;
+  std::shared_ptr<Container> SelectContainer(Deployment& dep) const;
+  void CreateContainer(Deployment& dep);
+  void RouteRequest(Deployment& dep, Json payload, std::function<void(Result<Json>)> respond);
+  void Dispatch(Deployment& dep, const std::shared_ptr<Container>& container, Json payload,
+                std::function<void(Result<Json>)> respond);
+  void DrainPending(Deployment& dep);
+  void KillContainer(Deployment& dep, const std::shared_ptr<Container>& container);
+  void RetireStaleContainers(Deployment& dep);
+
+  Simulation* sim_;
+  PlatformConfig config_;
+  Tracer* tracer_ = nullptr;
+  std::map<std::string, std::unique_ptr<Deployment>> deployments_;
+  std::map<std::string, double> billing_;  // function handle -> vCPU-seconds.
+  int64_t next_container_id_ = 1;
+  int64_t next_trace_id_ = 1;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PLATFORM_PLATFORM_H_

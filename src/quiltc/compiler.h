@@ -1,0 +1,60 @@
+// QuiltCompiler: the compilation pipeline of Figure 5 (§5.1-§5.4).
+//
+// Merges a decided group of serverless functions into one module by
+// iterating, in BFS order from the group root, over pairwise merge rounds:
+//   compile (once per function, with dependency caching)
+//   -> RenameFunc on the incoming callee
+//   -> llvm-link into the accumulated module
+//   -> MergeFunc (invoke -> local call, cross-language shims, conditional
+//      invocation budgets)
+// and finishing with DelayHTTP, DCE/debloating, codegen, Implib wrapping,
+// and final linking into a binary image.
+#ifndef SRC_QUILTC_COMPILER_H_
+#define SRC_QUILTC_COMPILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/frontend/source_function.h"
+#include "src/graph/call_graph.h"
+#include "src/partition/problem.h"
+#include "src/quiltc/merged_artifact.h"
+
+namespace quilt {
+
+struct QuiltcOptions {
+  bool conditional_invocations = true;  // §5.6 guards on localized calls.
+  bool delay_http = true;               // §5.2 step 6.
+  bool dce = true;                      // Debloating.
+  bool implib_wrap = true;              // §5.2 step 9.
+};
+
+class QuiltCompiler {
+ public:
+  explicit QuiltCompiler(QuiltcOptions options = {}) : options_(options) {}
+
+  // Builds the deployable artifact for one function without merging (the
+  // status-quo baseline image).
+  Result<MergedArtifact> BuildSingleFunction(const SourceFunction& source) const;
+
+  // Merges one decided group. `sources` must contain every member handle;
+  // graph node names are the handles. All members (except possibly the
+  // root) must have opted into merging.
+  Result<MergedArtifact> MergeGroup(const CallGraph& graph, const MergeGroup& group,
+                                    const std::map<std::string, SourceFunction>& sources) const;
+
+  // Merges every group of a solution (independent; the paper runs them in
+  // parallel). Returns artifacts in group order.
+  Result<std::vector<MergedArtifact>> MergeSolution(
+      const CallGraph& graph, const MergeSolution& solution,
+      const std::map<std::string, SourceFunction>& sources) const;
+
+ private:
+  QuiltcOptions options_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_QUILTC_COMPILER_H_

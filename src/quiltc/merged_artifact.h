@@ -1,0 +1,47 @@
+// Output of the merge pipeline: everything the platform needs to deploy a
+// merged function in place of the original subgraph entry point (§5.5).
+#ifndef SRC_QUILTC_MERGED_ARTIFACT_H_
+#define SRC_QUILTC_MERGED_ARTIFACT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/ir/ir_module.h"
+#include "src/ir/size_model.h"
+#include "src/passes/pass.h"
+
+namespace quilt {
+
+// One caller->callee edge that MergeFunc turned into a local call.
+struct LocalizedEdge {
+  std::string caller_handle;
+  std::string callee_handle;
+  int budget = 0;  // Conditional-invocation budget (0 = unconditional local).
+  bool cross_language = false;
+};
+
+struct MergedArtifact {
+  std::string handle;  // The group root's handle: the scheduler-visible name.
+  std::vector<std::string> member_handles;  // BFS order, root first.
+  IrModule module;
+  BinaryImage image;
+  std::vector<LocalizedEdge> localized_edges;
+
+  // Modeled pipeline cost (virtual wall-clock, §7.5.3 Fig. 8).
+  SimDuration compile_time = 0;  // Frontends + dependency compilation.
+  SimDuration link_time = 0;     // llvm-link rounds + final link.
+  SimDuration merge_time = 0;    // Quilt passes across all rounds.
+  SimDuration codegen_time = 0;  // llc lowering.
+
+  std::vector<PassStats> pass_stats;
+
+  SimDuration TotalPipelineTime() const {
+    return compile_time + link_time + merge_time + codegen_time;
+  }
+  bool IsSingleFunction() const { return member_handles.size() == 1; }
+};
+
+}  // namespace quilt
+
+#endif  // SRC_QUILTC_MERGED_ARTIFACT_H_

@@ -1,0 +1,102 @@
+// Behavioral model of serverless functions.
+//
+// The simulator does not run real function code; a FunctionBehavior is the
+// dynamic counterpart of a SourceFunction: a sequence of steps (CPU bursts,
+// fake-DB waits as in §7.3.2, memory allocations, and invocations of other
+// functions). A MergedBehavior composes member behaviors into one process,
+// either Quilt-style (local calls with conditional-invocation budgets) or
+// container-merge-style (the CM baseline's internal API gateway, §7.2).
+#ifndef SRC_RUNTIME_BEHAVIOR_H_
+#define SRC_RUNTIME_BEHAVIOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/sim_time.h"
+
+namespace quilt {
+
+struct ComputeStep {
+  double cpu_ms = 1.0;  // vCPU-milliseconds of work.
+};
+
+// Fake database / external service call: pure latency, no CPU (§7.3.2
+// replaces KeyDB/Memcached with hardcoded results plus a sleep).
+struct SleepStep {
+  double latency_ms = 1.0;
+};
+
+// Live allocation held until the function instance returns.
+struct AllocStep {
+  double mb = 1.0;
+};
+
+// Fault injection: the function hits an unexpected input and the process
+// aborts (§1, Limitations). In a per-function container the caller receives
+// an error it can handle; in a merged process the whole workflow crashes.
+struct CrashStep {
+  // Crash only when the request payload field "poison" is truthy; a plain
+  // always-crash step would make even warmup traffic fail.
+  bool only_on_poison = true;
+};
+
+struct CallItem {
+  std::string callee;
+  int count = 1;
+  // §5.6: the iteration count comes from the request payload field "num".
+  bool data_dependent = false;
+};
+
+struct CallStep {
+  std::vector<CallItem> items;
+  // true = async_inv semantics: all items/counts issued concurrently and
+  // joined at the end of the step; false = sync_inv: strictly sequential.
+  bool parallel = false;
+};
+
+using BehaviorStep = std::variant<ComputeStep, SleepStep, AllocStep, CallStep, CrashStep>;
+
+struct FunctionBehavior {
+  std::string handle;
+  // Reserved in the container while a request executes (working set beyond
+  // the resident runtime base).
+  double request_memory_mb = 1.0;
+  std::vector<BehaviorStep> steps;
+};
+
+struct MergedBehavior {
+  enum class Mode {
+    kQuilt,           // One process; localized calls cost nanoseconds.
+    kContainerMerge,  // CM baseline: internal gateway + per-call process.
+  };
+  Mode mode = Mode::kQuilt;
+  std::string root_handle;
+  std::map<std::string, FunctionBehavior> functions;
+  // Localized edges, keyed "caller->callee". Value: conditional-invocation
+  // budget per request (0 = unconditional local call). Only kQuilt uses
+  // budgets; kContainerMerge dispatches every in-container handle internally.
+  std::map<std::string, int> edge_budgets;
+
+  static std::string EdgeKey(const std::string& caller, const std::string& callee) {
+    return caller + "->" + callee;
+  }
+};
+
+// What a deployment executes per request: exactly one of the two is set.
+struct DeployedBehavior {
+  std::shared_ptr<const FunctionBehavior> single;
+  std::shared_ptr<const MergedBehavior> merged;
+
+  bool valid() const { return (single != nullptr) != (merged != nullptr); }
+  const std::string& entry_handle() const {
+    return single != nullptr ? single->handle : merged->root_handle;
+  }
+};
+
+}  // namespace quilt
+
+#endif  // SRC_RUNTIME_BEHAVIOR_H_

@@ -1,0 +1,73 @@
+// Execution engine: runs a DeployedBehavior inside a container on virtual
+// time, issuing remote invocations through the platform's Invoker.
+#ifndef SRC_RUNTIME_EXECUTOR_H_
+#define SRC_RUNTIME_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/runtime/behavior.h"
+#include "src/sim/container.h"
+#include "src/sim/simulation.h"
+
+namespace quilt {
+
+// How function-to-function calls leave the process: implemented by the
+// platform (API-gateway path, Figure 1).
+class Invoker {
+ public:
+  virtual ~Invoker() = default;
+  virtual void Invoke(const std::string& caller_handle, const std::string& callee_handle,
+                      const Json& payload, bool async,
+                      std::function<void(Result<Json>)> done) = 0;
+};
+
+// Per-call CPU/latency costs of the serverless runtime itself.
+struct RuntimeCosts {
+  // A localized (merged) call: plain function call + string shuffling.
+  SimDuration local_call_overhead = Nanoseconds(250);
+  // Caller-side CPU per remote invocation: JSON serialization + HTTP client.
+  double invoke_cpu_ms = 0.12;
+  // Callee-side CPU per remote request: HTTP parsing + deserialization, and
+  // serializing the response.
+  double handler_cpu_ms = 0.15;
+  // Loading one lazy shared library on the first remote call (DelayHTTP).
+  SimDuration lazy_lib_load_per_lib = Microseconds(110);
+  // CM internal API gateway: per-call latency and spawned-process costs.
+  SimDuration cm_internal_gateway = Microseconds(550);
+  SimDuration cm_process_spawn = Microseconds(650);
+  double cm_process_base_mb = 16.0;  // Callee process runtime footprint.
+};
+
+struct ExecutionEnv {
+  Simulation* sim = nullptr;
+  // shared_ptr: in-flight events may outlive the container's deployment slot
+  // (e.g. after an OOM kill).
+  std::shared_ptr<Container> container;
+  Invoker* remote = nullptr;
+  const RuntimeCosts* costs = nullptr;
+  // Installed by the platform: kill this container (memory limit exceeded).
+  std::function<void()> trigger_oom;
+  // Installed by the platform: the process crashed (unhandled fault). Also
+  // kills the container; accounted separately from OOM.
+  std::function<void()> trigger_crash;
+  // Per-function billing instrumentation (§8, implemented here as the
+  // extension the paper leaves open): called with (function handle,
+  // vCPU-milliseconds) every time a compute burst attributable to that
+  // function finishes -- even inside a merged process.
+  std::function<void(const std::string&, double)> bill_cpu;
+};
+
+// Executes one inbound request against the deployment's behavior. `done`
+// is called exactly once -- with the response, or with an error if the
+// request failed (OOM kill, callee failure). remote_entry should be true
+// for requests that arrived over the platform (they pay handler-side CPU).
+void ExecuteRequest(const ExecutionEnv& env, const DeployedBehavior& behavior, Json payload,
+                    bool remote_entry, std::function<void(Result<Json>)> done);
+
+}  // namespace quilt
+
+#endif  // SRC_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,120 @@
+#include "src/sim/cpu_share.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace quilt {
+
+namespace {
+constexpr double kWorkEps = 1e-12;  // vCPU-seconds below this count as done.
+}
+
+CpuShare::CpuShare(Simulation* sim, double cpu_limit, double throttle_penalty)
+    : sim_(sim), cpu_limit_(cpu_limit), throttle_penalty_(throttle_penalty) {
+  assert(cpu_limit_ > 0.0);
+  assert(throttle_penalty_ >= 0.0 && throttle_penalty_ < 1.0);
+  last_update_ = sim_->now();
+}
+
+double CpuShare::RatePerTask() const {
+  if (tasks_.empty()) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(tasks_.size());
+  if (n <= cpu_limit_) {
+    return 1.0;  // Every task gets a full core; no throttling.
+  }
+  // Overcommitted: the cgroup throttles the container, and throttle periods
+  // waste a fraction of the quota that grows with the overcommit ratio.
+  const double efficiency = 1.0 - throttle_penalty_ * (1.0 - cpu_limit_ / n);
+  return cpu_limit_ * efficiency / n;
+}
+
+double CpuShare::cpu_in_use() const {
+  return std::min(static_cast<double>(tasks_.size()), cpu_limit_);
+}
+
+double CpuShare::cpu_seconds_used() const { return cpu_seconds_used_; }
+
+double CpuShare::busy_seconds() const { return busy_seconds_; }
+
+void CpuShare::Advance() {
+  const SimTime now = sim_->now();
+  const double elapsed = ToSeconds(now - last_update_);
+  last_update_ = now;
+  if (elapsed <= 0.0 || tasks_.empty()) {
+    return;
+  }
+  const double rate = RatePerTask();
+  const double progress = rate * elapsed;
+  for (auto& [id, task] : tasks_) {
+    task.remaining = std::max(0.0, task.remaining - progress);
+  }
+  cpu_seconds_used_ += rate * static_cast<double>(tasks_.size()) * elapsed;
+  busy_seconds_ += elapsed;
+}
+
+void CpuShare::ScheduleNextCompletion() {
+  ++generation_;
+  if (tasks_.empty()) {
+    return;
+  }
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, task] : tasks_) {
+    min_remaining = std::min(min_remaining, task.remaining);
+  }
+  const double rate = RatePerTask();
+  const double eta_seconds = rate > 0.0 ? min_remaining / rate : 0.0;
+  const int64_t generation = generation_;
+  sim_->Schedule(Seconds(eta_seconds) + 1,  // +1ns guards zero-length loops.
+                 [this, generation] { OnCompletionEvent(generation); });
+}
+
+void CpuShare::OnCompletionEvent(int64_t generation) {
+  if (generation != generation_) {
+    return;  // A membership change superseded this event.
+  }
+  Advance();
+  // Collect finished tasks, remove them, then fire callbacks (callbacks may
+  // re-enter Submit/Cancel).
+  std::vector<std::function<void()>> finished;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->second.remaining <= kWorkEps) {
+      finished.push_back(std::move(it->second.done));
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ScheduleNextCompletion();
+  for (auto& done : finished) {
+    done();
+  }
+}
+
+CpuShare::TaskId CpuShare::Submit(double cpu_seconds, std::function<void()> done) {
+  assert(cpu_seconds >= 0.0);
+  Advance();
+  const TaskId id = next_id_++;
+  tasks_.emplace(id, Task{std::max(cpu_seconds, 0.0), std::move(done)});
+  ScheduleNextCompletion();
+  return id;
+}
+
+void CpuShare::Cancel(TaskId id) {
+  Advance();
+  tasks_.erase(id);
+  ScheduleNextCompletion();
+}
+
+void CpuShare::CancelAll() {
+  Advance();
+  tasks_.clear();
+  ScheduleNextCompletion();
+}
+
+}  // namespace quilt

@@ -1,0 +1,77 @@
+// Processor-sharing CPU model for a cgroup-limited container.
+//
+// Tasks submitted here represent compute bursts of function instances
+// running in one container. The container's cgroup quota caps total
+// throughput at `cpu_limit` vCPUs and a single task at 1 vCPU, so each of n
+// active tasks progresses at min(1, cpu_limit/n) vCPU -- this is what CPU
+// *throttling* looks like from the workload's perspective (§7.4.1): adding
+// tasks beyond the quota stretches everyone's completion time.
+#ifndef SRC_SIM_CPU_SHARE_H_
+#define SRC_SIM_CPU_SHARE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/sim/simulation.h"
+
+namespace quilt {
+
+class CpuShare {
+ public:
+  using TaskId = int64_t;
+
+  // throttle_penalty in [0,1): models the capacity wasted by cgroup CFS
+  // throttling when demand (n tasks) exceeds the quota: the aggregate rate
+  // drops to cpu_limit * (1 - penalty * (1 - cpu_limit/n)). 0 = ideal
+  // processor sharing.
+  CpuShare(Simulation* sim, double cpu_limit, double throttle_penalty = 0.0);
+
+  // Submits a compute burst of `cpu_seconds` of work; done runs when it
+  // finishes. Work may be zero (done scheduled immediately).
+  TaskId Submit(double cpu_seconds, std::function<void()> done);
+
+  // Cancels a task (its done callback never runs). Safe on finished ids.
+  void Cancel(TaskId id);
+  // Cancels everything (e.g. the container was OOM-killed).
+  void CancelAll();
+
+  int active_tasks() const { return static_cast<int>(tasks_.size()); }
+  double cpu_limit() const { return cpu_limit_; }
+
+  // Instantaneous consumption: min(active, limit) vCPUs.
+  double cpu_in_use() const;
+
+  // Cumulative vCPU-seconds executed (for the resource monitor).
+  double cpu_seconds_used() const;
+
+  // Cumulative wall-clock seconds with >= 1 active task.
+  double busy_seconds() const;
+
+ private:
+  struct Task {
+    double remaining;  // vCPU-seconds.
+    std::function<void()> done;
+  };
+
+  double RatePerTask() const;
+  // Charges elapsed progress to all tasks and updates accounting.
+  void Advance();
+  // Schedules the completion event for the task closest to finishing.
+  void ScheduleNextCompletion();
+  void OnCompletionEvent(int64_t generation);
+
+  Simulation* sim_;
+  double cpu_limit_;
+  double throttle_penalty_;
+  std::map<TaskId, Task> tasks_;
+  TaskId next_id_ = 1;
+  SimTime last_update_ = 0;
+  int64_t generation_ = 0;  // Invalidates stale completion events.
+  double cpu_seconds_used_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_SIM_CPU_SHARE_H_

@@ -1,0 +1,45 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace quilt {
+
+void Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void Simulation::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace quilt

@@ -1,0 +1,63 @@
+// Discrete-event simulation core.
+//
+// The platform substrate runs on virtual time: every latency in the system
+// (network hops, gateway processing, CPU execution, cold starts) is an event
+// scheduled on this queue. Determinism: ties break by insertion sequence.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace quilt {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules fn to run `delay` from now (clamped to >= 0).
+  void Schedule(SimDuration delay, std::function<void()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs until the queue is empty (or Stop() is called).
+  void Run();
+  // Runs events with time <= deadline; the clock ends at the deadline.
+  void RunUntil(SimTime deadline);
+
+  void Stop() { stopped_ = true; }
+
+  int64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    int64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  int64_t next_seq_ = 0;
+  int64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_SIM_SIMULATION_H_

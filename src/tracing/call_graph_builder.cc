@@ -1,0 +1,98 @@
+#include "src/tracing/call_graph_builder.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+Result<CallGraph> BuildCallGraphFromTraces(
+    const std::vector<Span>& spans,
+    const std::map<std::string, MetricsStore::FunctionUsage>& usage,
+    const std::string& root_handle, const CallGraphBuilderOptions& options) {
+  // Count workflow invocations and per-edge occurrences.
+  int64_t workflow_invocations = 0;
+  struct EdgeAgg {
+    double weight = 0.0;
+    int64_t async_count = 0;
+    int64_t total = 0;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeAgg> edges;
+  for (const Span& span : spans) {
+    if (span.caller == kClientCaller) {
+      if (span.callee == root_handle) {
+        ++workflow_invocations;
+      }
+      continue;  // Client entries are not call-graph edges.
+    }
+    EdgeAgg& agg = edges[{span.caller, span.callee}];
+    agg.weight += 1.0;
+    agg.total += 1;
+    if (span.async) {
+      ++agg.async_count;
+    }
+  }
+  if (workflow_invocations == 0) {
+    return FailedPreconditionError(
+        StrCat("no client invocations of workflow root '", root_handle,
+               "' in the profile window"));
+  }
+
+  // The span store holds traces from every profiled workflow; keep only the
+  // component reachable from this workflow's root (Quilt queries Tempo per
+  // workflow).
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const auto& [key, agg] : edges) {
+    adjacency[key.first].push_back(key.second);
+  }
+  std::set<std::string> reachable = {root_handle};
+  std::deque<std::string> queue = {root_handle};
+  while (!queue.empty()) {
+    const std::string handle = queue.front();
+    queue.pop_front();
+    for (const std::string& next : adjacency[handle]) {
+      if (reachable.insert(next).second) {
+        queue.push_back(next);
+      }
+    }
+  }
+  for (auto it = edges.begin(); it != edges.end();) {
+    if (reachable.count(it->first.first) == 0) {
+      it = edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  CallGraph graph;
+  auto node_of = [&](const std::string& handle) {
+    NodeId id = graph.FindNode(handle);
+    if (id != kInvalidNode) {
+      return id;
+    }
+    auto it = usage.find(handle);
+    const double cpu = it != usage.end() && it->second.avg_cpu > 0.0 ? it->second.avg_cpu
+                                                                     : options.default_cpu;
+    const double mem = it != usage.end() && it->second.peak_memory_mb > 0.0
+                           ? it->second.peak_memory_mb
+                           : options.default_memory_mb;
+    return graph.AddNode(handle, cpu, mem);
+  };
+
+  // Root first so it becomes the graph root.
+  node_of(root_handle);
+  for (const auto& [key, agg] : edges) {
+    const NodeId from = node_of(key.first);
+    const NodeId to = node_of(key.second);
+    const CallType type =
+        agg.async_count * 2 >= agg.total ? CallType::kAsync : CallType::kSync;
+    QUILT_RETURN_IF_ERROR(graph.AddEdge(from, to, agg.weight, type));
+  }
+
+  QUILT_RETURN_IF_ERROR(graph.Finalize(static_cast<double>(workflow_invocations)));
+  return graph;
+}
+
+}  // namespace quilt

@@ -1,0 +1,36 @@
+// Call-graph construction from profiling data (§3).
+//
+// Counts workflow invocations (N) and caller->callee occurrences in the
+// span store, labels nodes with aggregated resource usage from the metrics
+// store, and produces the finalized CallGraph (per-edge alpha = ⌈w/N⌉) that
+// the merge-decision algorithms consume. Code paths that never executed in
+// the profile window are absent -- exactly the imperfect-profile property
+// the paper notes under Figure 3.
+#ifndef SRC_TRACING_CALL_GRAPH_BUILDER_H_
+#define SRC_TRACING_CALL_GRAPH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/call_graph.h"
+#include "src/tracing/resource_monitor.h"
+#include "src/tracing/span.h"
+
+namespace quilt {
+
+struct CallGraphBuilderOptions {
+  // Defaults applied when a function has no samples in the metrics store.
+  double default_cpu = 0.1;
+  double default_memory_mb = 16.0;
+};
+
+// `root_handle` identifies the workflow: N = number of client->root spans.
+Result<CallGraph> BuildCallGraphFromTraces(
+    const std::vector<Span>& spans,
+    const std::map<std::string, MetricsStore::FunctionUsage>& usage,
+    const std::string& root_handle, const CallGraphBuilderOptions& options = {});
+
+}  // namespace quilt
+
+#endif  // SRC_TRACING_CALL_GRAPH_BUILDER_H_

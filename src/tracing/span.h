@@ -1,0 +1,28 @@
+// Distributed-tracing span (§3).
+//
+// The nginx-ingress hop records one span per function invocation: who called
+// whom, when, and whether the invocation was asynchronous. External client
+// requests carry the reserved caller name "client".
+#ifndef SRC_TRACING_SPAN_H_
+#define SRC_TRACING_SPAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/sim_time.h"
+
+namespace quilt {
+
+inline constexpr const char* kClientCaller = "client";
+
+struct Span {
+  int64_t trace_id = 0;
+  std::string caller;
+  std::string callee;
+  bool async = false;
+  SimTime timestamp = 0;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_TRACING_SPAN_H_

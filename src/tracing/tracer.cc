@@ -1,0 +1,42 @@
+#include "src/tracing/tracer.h"
+
+namespace quilt {
+
+std::vector<Span> SpanStore::Query(SimTime from, SimTime to) const {
+  std::vector<Span> result;
+  for (const Span& span : spans_) {
+    if (span.timestamp >= from && span.timestamp < to) {
+      result.push_back(span);
+    }
+  }
+  return result;
+}
+
+Tracer::Tracer(Simulation* sim, SpanStore* store, SimDuration batch_interval)
+    : sim_(sim), store_(store), batch_interval_(batch_interval) {}
+
+void Tracer::Record(Span span) {
+  ++recorded_;
+  buffer_.push_back(std::move(span));
+  ScheduleFlush();
+}
+
+void Tracer::Flush() {
+  for (Span& span : buffer_) {
+    store_->Add(std::move(span));
+  }
+  buffer_.clear();
+}
+
+void Tracer::ScheduleFlush() {
+  if (flush_scheduled_) {
+    return;
+  }
+  flush_scheduled_ = true;
+  sim_->Schedule(batch_interval_, [this] {
+    flush_scheduled_ = false;
+    Flush();
+  });
+}
+
+}  // namespace quilt

@@ -1,0 +1,52 @@
+// Trace collection pipeline (§3, Figure 2): the ingress's OpenTelemetry
+// module batches spans and periodically exports them to the span store
+// (Grafana Tempo in the paper), which Quilt later queries.
+#ifndef SRC_TRACING_TRACER_H_
+#define SRC_TRACING_TRACER_H_
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/tracing/span.h"
+
+namespace quilt {
+
+// Queryable span storage ("Tempo").
+class SpanStore {
+ public:
+  void Add(Span span) { spans_.push_back(std::move(span)); }
+  const std::vector<Span>& spans() const { return spans_; }
+  std::vector<Span> Query(SimTime from, SimTime to) const;
+  void Clear() { spans_.clear(); }
+  int64_t size() const { return static_cast<int64_t>(spans_.size()); }
+
+ private:
+  std::vector<Span> spans_;
+};
+
+// Batching exporter ("otel-collector"): spans buffer locally and flush to
+// the store on a timer, like the paper's periodic batched export.
+class Tracer {
+ public:
+  Tracer(Simulation* sim, SpanStore* store, SimDuration batch_interval = Seconds(1));
+
+  void Record(Span span);
+  // Force-export everything buffered (used before querying mid-run).
+  void Flush();
+
+  int64_t recorded() const { return recorded_; }
+
+ private:
+  void ScheduleFlush();
+
+  Simulation* sim_;
+  SpanStore* store_;
+  SimDuration batch_interval_;
+  std::vector<Span> buffer_;
+  bool flush_scheduled_ = false;
+  int64_t recorded_ = 0;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_TRACING_TRACER_H_

@@ -1,0 +1,98 @@
+#include "src/workload/loadgen.h"
+
+#include <memory>
+
+#include "src/tracing/span.h"
+
+namespace quilt {
+
+namespace {
+
+struct RunState {
+  LoadResult result;
+  SimTime measure_start = 0;
+  SimTime measure_end = 0;
+  int64_t outstanding = 0;
+};
+
+void RecordResponse(RunState& state, SimTime sent_at, SimTime now, bool ok) {
+  if (sent_at < state.measure_start || sent_at >= state.measure_end) {
+    return;  // Warmup or overrun: not measured.
+  }
+  if (ok) {
+    if (now > state.measure_end) {
+      return;  // Completed during the drain period: not throughput.
+    }
+    ++state.result.completed;
+    state.result.latency.Record(now - sent_at);
+  } else {
+    ++state.result.failed;
+  }
+}
+
+}  // namespace
+
+LoadResult ClosedLoopGenerator::Run(Simulation* sim, Invoker* invoker,
+                                    const std::string& target, const Options& options) {
+  auto state = std::make_shared<RunState>();
+  state->measure_start = sim->now() + options.warmup;
+  state->measure_end = state->measure_start + options.duration;
+  state->result.measured_duration = options.duration;
+
+  // One send-loop per connection.
+  auto send_next = std::make_shared<std::function<void()>>();
+  *send_next = [sim, invoker, target, options, state, send_next] {
+    const SimTime sent_at = sim->now();
+    if (sent_at >= state->measure_end) {
+      return;  // Connection closes.
+    }
+    invoker->Invoke(kClientCaller, target, options.payload, /*async=*/false,
+                    [sim, options, state, send_next, sent_at](Result<Json> result) {
+                      RecordResponse(*state, sent_at, sim->now(), result.ok());
+                      sim->Schedule(options.think_time, [send_next] { (*send_next)(); });
+                    });
+  };
+  for (int c = 0; c < options.connections; ++c) {
+    sim->Schedule(0, [send_next] { (*send_next)(); });
+  }
+
+  sim->RunUntil(state->measure_end + options.drain_grace);
+  return state->result;
+}
+
+LoadResult OpenLoopGenerator::Run(Simulation* sim, Invoker* invoker, const std::string& target,
+                                  const Options& options) {
+  auto state = std::make_shared<RunState>();
+  state->measure_start = sim->now() + options.warmup;
+  state->measure_end = state->measure_start + options.duration;
+  state->result.measured_duration = options.duration;
+  state->result.offered_rps = options.rps;
+
+  auto rng = std::make_shared<Rng>(options.seed);
+  const SimTime run_end = state->measure_end;
+  const double interval_s = options.rps > 0.0 ? 1.0 / options.rps : 0.0;
+
+  // Schedule arrivals lazily (one event schedules the next) to keep the
+  // event queue small at high rates.
+  auto arrive = std::make_shared<std::function<void()>>();
+  *arrive = [sim, invoker, target, options, state, rng, arrive, run_end, interval_s] {
+    const SimTime sent_at = sim->now();
+    if (sent_at >= run_end) {
+      return;
+    }
+    Json payload = options.payload_fn ? options.payload_fn(*rng) : options.payload;
+    invoker->Invoke(kClientCaller, target, std::move(payload), /*async=*/false,
+                    [sim, state, sent_at](Result<Json> result) {
+                      RecordResponse(*state, sent_at, sim->now(), result.ok());
+                    });
+    const double next_s =
+        options.poisson ? rng->Exponential(interval_s) : interval_s;
+    sim->Schedule(Seconds(next_s), [arrive] { (*arrive)(); });
+  };
+  sim->Schedule(0, [arrive] { (*arrive)(); });
+
+  sim->RunUntil(run_end + options.drain_grace);
+  return state->result;
+}
+
+}  // namespace quilt

@@ -1,0 +1,71 @@
+// Workload generation, mirroring the paper's use of wrk2 (§7.2): a
+// closed-loop generator (fixed connection count, next request after the
+// response) and an open-loop constant-throughput generator whose latency is
+// measured from the *intended* send time (coordinated-omission-free).
+#ifndef SRC_WORKLOAD_LOADGEN_H_
+#define SRC_WORKLOAD_LOADGEN_H_
+
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/runtime/executor.h"
+#include "src/sim/simulation.h"
+
+namespace quilt {
+
+struct LoadResult {
+  LatencyHistogram latency;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  SimDuration measured_duration = 0;
+  double offered_rps = 0.0;
+
+  double AchievedRps() const {
+    const double seconds = ToSeconds(measured_duration);
+    return seconds > 0.0 ? static_cast<double>(completed) / seconds : 0.0;
+  }
+  double FailureRate() const {
+    const int64_t total = completed + failed;
+    return total > 0 ? static_cast<double>(failed) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class ClosedLoopGenerator {
+ public:
+  struct Options {
+    int connections = 1;
+    SimDuration warmup = Seconds(5);
+    SimDuration duration = Seconds(60);
+    SimDuration think_time = 0;
+    Json payload = Json::MakeObject();
+    SimDuration drain_grace = Seconds(10);
+  };
+
+  // Drives the simulation until the run (plus drain grace) completes.
+  LoadResult Run(Simulation* sim, Invoker* invoker, const std::string& target,
+                 const Options& options);
+};
+
+class OpenLoopGenerator {
+ public:
+  struct Options {
+    double rps = 100.0;
+    SimDuration warmup = Seconds(5);
+    SimDuration duration = Seconds(60);
+    bool poisson = false;  // Exponential inter-arrivals instead of uniform.
+    uint64_t seed = 1;
+    Json payload = Json::MakeObject();
+    SimDuration drain_grace = Seconds(10);
+    // Optional per-request payload customization.
+    std::function<Json(Rng&)> payload_fn;
+  };
+
+  LoadResult Run(Simulation* sim, Invoker* invoker, const std::string& target,
+                 const Options& options);
+};
+
+}  // namespace quilt
+
+#endif  // SRC_WORKLOAD_LOADGEN_H_

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+
+namespace quilt {
+namespace {
+
+TEST(HistogramBoundsTest, ExtremeQuantilesClampToMinMax) {
+  LatencyHistogram h;
+  for (int64_t v : {100, 5000, 123456, 9999999}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Quantile(0.0), 100);
+  EXPECT_EQ(h.Quantile(1.0), 9999999);
+  // Out-of-range q clamps.
+  EXPECT_EQ(h.Quantile(-0.5), 100);
+  EXPECT_EQ(h.Quantile(2.0), 9999999);
+}
+
+TEST(HistogramBoundsTest, QuantilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(rng.UniformInt(1, 10'000'000));
+  }
+  int64_t last = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int64_t value = h.Quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    last = value;
+  }
+}
+
+TEST(HistogramBoundsTest, SingleRepeatedValueEverywhere) {
+  LatencyHistogram h;
+  h.RecordMany(777777, 1000);
+  for (double q : {0.01, 0.5, 0.99}) {
+    EXPECT_NEAR(static_cast<double>(h.Quantile(q)), 777777.0, 777777.0 * 0.01) << q;
+  }
+  EXPECT_EQ(h.min(), 777777);
+  EXPECT_EQ(h.max(), 777777);
+}
+
+}  // namespace
+}  // namespace quilt

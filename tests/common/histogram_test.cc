@@ -1,0 +1,118 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace quilt {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Median(), 0);
+  EXPECT_EQ(h.P99(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(5000);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Median(), 5000);
+  EXPECT_EQ(h.min(), 5000);
+  EXPECT_EQ(h.max(), 5000);
+  EXPECT_EQ(h.Mean(), 5000.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (int v = 0; v < 200; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.Quantile(0.5), 99);  // Values 0..199, rank 100 is value 99.
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 199);
+}
+
+TEST(HistogramTest, QuantileRelativeErrorBounded) {
+  LatencyHistogram h;
+  Rng rng(42);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = rng.UniformInt(1, 50'000'000);  // Up to 50ms in ns.
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    const int64_t exact = values[static_cast<size_t>(q * values.size()) - 1];
+    const int64_t approx = h.Quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.02)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.Median(), 0);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) {
+    a.Record(10);
+    b.Record(1000000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000000);
+  EXPECT_EQ(a.Quantile(0.25), 10);
+  EXPECT_NEAR(static_cast<double>(a.Quantile(0.75)), 1e6, 1e4);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Record(777);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.Median(), 777);
+}
+
+TEST(HistogramTest, ResetClearsState) {
+  LatencyHistogram h;
+  h.Record(123456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Median(), 0);
+}
+
+TEST(HistogramTest, RecordManyEquivalentToLoop) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordMany(5555, 10);
+  for (int i = 0; i < 10; ++i) {
+    b.Record(5555);
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.Median(), b.Median());
+  EXPECT_EQ(a.Mean(), b.Mean());
+}
+
+TEST(HistogramTest, LargeValues) {
+  LatencyHistogram h;
+  const int64_t hour_ns = 3600LL * 1000000000LL;
+  h.Record(hour_ns);
+  EXPECT_NEAR(static_cast<double>(h.Median()), static_cast<double>(hour_ns), hour_ns * 0.01);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,115 @@
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+TEST(JsonTest, TypesAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::MakeArray().is_array());
+  EXPECT_TRUE(Json::MakeObject().is_object());
+
+  EXPECT_EQ(Json(true).AsBool(), true);
+  EXPECT_EQ(Json(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Json(int64_t{42}).AsInt(), 42);
+  EXPECT_EQ(Json("hi").AsString(), "hi");
+}
+
+TEST(JsonTest, ObjectRoundTrip) {
+  Json obj = Json::MakeObject();
+  obj["user"] = "alice";
+  obj["count"] = 3;
+  obj["ok"] = true;
+  const std::string text = obj.Dump();
+  EXPECT_EQ(text, R"({"count":3,"ok":true,"user":"alice"})");
+
+  Result<Json> parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("user").AsString(), "alice");
+  EXPECT_EQ(parsed->Get("count").AsInt(), 3);
+  EXPECT_TRUE(parsed->Get("ok").AsBool());
+  EXPECT_TRUE(parsed->Get("absent").is_null());
+}
+
+TEST(JsonTest, ArrayRoundTrip) {
+  Json arr = Json::MakeArray();
+  arr.Append(1);
+  arr.Append("two");
+  arr.Append(nullptr);
+  EXPECT_EQ(arr.Dump(), R"([1,"two",null])");
+
+  Result<Json> parsed = Json::Parse(arr.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 3u);
+  EXPECT_EQ(parsed->At(0).AsInt(), 1);
+  EXPECT_EQ(parsed->At(1).AsString(), "two");
+  EXPECT_TRUE(parsed->At(2).is_null());
+  EXPECT_TRUE(parsed->At(99).is_null());
+}
+
+TEST(JsonTest, NestedStructures) {
+  Result<Json> parsed = Json::Parse(R"({"a":{"b":[1,2,{"c":"d"}]}})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("a").Get("b").At(2).Get("c").AsString(), "d");
+}
+
+TEST(JsonTest, StringEscapes) {
+  Json s("line1\nline2\t\"quoted\"\\");
+  const std::string dumped = s.Dump();
+  Result<Json> parsed = Json::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "line1\nline2\t\"quoted\"\\");
+}
+
+TEST(JsonTest, UnicodeEscapeParsing) {
+  Result<Json> parsed = Json::Parse(R"("Aé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, Numbers) {
+  Result<Json> parsed = Json::Parse("[-1.5, 0, 3e2, 1000000]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->At(0).AsDouble(), -1.5);
+  EXPECT_EQ(parsed->At(1).AsInt(), 0);
+  EXPECT_EQ(parsed->At(2).AsDouble(), 300.0);
+  EXPECT_EQ(parsed->At(3).AsInt(), 1000000);
+}
+
+TEST(JsonTest, WhitespaceTolerated) {
+  Result<Json> parsed = Json::Parse("  { \"a\" :\n[ 1 , 2 ]\t} ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("a").size(), 2u);
+}
+
+TEST(JsonTest, MalformedInputsRejected) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "{]}", "1 2",
+                          "{\"a\":1,}", "nul"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonTest, OperatorBracketConvertsToObject) {
+  Json j;  // null
+  j["key"] = 5;
+  EXPECT_TRUE(j.is_object());
+  EXPECT_TRUE(j.Has("key"));
+  EXPECT_FALSE(j.Has("other"));
+}
+
+TEST(JsonTest, EqualityComparison) {
+  Json a = Json::MakeObject();
+  a["x"] = 1;
+  Json b = Json::MakeObject();
+  b["x"] = 1;
+  EXPECT_EQ(a, b);
+  b["x"] = 2;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace quilt

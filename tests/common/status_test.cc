@@ -1,0 +1,61 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad graph");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad graph");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad graph");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kInfeasible); ++code) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(code)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result = NotFoundError("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status Fails() { return InternalError("boom"); }
+Status PropagatesStatus() {
+  QUILT_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(PropagatesStatus().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace quilt

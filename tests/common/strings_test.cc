@@ -1,0 +1,64 @@
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+
+namespace quilt {
+namespace {
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("compose-post", "compose"));
+  EXPECT_FALSE(StartsWith("compose", "compose-post"));
+  EXPECT_TRUE(EndsWith("merged.bc", ".bc"));
+  EXPECT_FALSE(EndsWith(".bc", "merged.bc"));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(5 * 1024 * 1024), "5.00 MB");
+  EXPECT_EQ(FormatBytes(3LL * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(Milliseconds(1.5), 1'500'000);
+  EXPECT_EQ(Microseconds(2), 2000);
+  EXPECT_EQ(Seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(ToMillis(Milliseconds(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(ToSeconds(kMinute), 60.0);
+}
+
+TEST(SimTimeTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(500), "500ns");
+  EXPECT_EQ(FormatDuration(Microseconds(1.5)), "1.50us");
+  EXPECT_EQ(FormatDuration(Milliseconds(20)), "20.00ms");
+  EXPECT_EQ(FormatDuration(Seconds(3)), "3.00s");
+  EXPECT_EQ(FormatDuration(kMinute * 2), "2.0min");
+  EXPECT_EQ(FormatDuration(-Milliseconds(5)), "-5.00ms");
+}
+
+}  // namespace
+}  // namespace quilt

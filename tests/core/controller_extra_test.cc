@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/deathstarbench.h"
+#include "src/core/quilt_controller.h"
+#include "src/workload/loadgen.h"
+
+namespace quilt {
+namespace {
+
+struct Harness {
+  Simulation sim;
+  Platform platform{&sim, PlatformConfig{}};
+  QuiltController controller;
+  explicit Harness(ControllerOptions options = {}) : controller(&sim, &platform, options) {}
+};
+
+TEST(ControllerExtraTest, MergedSpecCarriesImageAndBudgets) {
+  Harness h;
+  const WorkflowApp app = ReadHomeTimeline();
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+  Result<CallGraph> graph = app.ReferenceGraph();
+  ASSERT_TRUE(graph.ok());
+  QuiltCompiler compiler;
+  Result<MergedArtifact> artifact = compiler.MergeGroup(
+      *graph, FullMergeSolution(*graph).groups[0], app.Sources());
+  ASSERT_TRUE(artifact.ok());
+  Result<DeploymentSpec> spec =
+      h.controller.MergedSpec(app, *graph, FullMergeSolution(*graph).groups[0], *artifact);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->handle, "read-home-timeline");
+  EXPECT_EQ(spec->max_scale, 20);  // Sum of the two members' max-scale.
+  EXPECT_EQ(spec->container.image_size_bytes, artifact->image.size_bytes);
+  EXPECT_GT(spec->container.lazy_libs, 0);  // DelayHTTP'd libcurl closure.
+  ASSERT_NE(spec->behavior.merged, nullptr);
+  EXPECT_EQ(spec->behavior.merged->functions.size(), 2u);
+  EXPECT_EQ(spec->behavior.merged->edge_budgets.size(), 1u);
+  EXPECT_GT(spec->max_concurrent_requests, 0);  // Memory-planned cap.
+}
+
+TEST(ControllerExtraTest, ProfilingMissesDataDependentPaths) {
+  // §3 / Figure 3's dashed arrows: code paths that never executed in the
+  // profile window are absent from the reconstructed call graph.
+  ControllerOptions options;
+  options.container_memory_limit_mb = 256.0;
+  Harness h(options);
+  const WorkflowApp app = FanOutApp(/*profiled_alpha=*/8);
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+
+  h.controller.StartProfiling();
+  // Drive the workflow with num=0: the fan-out loop body never runs.
+  Json payload = Json::MakeObject();
+  payload["num"] = 0;
+  for (int i = 0; i < 20; ++i) {
+    h.platform.Invoke(kClientCaller, "fan-out-root", payload, false, [](Result<Json>) {});
+  }
+  h.sim.RunUntil(h.sim.now() + Seconds(5));  // Monitor keeps ticking: bounded run.
+  h.controller.StopProfiling();
+
+  Result<CallGraph> graph = h.controller.BuildCallGraph("fan-out-root");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), 1);  // fan-callee never observed.
+  EXPECT_EQ(graph->num_edges(), 0);
+}
+
+TEST(ControllerExtraTest, ProfiledAlphaTracksObservedFanOut) {
+  ControllerOptions options;
+  options.container_memory_limit_mb = 256.0;
+  Harness h(options);
+  const WorkflowApp app = FanOutApp(/*profiled_alpha=*/8);
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+
+  h.controller.StartProfiling();
+  // Uniform num in [1, 5]: mean 3, so alpha = ceil(mean) = 3.
+  for (int num = 1; num <= 5; ++num) {
+    Json payload = Json::MakeObject();
+    payload["num"] = num;
+    for (int i = 0; i < 10; ++i) {
+      h.platform.Invoke(kClientCaller, "fan-out-root", payload, false, [](Result<Json>) {});
+    }
+    h.sim.RunUntil(h.sim.now() + Seconds(5));
+  }
+  h.controller.StopProfiling();
+
+  Result<CallGraph> graph = h.controller.BuildCallGraph("fan-out-root");
+  ASSERT_TRUE(graph.ok());
+  const EdgeId edge =
+      graph->FindEdge(graph->FindNode("fan-out-root"), graph->FindNode("fan-callee"));
+  ASSERT_NE(edge, -1);
+  EXPECT_EQ(graph->edge(edge).alpha, 3);
+  EXPECT_EQ(graph->edge(edge).type, CallType::kAsync);
+}
+
+TEST(ControllerExtraTest, ContainerMergeRequiresRegisteredRoot) {
+  Harness h;
+  const WorkflowApp app = ReadUserReview();
+  // DeployContainerMerge goes through UpdateFunction: the root must exist.
+  EXPECT_FALSE(h.controller.DeployContainerMerge(app).ok());
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+  EXPECT_TRUE(h.controller.DeployContainerMerge(app).ok());
+}
+
+TEST(ControllerExtraTest, MultipleWorkflowsCoexist) {
+  Harness h;
+  ASSERT_TRUE(h.controller.RegisterWorkflow(ReadHomeTimeline()).ok());
+  ASSERT_TRUE(h.controller.RegisterWorkflow(ReadUserReview()).ok());
+
+  h.controller.StartProfiling();
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options options;
+  options.warmup = Seconds(2);
+  options.duration = Seconds(10);
+  generator.Run(&h.sim, &h.platform, "read-home-timeline", options);
+  generator.Run(&h.sim, &h.platform, "read-user-review", options);
+  h.controller.StopProfiling();
+
+  // Each workflow's call graph only contains its own functions.
+  Result<CallGraph> g1 = h.controller.BuildCallGraph("read-home-timeline");
+  Result<CallGraph> g2 = h.controller.BuildCallGraph("read-user-review");
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->num_nodes(), 2);
+  EXPECT_EQ(g2->num_nodes(), 2);
+  EXPECT_TRUE(h.controller.OptimizeWorkflow("read-home-timeline").ok());
+  EXPECT_TRUE(h.controller.OptimizeWorkflow("read-user-review").ok());
+}
+
+TEST(ControllerExtraTest, OptOutFunctionLimitsMerging) {
+  Harness h;
+  WorkflowApp app = ComposePost(false);
+  for (AppFunctionSpec& fn : app.functions) {
+    if (fn.handle == "text-service") {
+      fn.mergeable = false;
+    }
+  }
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+  Result<CallGraph> graph = app.ReferenceGraph();
+  ASSERT_TRUE(graph.ok());
+  // A full merge must be rejected by the compiler (opt-out, §1.1).
+  QuiltCompiler compiler;
+  EXPECT_FALSE(
+      compiler.MergeGroup(*graph, FullMergeSolution(*graph).groups[0], app.Sources()).ok());
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,91 @@
+// Reproducibility: two identical end-to-end runs (same seeds, same virtual
+// clock) must agree bit-for-bit on every reported statistic. This is the
+// property that makes the bench harness results citable.
+#include <gtest/gtest.h>
+
+#include "src/apps/deathstarbench.h"
+#include "src/core/quilt_controller.h"
+#include "src/workload/loadgen.h"
+
+namespace quilt {
+namespace {
+
+struct RunOutcome {
+  int64_t baseline_median = 0;
+  int64_t merged_median = 0;
+  int64_t completed = 0;
+  double cross_cost = 0.0;
+  int groups = 0;
+  int64_t spans = 0;
+};
+
+RunOutcome RunOnce() {
+  Simulation sim;
+  Platform platform(&sim, PlatformConfig{});
+  QuiltController controller(&sim, &platform);
+  const WorkflowApp app = PageService(true);
+  EXPECT_TRUE(controller.RegisterWorkflow(app).ok());
+
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options options;
+  options.warmup = Seconds(2);
+  options.duration = Seconds(15);
+
+  RunOutcome outcome;
+  const LoadResult baseline = generator.Run(&sim, &platform, app.root_handle, options);
+  outcome.baseline_median = baseline.latency.Median();
+
+  controller.StartProfiling();
+  generator.Run(&sim, &platform, app.root_handle, options);
+  controller.StopProfiling();
+  outcome.spans = controller.span_store()->size();
+
+  Result<MergeSolution> solution = controller.OptimizeWorkflow(app.root_handle);
+  EXPECT_TRUE(solution.ok());
+  if (solution.ok()) {
+    outcome.cross_cost = solution->cross_cost;
+    outcome.groups = solution->num_groups();
+  }
+  const LoadResult merged = generator.Run(&sim, &platform, app.root_handle, options);
+  outcome.merged_median = merged.latency.Median();
+  outcome.completed = merged.completed;
+  return outcome;
+}
+
+TEST(DeterminismTest, EndToEndRunsAreBitIdentical) {
+  const RunOutcome first = RunOnce();
+  const RunOutcome second = RunOnce();
+  EXPECT_EQ(first.baseline_median, second.baseline_median);
+  EXPECT_EQ(first.merged_median, second.merged_median);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.cross_cost, second.cross_cost);
+  EXPECT_EQ(first.groups, second.groups);
+  EXPECT_EQ(first.spans, second.spans);
+}
+
+TEST(DeterminismTest, OpenLoopPoissonIsSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    Simulation sim;
+    Platform platform(&sim, PlatformConfig{});
+    QuiltController controller(&sim, &platform);
+    EXPECT_TRUE(controller.RegisterWorkflow(NoOpFunction()).ok());
+    OpenLoopGenerator generator;
+    OpenLoopGenerator::Options options;
+    options.rps = 300;
+    options.poisson = true;
+    options.seed = seed;
+    options.warmup = Seconds(1);
+    options.duration = Seconds(10);
+    return generator.Run(&sim, &platform, "no-op", options);
+  };
+  const LoadResult a = run(7);
+  const LoadResult b = run(7);
+  const LoadResult c = run(8);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.latency.Median(), b.latency.Median());
+  // A different seed yields a different arrival pattern.
+  EXPECT_NE(a.completed, c.completed);
+}
+
+}  // namespace
+}  // namespace quilt

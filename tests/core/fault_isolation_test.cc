@@ -1,0 +1,110 @@
+// The failure-handling limitation the paper calls out (§1, Limitations):
+// with per-function containers a crashing callee produces an error response
+// the caller can handle; once the workflow is one process, any function
+// crash becomes a workflow crash.
+#include <gtest/gtest.h>
+
+#include "src/apps/app.h"
+#include "src/core/quilt_controller.h"
+#include "src/workload/loadgen.h"
+
+namespace quilt {
+namespace {
+
+// root -> fragile -> (crashes on poisoned payloads).
+WorkflowApp FragileWorkflow() {
+  WorkflowApp app;
+  app.name = "fragile";
+  app.root_handle = "fragile-root";
+
+  AppFunctionSpec root;
+  root.handle = "fragile-root";
+  root.steps = {ComputeStep{0.3},
+                CallStep{{CallItem{"fragile-leaf", 1, false}}, /*parallel=*/false},
+                ComputeStep{0.2}};
+  app.functions.push_back(root);
+
+  AppFunctionSpec leaf;
+  leaf.handle = "fragile-leaf";
+  leaf.steps = {ComputeStep{0.3}, CrashStep{/*only_on_poison=*/true}, ComputeStep{0.2}};
+  app.functions.push_back(leaf);
+  return app;
+}
+
+struct Harness {
+  Simulation sim;
+  Platform platform{&sim, PlatformConfig{}};
+  QuiltController controller{&sim, &platform};
+};
+
+Result<Json> InvokeOnce(Harness& h, const Json& payload) {
+  Result<Json> response = InternalError("no response");
+  h.platform.Invoke(kClientCaller, "fragile-root", payload, false,
+                    [&](Result<Json> r) { response = std::move(r); });
+  h.sim.RunUntil(h.sim.now() + Seconds(5));
+  return response;
+}
+
+TEST(FaultIsolationTest, BaselineIsolatesCalleeCrash) {
+  Harness h;
+  ASSERT_TRUE(h.controller.RegisterWorkflow(FragileWorkflow()).ok());
+
+  // Healthy request works.
+  EXPECT_TRUE(InvokeOnce(h, Json::MakeObject()).ok());
+
+  // Poisoned request: the callee's container dies, the caller receives an
+  // error response -- and only the callee's container was lost.
+  Json poison = Json::MakeObject();
+  poison["poison"] = true;
+  const Result<Json> response = InvokeOnce(h, poison);
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(h.platform.StatsFor("fragile-leaf")->crashes, 1);
+  EXPECT_EQ(h.platform.StatsFor("fragile-root")->crashes, 0);
+
+  // The workflow keeps serving healthy traffic afterwards.
+  EXPECT_TRUE(InvokeOnce(h, Json::MakeObject()).ok());
+}
+
+TEST(FaultIsolationTest, MergedProcessCrashTakesDownWholeWorkflow) {
+  Harness h;
+  const WorkflowApp app = FragileWorkflow();
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+  Result<CallGraph> graph = app.ReferenceGraph();
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(h.controller.DeploySolutionDirect(app, FullMergeSolution(*graph)).ok());
+
+  // Warm the merged container (no idle gap afterwards: a stale route-cache
+  // penalty would otherwise delay only the first request of the pair and
+  // separate them into different containers).
+  bool warm = false;
+  h.platform.Invoke(kClientCaller, "fragile-root", Json::MakeObject(), false,
+                    [&](Result<Json> r) { warm = r.ok(); });
+  h.sim.Run();
+  ASSERT_TRUE(warm);
+  Result<Json> bystander = InternalError("pending");
+  bool bystander_done = false;
+  {
+    Json slow = Json::MakeObject();
+    h.platform.Invoke(kClientCaller, "fragile-root", slow, false, [&](Result<Json> r) {
+      bystander = std::move(r);
+      bystander_done = true;
+    });
+  }
+  // Immediately poison the same merged process.
+  Json poison = Json::MakeObject();
+  poison["poison"] = true;
+  Result<Json> poisoned = InternalError("pending");
+  h.platform.Invoke(kClientCaller, "fragile-root", poison, false,
+                    [&](Result<Json> r) { poisoned = std::move(r); });
+  h.sim.RunUntil(h.sim.now() + Seconds(5));
+
+  // The crash is attributed to the merged workflow entry, and it killed the
+  // innocent in-flight request too: a function crash became a workflow crash.
+  EXPECT_FALSE(poisoned.ok());
+  EXPECT_GE(h.platform.StatsFor("fragile-root")->crashes, 1);
+  ASSERT_TRUE(bystander_done);
+  EXPECT_FALSE(bystander.ok());
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,159 @@
+// Merge monitoring (§1.1, §8): Quilt reconsiders merges when workloads
+// shift, rolls back misbehaving merged functions, and reverts on permission
+// revocation or function updates.
+#include <gtest/gtest.h>
+
+#include "src/apps/deathstarbench.h"
+#include "src/core/quilt_controller.h"
+#include "src/workload/loadgen.h"
+
+namespace quilt {
+namespace {
+
+struct Harness {
+  Simulation sim;
+  Platform platform{&sim, PlatformConfig{}};
+  QuiltController controller;
+  explicit Harness(ControllerOptions options = {}) : controller(&sim, &platform, options) {}
+
+  // Drives the fan-out workflow with a fixed num while profiling.
+  void ProfileFanOut(int num, int requests = 40) {
+    controller.StartProfiling();
+    Json payload = Json::MakeObject();
+    payload["num"] = num;
+    for (int i = 0; i < requests; ++i) {
+      platform.Invoke(kClientCaller, "fan-out-root", payload, false, [](Result<Json>) {});
+    }
+    sim.RunUntil(sim.now() + Seconds(5));
+    controller.StopProfiling();
+  }
+};
+
+ControllerOptions FanOutOptions() {
+  ControllerOptions options;
+  options.container_memory_limit_mb = 256.0;
+  return options;
+}
+
+TEST(MonitorTest, ReconsiderRequiresDeployedMerge) {
+  Harness h(FanOutOptions());
+  ASSERT_TRUE(h.controller.RegisterWorkflow(FanOutApp(8)).ok());
+  EXPECT_EQ(h.controller.ReconsiderWorkflow("fan-out-root").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(MonitorTest, UnchangedWorkloadKeepsMerge) {
+  Harness h(FanOutOptions());
+  ASSERT_TRUE(h.controller.RegisterWorkflow(FanOutApp(8)).ok());
+  h.ProfileFanOut(2);
+  ASSERT_TRUE(h.controller.OptimizeWorkflow("fan-out-root").ok());
+
+  h.ProfileFanOut(2);  // Same workload shape.
+  Result<QuiltController::ReconsiderReport> report =
+      h.controller.ReconsiderWorkflow("fan-out-root");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->redeployed);
+  EXPECT_FALSE(report->rolled_back);
+}
+
+TEST(MonitorTest, WorkloadDriftTriggersRedeploy) {
+  Harness h(FanOutOptions());
+  ASSERT_TRUE(h.controller.RegisterWorkflow(FanOutApp(8)).ok());
+  h.ProfileFanOut(2);
+  ASSERT_TRUE(h.controller.OptimizeWorkflow("fan-out-root").ok());
+
+  // The fan-out grows: the profiled alpha (and thus the conditional budgets)
+  // must be rebuilt.
+  h.ProfileFanOut(6);
+  Result<QuiltController::ReconsiderReport> report =
+      h.controller.ReconsiderWorkflow("fan-out-root");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->redeployed) << report->reason;
+  EXPECT_FALSE(report->rolled_back);
+}
+
+TEST(MonitorTest, OomKillsTriggerRollback) {
+  // Deploy with conditional invocations disabled so fan-outs beyond the
+  // container's capacity OOM-kill the merged function.
+  ControllerOptions options = FanOutOptions();
+  options.quiltc.conditional_invocations = false;
+  Harness h(options);
+  ASSERT_TRUE(h.controller.RegisterWorkflow(FanOutApp(8)).ok());
+  h.ProfileFanOut(2);
+  ASSERT_TRUE(h.controller.OptimizeWorkflow("fan-out-root").ok());
+
+  // A burst of oversized requests crashes merged containers.
+  Json payload = Json::MakeObject();
+  payload["num"] = 12;
+  int failed = 0;
+  for (int i = 0; i < 5; ++i) {
+    h.platform.Invoke(kClientCaller, "fan-out-root", payload, false,
+                      [&](Result<Json> r) { failed += r.ok() ? 0 : 1; });
+    h.sim.RunUntil(h.sim.now() + Seconds(2));
+  }
+  ASSERT_GT(failed, 0);
+
+  Result<QuiltController::ReconsiderReport> report =
+      h.controller.ReconsiderWorkflow("fan-out-root");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->rolled_back) << report->reason;
+
+  // After rollback the oversized request succeeds on the unmerged baseline.
+  bool ok = false;
+  h.platform.Invoke(kClientCaller, "fan-out-root", payload, false,
+                    [&](Result<Json> r) { ok = r.ok(); });
+  h.sim.RunUntil(h.sim.now() + Seconds(5));
+  EXPECT_TRUE(ok);
+}
+
+TEST(MonitorTest, RevokingPermissionRevertsWorkflow) {
+  Harness h;
+  const WorkflowApp app = ReadHomeTimeline();
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+  h.controller.StartProfiling();
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options load;
+  load.warmup = Seconds(2);
+  load.duration = Seconds(10);
+  generator.Run(&h.sim, &h.platform, app.root_handle, load);
+  h.controller.StopProfiling();
+  ASSERT_TRUE(h.controller.OptimizeWorkflow(app.root_handle).ok());
+  const LoadResult merged = generator.Run(&h.sim, &h.platform, app.root_handle, load);
+
+  ASSERT_TRUE(h.controller.RevokeMergePermission("post-storage-read").ok());
+  const LoadResult reverted = generator.Run(&h.sim, &h.platform, app.root_handle, load);
+  // Remote invocations are back.
+  EXPECT_GT(reverted.latency.Median(), merged.latency.Median());
+  // Reconsider is now a precondition failure (nothing merged is live).
+  EXPECT_FALSE(h.controller.ReconsiderWorkflow(app.root_handle).ok());
+  // And future merges of that workflow are rejected by the pipeline.
+  EXPECT_FALSE(h.controller.OptimizeWorkflow(app.root_handle).ok());
+  EXPECT_EQ(h.controller.RevokeMergePermission("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST(MonitorTest, FunctionUpdateRevertsMerge) {
+  Harness h;
+  const WorkflowApp app = ReadUserReview();
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+  h.controller.StartProfiling();
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options load;
+  load.warmup = Seconds(2);
+  load.duration = Seconds(10);
+  generator.Run(&h.sim, &h.platform, app.root_handle, load);
+  h.controller.StopProfiling();
+  ASSERT_TRUE(h.controller.OptimizeWorkflow(app.root_handle).ok());
+  const LoadResult merged = generator.Run(&h.sim, &h.platform, app.root_handle, load);
+
+  SourceFunction updated;
+  updated.handle = "user-review-storage";
+  updated.lang = Lang::kRust;
+  updated.user_code_bytes = 90 * 1024;
+  ASSERT_TRUE(h.controller.UpdateFunctionSource("user-review-storage", updated).ok());
+  const LoadResult reverted = generator.Run(&h.sim, &h.platform, app.root_handle, load);
+  EXPECT_GT(reverted.latency.Median(), merged.latency.Median());
+  EXPECT_EQ(h.controller.UpdateFunctionSource("ghost", updated).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,141 @@
+#include "src/frontend/frontend.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+SourceFunction SimpleRustFn() {
+  SourceFunction fn;
+  fn.handle = "upload-text";
+  fn.lang = Lang::kRust;
+  fn.invocations.push_back(InvocationSite{"compose-and-upload", false, false});
+  return fn;
+}
+
+TEST(FrontendTest, CompileProducesVerifiedModule) {
+  Result<IrModule> module = CompileToIr(SimpleRustFn());
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  EXPECT_TRUE(module->Verify().ok());
+  EXPECT_EQ(module->name(), "upload-text");
+  EXPECT_FALSE(module->entry_symbol().empty());
+  const IrFunction* handler = module->GetFunction(module->entry_symbol());
+  ASSERT_NE(handler, nullptr);
+  EXPECT_TRUE(handler->is_handler);
+  EXPECT_TRUE(handler->uses_get_req);
+  EXPECT_TRUE(handler->uses_send_res);
+  EXPECT_EQ(handler->param_kind, StringKind::kRustString);
+}
+
+TEST(FrontendTest, EmitsInvokeSites) {
+  Result<IrModule> module = CompileToIr(SimpleRustFn());
+  ASSERT_TRUE(module.ok());
+  const IrFunction* handler = module->GetFunction(module->entry_symbol());
+  int sync_invokes = 0;
+  for (const CallInst& call : handler->calls) {
+    if (call.opcode == CallOpcode::kSyncInvoke) {
+      ++sync_invokes;
+      EXPECT_EQ(call.target_handle, "compose-and-upload");
+    }
+  }
+  EXPECT_EQ(sync_invokes, 1);
+}
+
+TEST(FrontendTest, AsyncInvocationsLowerToAsyncInvoke) {
+  SourceFunction fn = SimpleRustFn();
+  fn.invocations[0].async = true;
+  Result<IrModule> module = CompileToIr(fn);
+  ASSERT_TRUE(module.ok());
+  const IrFunction* handler = module->GetFunction(module->entry_symbol());
+  bool found = false;
+  for (const CallInst& call : handler->calls) {
+    if (call.opcode == CallOpcode::kAsyncInvoke) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FrontendTest, ScaffoldMainPresentWithGenericName) {
+  Result<IrModule> module = CompileToIr(SimpleRustFn());
+  ASSERT_TRUE(module.ok());
+  EXPECT_TRUE(module->HasFunction("main"));
+  EXPECT_TRUE(module->HasFunction("parse_input"));
+  EXPECT_TRUE(module->HasFunction("build_response"));
+}
+
+TEST(FrontendTest, LinksHttpStackAndCtor) {
+  Result<IrModule> module = CompileToIr(SimpleRustFn());
+  ASSERT_TRUE(module.ok());
+  bool has_curl = false;
+  for (const SharedLibDep& lib : module->shared_libs()) {
+    if (lib.name == "libcurl.so.4") {
+      has_curl = true;
+      EXPECT_FALSE(lib.lazy);
+      EXPECT_EQ(lib.transitive_libs, 40);
+    }
+  }
+  EXPECT_TRUE(has_curl);
+  bool has_http_ctor = false;
+  for (const GlobalCtor& ctor : module->ctors()) {
+    if (ctor.is_http_init) {
+      has_http_ctor = true;
+    }
+  }
+  EXPECT_TRUE(has_http_ctor);
+}
+
+TEST(FrontendTest, AllLanguagesCompile) {
+  for (Lang lang : {Lang::kC, Lang::kCpp, Lang::kRust, Lang::kGo, Lang::kSwift}) {
+    SourceFunction fn;
+    fn.handle = "poly-fn";
+    fn.lang = lang;
+    Result<IrModule> module = CompileToIr(fn);
+    ASSERT_TRUE(module.ok()) << LangName(lang);
+    EXPECT_TRUE(module->Verify().ok()) << LangName(lang);
+    const IrFunction* handler = module->GetFunction(module->entry_symbol());
+    EXPECT_EQ(handler->param_kind, NativeStringKind(lang)) << LangName(lang);
+  }
+}
+
+TEST(FrontendTest, ManglingIsLanguageSpecificAndStable) {
+  const std::string rust = MangleSymbol(Lang::kRust, "my-fn", "handler");
+  const std::string cpp = MangleSymbol(Lang::kCpp, "my-fn", "handler");
+  const std::string go = MangleSymbol(Lang::kGo, "my-fn", "handler");
+  EXPECT_NE(rust, cpp);
+  EXPECT_NE(cpp, go);
+  EXPECT_EQ(rust, MangleSymbol(Lang::kRust, "my-fn", "handler"));
+  // '-' never survives mangling.
+  EXPECT_EQ(rust.find('-'), std::string::npos);
+}
+
+TEST(FrontendTest, RejectsEmptyHandle) {
+  SourceFunction fn;
+  fn.handle = "";
+  EXPECT_FALSE(CompileToIr(fn).ok());
+}
+
+TEST(FrontendTest, CompileTimeScalesWithDependencies) {
+  SourceFunction few = SimpleRustFn();
+  few.num_dependencies = 2;
+  SourceFunction many = SimpleRustFn();
+  many.num_dependencies = 20;
+  EXPECT_LT(EstimateDependencyCompileTime(few.lang, few.num_dependencies),
+            EstimateDependencyCompileTime(many.lang, many.num_dependencies));
+  // Rust dependency builds are the slowest (libstd to bitcode).
+  EXPECT_GT(EstimateDependencyCompileTime(Lang::kRust, 8),
+            EstimateDependencyCompileTime(Lang::kC, 8));
+}
+
+TEST(FrontendTest, BinaryScaleMatchesAppendixE) {
+  // A single Rust function binary should land in the 1-4 MB range the paper
+  // reports (Appendix E).
+  Result<IrModule> module = CompileToIr(SimpleRustFn());
+  ASSERT_TRUE(module.ok());
+  const int64_t total = module->TotalCodeSize();
+  EXPECT_GT(total, 1000 * 1024);
+  EXPECT_LT(total, 4000 * 1024);
+}
+
+}  // namespace
+}  // namespace quilt

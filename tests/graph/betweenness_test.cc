@@ -1,0 +1,55 @@
+#include "src/graph/betweenness.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+TEST(BetweennessTest, ChainMiddleNodeHighest) {
+  // A -> B -> C: B lies on the only A->C shortest path.
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 1, 1);
+  const NodeId b = g.AddNode("B", 1, 1);
+  const NodeId c = g.AddNode("C", 1, 1);
+  ASSERT_TRUE(g.AddEdge(a, b, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, 1, CallType::kSync).ok());
+  const std::vector<double> centrality = BetweennessCentrality(g);
+  EXPECT_DOUBLE_EQ(centrality[a], 0.0);
+  EXPECT_DOUBLE_EQ(centrality[b], 1.0);
+  EXPECT_DOUBLE_EQ(centrality[c], 0.0);
+}
+
+TEST(BetweennessTest, DiamondSplitsCredit) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 1, 1);
+  const NodeId b = g.AddNode("B", 1, 1);
+  const NodeId c = g.AddNode("C", 1, 1);
+  const NodeId d = g.AddNode("D", 1, 1);
+  ASSERT_TRUE(g.AddEdge(a, b, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(a, c, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(b, d, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(c, d, 1, CallType::kSync).ok());
+  const std::vector<double> centrality = BetweennessCentrality(g);
+  // Two equal shortest paths A->D; each middle node gets half.
+  EXPECT_DOUBLE_EQ(centrality[b], 0.5);
+  EXPECT_DOUBLE_EQ(centrality[c], 0.5);
+  EXPECT_DOUBLE_EQ(centrality[a], 0.0);
+  EXPECT_DOUBLE_EQ(centrality[d], 0.0);
+}
+
+TEST(BetweennessTest, StarCenterIsZeroForLeaves) {
+  // Root calls 3 leaves directly; no node is intermediate.
+  CallGraph g;
+  const NodeId root = g.AddNode("root", 1, 1);
+  for (int i = 0; i < 3; ++i) {
+    const NodeId leaf = g.AddNode("leaf", 1, 1);
+    ASSERT_TRUE(g.AddEdge(root, leaf, 1, CallType::kSync).ok());
+  }
+  const std::vector<double> centrality = BetweennessCentrality(g);
+  for (double c : centrality) {
+    EXPECT_DOUBLE_EQ(c, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,77 @@
+#include "src/graph/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace quilt {
+namespace {
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset bits(100);
+  EXPECT_FALSE(bits.Test(0));
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(50));
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+}
+
+TEST(BitsetTest, Count) {
+  Bitset bits(256);
+  EXPECT_EQ(bits.Count(), 0);
+  for (int i = 0; i < 256; i += 3) {
+    bits.Set(i);
+  }
+  EXPECT_EQ(bits.Count(), 86);
+}
+
+TEST(BitsetTest, UnionWith) {
+  Bitset a(70);
+  Bitset b(70);
+  a.Set(1);
+  b.Set(69);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(69));
+  EXPECT_FALSE(b.Test(1));  // b unchanged.
+}
+
+TEST(BitsetTest, Intersects) {
+  Bitset a(128);
+  Bitset b(128);
+  a.Set(100);
+  b.Set(101);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(100);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitsetTest, ForEachVisitsAscending) {
+  Bitset bits(200);
+  bits.Set(5);
+  bits.Set(64);
+  bits.Set(199);
+  std::vector<int> visited;
+  bits.ForEach([&](int i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<int>{5, 64, 199}));
+}
+
+TEST(BitsetTest, Equality) {
+  Bitset a(10);
+  Bitset b(10);
+  EXPECT_EQ(a, b);
+  a.Set(3);
+  EXPECT_FALSE(a == b);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,134 @@
+#include "src/graph/call_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+CallGraph Diamond() {
+  // A -> B, A -> C, B -> D, C -> D.
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 10);
+  const NodeId b = g.AddNode("B", 0.2, 20);
+  const NodeId c = g.AddNode("C", 0.3, 30);
+  const NodeId d = g.AddNode("D", 0.4, 40);
+  EXPECT_TRUE(g.AddEdge(a, b, 100, CallType::kSync).ok());
+  EXPECT_TRUE(g.AddEdge(a, c, 100, CallType::kAsync).ok());
+  EXPECT_TRUE(g.AddEdge(b, d, 100, CallType::kSync).ok());
+  EXPECT_TRUE(g.AddEdge(c, d, 100, CallType::kSync).ok());
+  return g;
+}
+
+TEST(CallGraphTest, BasicAccessors) {
+  CallGraph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.root(), 0);  // First node is the default root.
+  EXPECT_EQ(g.node(1).name, "B");
+  EXPECT_EQ(g.FindNode("C"), 2);
+  EXPECT_EQ(g.FindNode("missing"), kInvalidNode);
+  EXPECT_NE(g.FindEdge(0, 1), -1);
+  EXPECT_EQ(g.FindEdge(1, 0), -1);
+}
+
+TEST(CallGraphTest, InOutEdges) {
+  CallGraph g = Diamond();
+  EXPECT_EQ(g.OutEdges(0).size(), 2u);
+  EXPECT_EQ(g.InEdges(3).size(), 2u);
+  EXPECT_EQ(g.InEdges(0).size(), 0u);
+}
+
+TEST(CallGraphTest, RejectsSelfEdge) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 10);
+  EXPECT_EQ(g.AddEdge(a, a, 1, CallType::kSync).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CallGraphTest, RejectsDuplicateEdge) {
+  CallGraph g = Diamond();
+  EXPECT_EQ(g.AddEdge(0, 1, 1, CallType::kSync).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CallGraphTest, RejectsOutOfRangeEdge) {
+  CallGraph g = Diamond();
+  EXPECT_EQ(g.AddEdge(0, 17, 1, CallType::kSync).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CallGraphTest, FinalizeComputesAlpha) {
+  CallGraph g = Diamond();
+  // Weights are 100 each; with N = 30 workflow invocations, alpha = ceil(100/30) = 4.
+  ASSERT_TRUE(g.Finalize(30).ok());
+  for (const CallEdge& e : g.edges()) {
+    EXPECT_EQ(e.alpha, 4);
+  }
+  // With N = 100, alpha = 1.
+  ASSERT_TRUE(g.Finalize(100).ok());
+  for (const CallEdge& e : g.edges()) {
+    EXPECT_EQ(e.alpha, 1);
+  }
+}
+
+TEST(CallGraphTest, FinalizeRejectsNonPositiveN) {
+  CallGraph g = Diamond();
+  EXPECT_FALSE(g.Finalize(0).ok());
+  EXPECT_FALSE(g.Finalize(-5).ok());
+}
+
+TEST(CallGraphTest, ValidateDetectsCycle) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 10);
+  const NodeId b = g.AddNode("B", 0.1, 10);
+  const NodeId c = g.AddNode("C", 0.1, 10);
+  ASSERT_TRUE(g.AddEdge(a, b, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(c, b, 1, CallType::kSync).ok());  // Cycle B -> C -> B.
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(CallGraphTest, ValidateDetectsUnreachable) {
+  CallGraph g;
+  g.AddNode("A", 0.1, 10);
+  g.AddNode("island", 0.1, 10);  // No edges.
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(CallGraphTest, ValidateEmptyGraphFails) {
+  CallGraph g;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(CallGraphTest, TopologicalOrderRespectsEdges) {
+  CallGraph g = Diamond();
+  Result<std::vector<NodeId>> order = g.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> position(4);
+  for (int i = 0; i < 4; ++i) {
+    position[(*order)[i]] = i;
+  }
+  for (const CallEdge& e : g.edges()) {
+    EXPECT_LT(position[e.from], position[e.to]);
+  }
+}
+
+TEST(CallGraphTest, TotalEdgeWeight) {
+  CallGraph g = Diamond();
+  EXPECT_DOUBLE_EQ(g.TotalEdgeWeight(), 400.0);
+}
+
+TEST(CallGraphTest, SetRootOverridesDefault) {
+  CallGraph g = Diamond();
+  g.SetRoot(1);
+  EXPECT_EQ(g.root(), 1);
+  // With B as root, A and C are unreachable.
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(CallGraphTest, DebugStringMentionsNodesAndEdges) {
+  CallGraph g = Diamond();
+  const std::string s = g.DebugString();
+  EXPECT_NE(s.find("A -> B"), std::string::npos);
+  EXPECT_NE(s.find("async"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,94 @@
+#include "src/graph/descendants.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+// Chain: A(0) -> B(1) -> C(2), plus A -> C shortcut.
+CallGraph ChainWithShortcut() {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 1.0, 100);
+  const NodeId b = g.AddNode("B", 2.0, 200);
+  const NodeId c = g.AddNode("C", 4.0, 400);
+  EXPECT_TRUE(g.AddEdgeWithAlpha(a, b, 10, 1, CallType::kSync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(b, c, 20, 2, CallType::kSync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(a, c, 5, 1, CallType::kAsync).ok());
+  return g;
+}
+
+TEST(DescendantsTest, DescendantSetsIncludeSelf) {
+  CallGraph g = ChainWithShortcut();
+  DescendantAnalysis analysis(g);
+  EXPECT_EQ(analysis.Descendants(0).Count(), 3);
+  EXPECT_EQ(analysis.Descendants(1).Count(), 2);
+  EXPECT_EQ(analysis.Descendants(2).Count(), 1);
+  EXPECT_TRUE(analysis.Descendants(1).Test(1));
+  EXPECT_TRUE(analysis.Descendants(1).Test(2));
+  EXPECT_FALSE(analysis.Descendants(1).Test(0));
+}
+
+TEST(DescendantsTest, WeightedDegrees) {
+  CallGraph g = ChainWithShortcut();
+  DescendantAnalysis analysis(g);
+  EXPECT_DOUBLE_EQ(analysis.WeightedInDegree(0), 0.0);
+  EXPECT_DOUBLE_EQ(analysis.WeightedInDegree(1), 10.0);
+  EXPECT_DOUBLE_EQ(analysis.WeightedInDegree(2), 25.0);
+  EXPECT_DOUBLE_EQ(analysis.WeightedOutDegree(0), 15.0);
+  EXPECT_DOUBLE_EQ(analysis.WeightedOutDegree(2), 0.0);
+}
+
+TEST(DescendantsTest, DownstreamCpuMatchesAppendixC) {
+  CallGraph g = ChainWithShortcut();
+  DescendantAnalysis analysis(g);
+  // C_ds(C) = c_C = 4.
+  EXPECT_DOUBLE_EQ(analysis.DownstreamCpu(2), 4.0);
+  // C_ds(B) = c_B + alpha_BC * c_C = 2 + 2*4 = 10.
+  EXPECT_DOUBLE_EQ(analysis.DownstreamCpu(1), 10.0);
+  // C_ds(A) = c_A + alpha_AB*c_B + alpha_BC*c_C + alpha_AC*c_C = 1 + 2 + 8 + 4 = 15.
+  EXPECT_DOUBLE_EQ(analysis.DownstreamCpu(0), 15.0);
+}
+
+TEST(DescendantsTest, DownstreamMemoryMatchesAppendixC) {
+  CallGraph g = ChainWithShortcut();
+  DescendantAnalysis analysis(g);
+  // M_ds(C) = 400.
+  EXPECT_DOUBLE_EQ(analysis.DownstreamMemory(2), 400.0);
+  // M_ds(B) = m_B + m_C = 600 (sync edge: no concurrency multiplier).
+  EXPECT_DOUBLE_EQ(analysis.DownstreamMemory(1), 600.0);
+  // M_ds(A) = m_A + (m_B + m_C + m_C) + async AC adds (alpha-1)*m_C = 0.
+  //         = 100 + 200 + 400 + 400 = 1100.
+  EXPECT_DOUBLE_EQ(analysis.DownstreamMemory(0), 1100.0);
+}
+
+TEST(DescendantsTest, AsyncAlphaMultipliesMemory) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 10);
+  const NodeId b = g.AddNode("B", 0.1, 50);
+  // Async fan-out of 4: three extra concurrent instances of B.
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 400, 4, CallType::kAsync).ok());
+  DescendantAnalysis analysis(g);
+  EXPECT_DOUBLE_EQ(analysis.DownstreamMemory(0), 10 + 50 + 3 * 50);
+  EXPECT_DOUBLE_EQ(analysis.DownstreamCpu(0), 0.1 + 4 * 0.1);
+}
+
+TEST(DescendantsTest, SharedDownstreamNotDuplicatedInSet) {
+  // Diamond: descendants of the root contain D once.
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 1, 1);
+  const NodeId b = g.AddNode("B", 1, 1);
+  const NodeId c = g.AddNode("C", 1, 1);
+  const NodeId d = g.AddNode("D", 1, 1);
+  ASSERT_TRUE(g.AddEdge(a, b, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(a, c, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(b, d, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdge(c, d, 1, CallType::kSync).ok());
+  DescendantAnalysis analysis(g);
+  EXPECT_EQ(analysis.Descendants(a).Count(), 4);
+  // Memory counts D per internal edge (B->D and C->D): that is the paper's
+  // conservative cross-edge concurrency accounting.
+  EXPECT_DOUBLE_EQ(analysis.DownstreamMemory(a), 1 + 1 + 1 + 1 + 1);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,79 @@
+#include "src/graph/random_dag.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+TEST(RandomDagTest, GeneratedGraphsAreValidRdags) {
+  Rng rng(1234);
+  for (int n : {1, 2, 5, 10, 25, 50, 100}) {
+    RandomDagOptions options;
+    options.num_nodes = n;
+    CallGraph g = GenerateRandomRdag(options, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_TRUE(g.Validate().ok()) << "n=" << n;
+  }
+}
+
+TEST(RandomDagTest, EdgeCountNearTarget) {
+  Rng rng(99);
+  RandomDagOptions options;
+  options.num_nodes = 100;
+  options.edge_factor = 1.2;
+  CallGraph g = GenerateRandomRdag(options, rng);
+  EXPECT_GE(g.num_edges(), 99);   // At least the spanning edges.
+  EXPECT_LE(g.num_edges(), 120);  // At most the target.
+  EXPECT_GE(g.num_edges(), 110);  // Dense enough in practice.
+}
+
+TEST(RandomDagTest, AsyncFractionApproximatelyRespected) {
+  Rng rng(7);
+  RandomDagOptions options;
+  options.num_nodes = 400;
+  options.async_fraction = 0.1;
+  CallGraph g = GenerateRandomRdag(options, rng);
+  int async_edges = 0;
+  for (const CallEdge& e : g.edges()) {
+    if (e.type == CallType::kAsync) {
+      ++async_edges;
+    }
+  }
+  const double fraction = static_cast<double>(async_edges) / g.num_edges();
+  EXPECT_NEAR(fraction, 0.1, 0.05);
+}
+
+TEST(RandomDagTest, NodeAttributesWithinBounds) {
+  Rng rng(5);
+  RandomDagOptions options;
+  options.num_nodes = 50;
+  CallGraph g = GenerateRandomRdag(options, rng);
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    EXPECT_GE(g.node(id).cpu, options.cpu_min);
+    EXPECT_LE(g.node(id).cpu, options.cpu_max);
+    EXPECT_GE(g.node(id).memory, options.memory_min);
+    EXPECT_LE(g.node(id).memory, options.memory_max);
+  }
+  for (const CallEdge& e : g.edges()) {
+    EXPECT_GE(e.alpha, 1);
+    EXPECT_LE(e.alpha, options.alpha_max);
+  }
+}
+
+TEST(RandomDagTest, DeterministicForSameSeed) {
+  RandomDagOptions options;
+  options.num_nodes = 30;
+  Rng rng1(42);
+  Rng rng2(42);
+  CallGraph a = GenerateRandomRdag(options, rng1);
+  CallGraph b = GenerateRandomRdag(options, rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).from, b.edge(e).from);
+    EXPECT_EQ(a.edge(e).to, b.edge(e).to);
+    EXPECT_EQ(a.edge(e).alpha, b.edge(e).alpha);
+  }
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,191 @@
+#include "src/ir/ir_module.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/linker.h"
+#include "src/ir/size_model.h"
+
+namespace quilt {
+namespace {
+
+IrFunction MakeFn(const std::string& symbol, Linkage linkage = Linkage::kInternal,
+                  int64_t size = 1000) {
+  IrFunction fn;
+  fn.symbol = symbol;
+  fn.lang = Lang::kRust;
+  fn.linkage = linkage;
+  fn.code_size = size;
+  return fn;
+}
+
+IrFunction MakeLibFn(const std::string& symbol, const std::string& origin, int64_t size) {
+  IrFunction fn = MakeFn(symbol, Linkage::kExternal, size);
+  fn.origin = origin;
+  return fn;
+}
+
+TEST(IrModuleTest, AddAndLookup) {
+  IrModule module("m");
+  ASSERT_TRUE(module.AddFunction(MakeFn("f")).ok());
+  EXPECT_TRUE(module.HasFunction("f"));
+  EXPECT_FALSE(module.HasFunction("g"));
+  EXPECT_NE(module.GetFunction("f"), nullptr);
+  EXPECT_EQ(module.GetFunction("g"), nullptr);
+  EXPECT_EQ(module.num_functions(), 1);
+}
+
+TEST(IrModuleTest, RejectsDuplicateSymbol) {
+  IrModule module("m");
+  ASSERT_TRUE(module.AddFunction(MakeFn("f")).ok());
+  EXPECT_EQ(module.AddFunction(MakeFn("f")).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(IrModuleTest, RejectsEmptySymbol) {
+  IrModule module("m");
+  EXPECT_FALSE(module.AddFunction(MakeFn("")).ok());
+}
+
+TEST(IrModuleTest, RenameUpdatesCallSites) {
+  IrModule module("m");
+  IrFunction caller = MakeFn("caller");
+  caller.calls.push_back(CallInst{CallOpcode::kLocal, "helper", "", 0, false, false});
+  ASSERT_TRUE(module.AddFunction(std::move(caller)).ok());
+  ASSERT_TRUE(module.AddFunction(MakeFn("helper")).ok());
+  ASSERT_TRUE(module.RenameFunction("helper", "helper__x").ok());
+  EXPECT_FALSE(module.HasFunction("helper"));
+  EXPECT_TRUE(module.HasFunction("helper__x"));
+  EXPECT_EQ(module.GetFunction("caller")->calls[0].callee_symbol, "helper__x");
+}
+
+TEST(IrModuleTest, RenameUpdatesEntrySymbol) {
+  IrModule module("m");
+  ASSERT_TRUE(module.AddFunction(MakeFn("entry")).ok());
+  module.set_entry_symbol("entry");
+  ASSERT_TRUE(module.RenameFunction("entry", "entry2").ok());
+  EXPECT_EQ(module.entry_symbol(), "entry2");
+}
+
+TEST(IrModuleTest, RenameErrors) {
+  IrModule module("m");
+  ASSERT_TRUE(module.AddFunction(MakeFn("a")).ok());
+  ASSERT_TRUE(module.AddFunction(MakeFn("b")).ok());
+  EXPECT_EQ(module.RenameFunction("missing", "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(module.RenameFunction("a", "b").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(module.RenameFunction("a", "a").ok());  // No-op.
+}
+
+TEST(IrModuleTest, RemoveFunction) {
+  IrModule module("m");
+  ASSERT_TRUE(module.AddFunction(MakeFn("f")).ok());
+  ASSERT_TRUE(module.RemoveFunction("f").ok());
+  EXPECT_FALSE(module.HasFunction("f"));
+  EXPECT_EQ(module.RemoveFunction("f").code(), StatusCode::kNotFound);
+}
+
+TEST(IrModuleTest, SharedLibDedup) {
+  IrModule module("m");
+  module.AddSharedLib(SharedLibDep{"libcurl.so.4", 100, 40, false});
+  module.AddSharedLib(SharedLibDep{"libcurl.so.4", 999, 1, true});
+  ASSERT_EQ(module.shared_libs().size(), 1u);
+  EXPECT_EQ(module.shared_libs()[0].size_bytes, 100);
+}
+
+TEST(IrModuleTest, CtorDedup) {
+  IrModule module("m");
+  module.AddCtor(GlobalCtor{"curl_global_init", true});
+  module.AddCtor(GlobalCtor{"curl_global_init", true});
+  EXPECT_EQ(module.ctors().size(), 1u);
+}
+
+TEST(IrModuleTest, VerifyCatchesDanglingLocalCall) {
+  IrModule module("m");
+  IrFunction fn = MakeFn("f");
+  fn.calls.push_back(CallInst{CallOpcode::kLocal, "missing", "", 0, false, false});
+  ASSERT_TRUE(module.AddFunction(std::move(fn)).ok());
+  EXPECT_FALSE(module.Verify().ok());
+}
+
+TEST(IrModuleTest, VerifyCatchesMissingEntry) {
+  IrModule module("m");
+  module.set_entry_symbol("nope");
+  EXPECT_FALSE(module.Verify().ok());
+}
+
+TEST(IrModuleTest, VerifyCatchesInvokeWithoutHandle) {
+  IrModule module("m");
+  IrFunction fn = MakeFn("f");
+  fn.calls.push_back(CallInst{CallOpcode::kSyncInvoke, "", "", 0, false, false});
+  ASSERT_TRUE(module.AddFunction(std::move(fn)).ok());
+  EXPECT_FALSE(module.Verify().ok());
+}
+
+TEST(IrModuleTest, TotalCodeSize) {
+  IrModule module("m");
+  ASSERT_TRUE(module.AddFunction(MakeFn("a", Linkage::kInternal, 100)).ok());
+  ASSERT_TRUE(module.AddFunction(MakeFn("b", Linkage::kInternal, 250)).ok());
+  EXPECT_EQ(module.TotalCodeSize(), 350);
+}
+
+TEST(LinkerTest, LinksDisjointModules) {
+  IrModule dst("dst");
+  ASSERT_TRUE(dst.AddFunction(MakeFn("a")).ok());
+  IrModule src("src");
+  ASSERT_TRUE(src.AddFunction(MakeFn("b")).ok());
+  LinkStats stats;
+  ASSERT_TRUE(LinkInto(dst, src, &stats).ok());
+  EXPECT_TRUE(dst.HasFunction("a"));
+  EXPECT_TRUE(dst.HasFunction("b"));
+  EXPECT_EQ(stats.functions_added, 1);
+}
+
+TEST(LinkerTest, DeduplicatesIdenticalLibraryCode) {
+  IrModule dst("dst");
+  ASSERT_TRUE(dst.AddFunction(MakeLibFn("rt.rust.core", "libstd-1.79", 960)).ok());
+  IrModule src("src");
+  ASSERT_TRUE(src.AddFunction(MakeLibFn("rt.rust.core", "libstd-1.79", 960)).ok());
+  LinkStats stats;
+  ASSERT_TRUE(LinkInto(dst, src, &stats).ok());
+  EXPECT_EQ(stats.functions_deduplicated, 1);
+  EXPECT_EQ(stats.bytes_deduplicated, 960);
+  EXPECT_EQ(dst.num_functions(), 1);
+}
+
+TEST(LinkerTest, RejectsConflictingUserSymbols) {
+  IrModule dst("dst");
+  ASSERT_TRUE(dst.AddFunction(MakeFn("main")).ok());
+  IrModule src("src");
+  ASSERT_TRUE(src.AddFunction(MakeFn("main")).ok());
+  EXPECT_FALSE(LinkInto(dst, src).ok());
+}
+
+TEST(LinkerTest, RejectsLibraryVersionSkew) {
+  IrModule dst("dst");
+  ASSERT_TRUE(dst.AddFunction(MakeLibFn("rt.rust.serde", "serde-1.0", 100)).ok());
+  IrModule src("src");
+  ASSERT_TRUE(src.AddFunction(MakeLibFn("rt.rust.serde", "serde-2.0", 100)).ok());
+  EXPECT_FALSE(LinkInto(dst, src).ok());
+}
+
+TEST(LinkerTest, EagerSharedLibWinsOverLazy) {
+  IrModule dst("dst");
+  dst.AddSharedLib(SharedLibDep{"libx.so", 10, 0, true});
+  IrModule src("src");
+  src.AddSharedLib(SharedLibDep{"libx.so", 10, 0, false});
+  ASSERT_TRUE(LinkInto(dst, src).ok());
+  EXPECT_FALSE(dst.shared_libs()[0].lazy);
+}
+
+TEST(SizeModelTest, CountsCodeAndLibs) {
+  IrModule module("m");
+  ASSERT_TRUE(module.AddFunction(MakeFn("f", Linkage::kExternal, 1000)).ok());
+  module.AddSharedLib(SharedLibDep{"libc.so.6", 500, 2, false});
+  module.AddSharedLib(SharedLibDep{"libcurl.so.4", 600, 40, true});
+  const BinaryImage image = ComputeBinaryImage(module);
+  EXPECT_EQ(image.size_bytes, kElfOverheadBytes + 1000);
+  EXPECT_EQ(image.eager_libs, 3);   // libc + 2 transitive.
+  EXPECT_EQ(image.lazy_libs, 41);   // libcurl + 40 transitive.
+  EXPECT_EQ(image.eager_lib_bytes, 500);
+}
+
+}  // namespace
+}  // namespace quilt

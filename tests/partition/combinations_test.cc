@@ -1,0 +1,90 @@
+#include "src/partition/combinations.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace quilt {
+namespace {
+
+TEST(CombinationsTest, EnumeratesAll) {
+  std::set<std::vector<int>> seen;
+  ForEachCombination(5, 3, [&](const std::vector<int>& combo) {
+    seen.insert(combo);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 10u);  // C(5,3).
+  EXPECT_TRUE(seen.count({0, 1, 2}));
+  EXPECT_TRUE(seen.count({2, 3, 4}));
+}
+
+TEST(CombinationsTest, ZeroChoose) {
+  int calls = 0;
+  ForEachCombination(4, 0, [&](const std::vector<int>& combo) {
+    EXPECT_TRUE(combo.empty());
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 1);  // The empty combination.
+}
+
+TEST(CombinationsTest, InvalidKSkipsEnumeration) {
+  int calls = 0;
+  EXPECT_TRUE(ForEachCombination(3, 5, [&](const std::vector<int>&) {
+    ++calls;
+    return true;
+  }));
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CombinationsTest, EarlyAbort) {
+  int calls = 0;
+  const bool completed = ForEachCombination(6, 2, [&](const std::vector<int>&) {
+    return ++calls < 4;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(CombinationsTest, LexicographicOrder) {
+  std::vector<std::vector<int>> order;
+  ForEachCombination(4, 2, [&](const std::vector<int>& combo) {
+    order.push_back(combo);
+    return true;
+  });
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order.front(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(order.back(), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(BinomialTest, SmallValues) {
+  EXPECT_EQ(BinomialCoefficient(5, 0), 1);
+  EXPECT_EQ(BinomialCoefficient(5, 5), 1);
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10);
+  EXPECT_EQ(BinomialCoefficient(10, 5), 252);
+  EXPECT_EQ(BinomialCoefficient(3, 7), 0);
+  EXPECT_EQ(BinomialCoefficient(7, -1), 0);
+}
+
+TEST(BinomialTest, AppendixAExample) {
+  // C(99, 49) >= 10^28: saturates instead of overflowing.
+  EXPECT_EQ(BinomialCoefficient(99, 49), std::numeric_limits<int64_t>::max());
+}
+
+TEST(BinomialTest, CountMatchesEnumeration) {
+  for (int n = 1; n <= 8; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      int64_t count = 0;
+      ForEachCombination(n, k, [&](const std::vector<int>&) {
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, BinomialCoefficient(n, k)) << n << " choose " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/random_dag.h"
+#include "src/partition/ilp_encoding.h"
+
+namespace quilt {
+namespace {
+
+MergeProblem ProblemFor(const CallGraph& graph, double mem_fraction, double* limit_out) {
+  double total_mem = 0.0;
+  double max_mem = 0.0;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    total_mem += graph.node(id).memory;
+    max_mem = std::max(max_mem, graph.node(id).memory);
+  }
+  *limit_out = std::max(total_mem * mem_fraction, max_mem * 2.0);
+  return MergeProblem{&graph, 1e9, *limit_out};
+}
+
+// The compact root-absorption encoding must (a) only return solutions that
+// satisfy the true Appendix-B constraints, and (b) agree with the full
+// encoding whenever its conservative resource accounting is not binding.
+class CompactEncodingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompactEncodingTest, SoundAndNearExactOnRandomGraphs) {
+  Rng rng(5000 + GetParam());
+  RandomDagOptions options;
+  options.num_nodes = static_cast<int>(rng.UniformInt(5, 14));
+  const CallGraph graph = GenerateRandomRdag(options, rng);
+  double limit = 0.0;
+  const MergeProblem problem = ProblemFor(graph, 0.6, &limit);
+
+  // Random candidate root set including the workflow root.
+  std::vector<NodeId> roots = {graph.root()};
+  for (NodeId id = 1; id < graph.num_nodes(); ++id) {
+    if (rng.Bernoulli(0.35)) {
+      roots.push_back(id);
+    }
+  }
+
+  const Result<MergeSolution> full = SolveForRoots(problem, roots);
+  const Result<MergeSolution> compact = SolveForRootsCompact(problem, roots);
+
+  if (compact.ok()) {
+    // Soundness: the decoded members satisfy the *true* constraints.
+    EXPECT_TRUE(CheckSolution(problem, *compact).ok())
+        << CheckSolution(problem, *compact).ToString();
+    EXPECT_DOUBLE_EQ(compact->cross_cost, ComputeCrossCost(graph, *compact));
+    // The full encoding can only do as well or better.
+    ASSERT_TRUE(full.ok());
+    EXPECT_LE(full->cross_cost, compact->cross_cost + 1e-9);
+  }
+  if (!full.ok()) {
+    // If even the exact encoding is infeasible, the conservative one is too.
+    EXPECT_FALSE(compact.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CompactEncodingTest, ::testing::Range(0, 25));
+
+TEST(CompactEncodingTest, MatchesFullOnChain) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 60);
+  const NodeId b = g.AddNode("B", 0.1, 60);
+  const NodeId c = g.AddNode("C", 0.1, 60);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 10, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(b, c, 99, 1, CallType::kSync).ok());
+  MergeProblem problem{&g, 2.0, 130.0};
+  // No overlaps and no multi-caller roots: the encodings agree exactly.
+  for (const std::vector<NodeId>& roots :
+       {std::vector<NodeId>{a, b}, std::vector<NodeId>{a, c}, std::vector<NodeId>{a, b, c}}) {
+    Result<MergeSolution> full = SolveForRoots(problem, roots);
+    Result<MergeSolution> compact = SolveForRootsCompact(problem, roots);
+    ASSERT_EQ(full.ok(), compact.ok());
+    if (full.ok()) {
+      EXPECT_DOUBLE_EQ(full->cross_cost, compact->cross_cost);
+    }
+  }
+}
+
+TEST(CompactEncodingTest, LargeGraphDispatchesAutomatically) {
+  Rng rng(99);
+  RandomDagOptions options;
+  options.num_nodes = kCompactEncodingThreshold + 10;
+  const CallGraph graph = GenerateRandomRdag(options, rng);
+  double limit = 0.0;
+  const MergeProblem problem = ProblemFor(graph, 0.5, &limit);
+  // Roots: the workflow root plus a spread of candidates.
+  std::vector<NodeId> roots = {graph.root()};
+  for (NodeId id = 5; id < graph.num_nodes(); id += 7) {
+    roots.push_back(id);
+  }
+  const Result<MergeSolution> solution = SolveForRoots(problem, roots);
+  if (solution.ok()) {
+    EXPECT_TRUE(CheckSolution(problem, *solution).ok());
+  }
+}
+
+}  // namespace
+}  // namespace quilt

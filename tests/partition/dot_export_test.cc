@@ -1,0 +1,63 @@
+#include "src/partition/dot_export.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+CallGraph SmallGraph() {
+  CallGraph g;
+  const NodeId a = g.AddNode("root-fn", 0.1, 10);
+  const NodeId b = g.AddNode("leaf-fn", 0.2, 20);
+  EXPECT_TRUE(g.AddEdgeWithAlpha(a, b, 100, 3, CallType::kAsync).ok());
+  return g;
+}
+
+TEST(DotExportTest, PlainGraph) {
+  const std::string dot = ToDot(SmallGraph());
+  EXPECT_NE(dot.find("digraph callgraph"), std::string::npos);
+  EXPECT_NE(dot.find("root-fn"), std::string::npos);
+  EXPECT_NE(dot.find("leaf-fn"), std::string::npos);
+  EXPECT_NE(dot.find("a=3"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // Async edge.
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);    // Root highlight.
+  EXPECT_EQ(dot.find("cluster"), std::string::npos);
+}
+
+TEST(DotExportTest, SolutionClusters) {
+  CallGraph g;
+  const NodeId a = g.AddNode("a", 0.1, 10);
+  const NodeId b = g.AddNode("b", 0.1, 10);
+  const NodeId c = g.AddNode("c", 0.1, 10);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 5, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(b, c, 7, 1, CallType::kSync).ok());
+  MergeSolution solution;
+  solution.groups.push_back(MergeGroup{a, {a, b}});
+  solution.groups.push_back(MergeGroup{c, {c}});
+  const std::string dot = ToDot(g, solution);
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("remote"), std::string::npos);  // The cut b->c edge.
+  // The internal edge a->b stays inside cluster 0.
+  EXPECT_NE(dot.find("g0_n0 -> g0_n1"), std::string::npos);
+}
+
+TEST(DotExportTest, ClonedNodesAppearPerCluster) {
+  CallGraph g;
+  const NodeId root = g.AddNode("root", 0.1, 10);
+  const NodeId mid = g.AddNode("mid", 0.1, 10);
+  const NodeId shared = g.AddNode("shared", 0.1, 10);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(root, mid, 1, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(root, shared, 1, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(mid, shared, 9, 1, CallType::kSync).ok());
+  MergeSolution solution;
+  solution.groups.push_back(MergeGroup{root, {root, shared}});
+  solution.groups.push_back(MergeGroup{mid, {mid, shared}});
+  const std::string dot = ToDot(g, solution);
+  // "shared" rendered in both clusters.
+  EXPECT_NE(dot.find("g0_n2"), std::string::npos);
+  EXPECT_NE(dot.find("g1_n2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quilt

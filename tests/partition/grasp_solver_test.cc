@@ -1,0 +1,111 @@
+#include "src/partition/grasp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/random_dag.h"
+#include "src/partition/scorers.h"
+
+namespace quilt {
+namespace {
+
+TEST(GraspSolverTest, SolvesMediumRandomGraph) {
+  Rng graph_rng(11);
+  RandomDagOptions options;
+  options.num_nodes = 40;
+  CallGraph g = GenerateRandomRdag(options, graph_rng);
+  double total_mem = 0.0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    total_mem += g.node(id).memory;
+  }
+  MergeProblem problem{&g, 100.0, total_mem * 0.3};
+
+  DownstreamImpactScorer dih;
+  GraspSolver solver(dih);
+  Rng rng(99);
+  GraspStats stats;
+  Result<MergeSolution> solution = solver.Solve(problem, rng, {}, &stats);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(CheckSolution(problem, *solution).ok())
+      << CheckSolution(problem, *solution).ToString();
+  EXPECT_LT(solution->cross_cost, g.TotalEdgeWeight());
+  EXPECT_GT(stats.stage1_attempts, 0);
+  EXPECT_GT(stats.ilp_solves, 0);
+}
+
+TEST(GraspSolverTest, RefinementNeverWorsensCost) {
+  Rng graph_rng(21);
+  RandomDagOptions options;
+  options.num_nodes = 25;
+  CallGraph g = GenerateRandomRdag(options, graph_rng);
+  double total_mem = 0.0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    total_mem += g.node(id).memory;
+  }
+  MergeProblem problem{&g, 100.0, total_mem * 0.4};
+
+  DownstreamImpactScorer dih;
+  GraspSolver solver(dih);
+
+  // Run once with refinement disabled and once with it on: refinement can
+  // only improve (or match) the stage-1 cost because removals require strict
+  // improvement.
+  GraspOptions no_refine;
+  no_refine.max_refinement_rounds = 1;  // One pass, may find nothing.
+  Rng rng1(5);
+  Result<MergeSolution> coarse = solver.Solve(problem, rng1, no_refine);
+  ASSERT_TRUE(coarse.ok());
+
+  GraspOptions full;
+  Rng rng2(5);
+  Result<MergeSolution> refined = solver.Solve(problem, rng2, full);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_LE(refined->cross_cost, coarse->cross_cost + 1e-9);
+}
+
+TEST(GraspSolverTest, TightConstraintsGrowThePool) {
+  // Per-node memory 30..60; cap groups to ~2 nodes so stage 1 needs many
+  // roots before feasibility.
+  Rng graph_rng(31);
+  RandomDagOptions options;
+  options.num_nodes = 15;
+  options.memory_min = 30;
+  options.memory_max = 60;
+  CallGraph g = GenerateRandomRdag(options, graph_rng);
+  MergeProblem problem{&g, 100.0, 125.0};
+
+  DownstreamImpactScorer dih;
+  GraspSolver solver(dih);
+  Rng rng(1);
+  GraspOptions grasp_options;
+  grasp_options.initial_pool_size = 1;
+  GraspStats stats;
+  Result<MergeSolution> solution = solver.Solve(problem, rng, grasp_options, &stats);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(CheckSolution(problem, *solution).ok());
+  EXPECT_GT(stats.final_pool_size, 1);
+}
+
+TEST(GraspSolverTest, DeterministicGivenSeed) {
+  Rng graph_rng(41);
+  RandomDagOptions options;
+  options.num_nodes = 20;
+  CallGraph g = GenerateRandomRdag(options, graph_rng);
+  double total_mem = 0.0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    total_mem += g.node(id).memory;
+  }
+  MergeProblem problem{&g, 100.0, total_mem * 0.4};
+  DownstreamImpactScorer dih;
+  GraspSolver solver(dih);
+  Rng rng_a(123);
+  Rng rng_b(123);
+  Result<MergeSolution> a = solver.Solve(problem, rng_a);
+  Result<MergeSolution> b = solver.Solve(problem, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->cross_cost, b->cross_cost);
+  EXPECT_EQ(a->num_groups(), b->num_groups());
+}
+
+}  // namespace
+}  // namespace quilt

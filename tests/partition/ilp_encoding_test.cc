@@ -1,0 +1,122 @@
+#include "src/partition/ilp_encoding.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+CallGraph Chain3(double mem_each) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, mem_each);
+  const NodeId b = g.AddNode("B", 0.1, mem_each);
+  const NodeId c = g.AddNode("C", 0.1, mem_each);
+  EXPECT_TRUE(g.AddEdgeWithAlpha(a, b, 10, 1, CallType::kSync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(b, c, 20, 1, CallType::kSync).ok());
+  return g;
+}
+
+TEST(IlpEncodingTest, SingleRootFullMergeWhenItFits) {
+  CallGraph g = Chain3(10);
+  MergeProblem problem{&g, 2.0, 100.0};
+  Result<MergeSolution> solution = SolveForRoots(problem, {0});
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->num_groups(), 1);
+  EXPECT_EQ(solution->groups[0].members.size(), 3u);
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 0.0);
+  EXPECT_TRUE(CheckSolution(problem, *solution).ok());
+}
+
+TEST(IlpEncodingTest, SingleRootInfeasibleWhenTooBig) {
+  CallGraph g = Chain3(60);  // Merge of 3 nodes needs 180 MB.
+  MergeProblem problem{&g, 2.0, 100.0};
+  const Result<MergeSolution> solution = SolveForRoots(problem, {0});
+  EXPECT_FALSE(solution.ok());
+}
+
+TEST(IlpEncodingTest, TwoRootsSplitChainAtCheaperEdge) {
+  CallGraph g = Chain3(60);  // Any two nodes fit (120 MB? no: limit 130).
+  MergeProblem problem{&g, 2.0, 130.0};
+  // Roots {A, B}: must cut A->B (weight 10), C joins B's group.
+  Result<MergeSolution> solution = SolveForRoots(problem, {0, 1});
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 10.0);
+  EXPECT_TRUE(CheckSolution(problem, *solution).ok());
+
+  // Roots {A, C}: must cut B->C (weight 20), B joins A's group.
+  solution = SolveForRoots(problem, {0, 2});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 20.0);
+}
+
+TEST(IlpEncodingTest, CloningSharedCalleeBeatsCutting) {
+  // Root fans out to two mid nodes which both call a shared leaf; memory
+  // only allows 3-node groups. Cloning the leaf into both groups costs just
+  // the one cut into the second mid node.
+  CallGraph g;
+  const NodeId root = g.AddNode("root", 0.1, 10);
+  const NodeId m1 = g.AddNode("m1", 0.1, 10);
+  const NodeId m2 = g.AddNode("m2", 0.1, 10);
+  const NodeId leaf = g.AddNode("leaf", 0.1, 10);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(root, m1, 5, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(root, m2, 5, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(m1, leaf, 50, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(m2, leaf, 50, 1, CallType::kSync).ok());
+  MergeProblem problem{&g, 2.0, 35.0};  // Fits root + m1 + leaf (mem 30, leaf once).
+
+  Result<MergeSolution> solution = SolveForRoots(problem, {root, m2});
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  // Group(root) = {root, m1, leaf}; group(m2) = {m2, leaf}. Only cut:
+  // root->m2 (weight 5). The heavy m->leaf edges stay internal via cloning.
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 5.0);
+  EXPECT_TRUE(CheckSolution(problem, *solution).ok());
+  EXPECT_TRUE(solution->groups[0].Contains(leaf));
+  EXPECT_TRUE(solution->groups[1].Contains(leaf));
+}
+
+TEST(IlpEncodingTest, CpuConstraintForcesSplit) {
+  // High-alpha edge makes the callee CPU-expensive inside a merge.
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.5, 10);
+  const NodeId b = g.AddNode("B", 0.5, 10);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 800, 8, CallType::kSync).ok());
+  MergeProblem problem{&g, 2.0, 1000.0};  // Merge needs 0.5 + 8*0.5 = 4.5 vCPU.
+  EXPECT_FALSE(SolveForRoots(problem, {a}).ok());
+  // With b as its own root the baseline split works.
+  Result<MergeSolution> split = SolveForRoots(problem, {a, b});
+  ASSERT_TRUE(split.ok());
+  EXPECT_DOUBLE_EQ(split->cross_cost, 800.0);
+}
+
+TEST(IlpEncodingTest, AsyncMemoryMultiplierForcesSplit) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 10);
+  const NodeId b = g.AddNode("B", 0.1, 40);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 400, 4, CallType::kAsync).ok());
+  // Merge memory: 10 + 40 + 3*40 = 170 > 150.
+  MergeProblem problem{&g, 8.0, 150.0};
+  EXPECT_FALSE(SolveForRoots(problem, {a}).ok());
+  // Sync version of the same edge needs only 50 MB.
+  CallGraph g2;
+  const NodeId a2 = g2.AddNode("A", 0.1, 10);
+  const NodeId b2 = g2.AddNode("B", 0.1, 40);
+  ASSERT_TRUE(g2.AddEdgeWithAlpha(a2, b2, 400, 4, CallType::kSync).ok());
+  MergeProblem problem2{&g2, 8.0, 150.0};
+  EXPECT_TRUE(SolveForRoots(problem2, {a2}).ok());
+}
+
+TEST(IlpEncodingTest, DecodeProducesCheckableSolutions) {
+  CallGraph g = Chain3(30);
+  MergeProblem problem{&g, 2.0, 70.0};  // Only 2 nodes fit together.
+  for (const std::vector<NodeId>& roots :
+       {std::vector<NodeId>{0, 1}, std::vector<NodeId>{0, 2}, std::vector<NodeId>{0, 1, 2}}) {
+    Result<MergeSolution> solution = SolveForRoots(problem, roots);
+    ASSERT_TRUE(solution.ok()) << "roots size " << roots.size();
+    EXPECT_TRUE(CheckSolution(problem, *solution).ok())
+        << CheckSolution(problem, *solution).ToString();
+    // Objective must equal the recomputed cross cost.
+    EXPECT_DOUBLE_EQ(solution->cross_cost, ComputeCrossCost(g, *solution));
+  }
+}
+
+}  // namespace
+}  // namespace quilt

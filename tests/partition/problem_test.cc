@@ -1,0 +1,167 @@
+#include "src/partition/problem.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+// Figure-3-like graph: root calls three uploaders, which all call
+// compose-and-upload.
+CallGraph MovieReviewLike() {
+  CallGraph g;
+  const NodeId root = g.AddNode("compose-review", 0.2, 40);
+  const NodeId uid = g.AddNode("upload-user-id", 0.1, 20);
+  const NodeId rating = g.AddNode("upload-rating", 0.1, 20);
+  const NodeId text = g.AddNode("upload-text", 0.1, 30);
+  const NodeId cau = g.AddNode("compose-and-upload", 0.15, 25);
+  EXPECT_TRUE(g.AddEdgeWithAlpha(root, uid, 100, 1, CallType::kAsync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(root, rating, 100, 1, CallType::kAsync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(root, text, 100, 1, CallType::kAsync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(uid, cau, 100, 1, CallType::kSync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(rating, cau, 100, 1, CallType::kSync).ok());
+  EXPECT_TRUE(g.AddEdgeWithAlpha(text, cau, 100, 1, CallType::kSync).ok());
+  return g;
+}
+
+TEST(MergeProblemTest, ValidateAcceptsReasonableProblem) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 256.0};
+  EXPECT_TRUE(problem.Validate().ok());
+}
+
+TEST(MergeProblemTest, ValidateRejectsNullGraph) {
+  MergeProblem problem{nullptr, 2.0, 256.0};
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST(MergeProblemTest, ValidateRejectsOversizedFunction) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 25.0};  // compose-review needs 40 MB.
+  EXPECT_EQ(problem.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MergeProblemTest, ValidateRejectsNonPositiveLimits) {
+  CallGraph g = MovieReviewLike();
+  EXPECT_FALSE((MergeProblem{&g, 0.0, 256.0}).Validate().ok());
+  EXPECT_FALSE((MergeProblem{&g, 2.0, -1.0}).Validate().ok());
+}
+
+TEST(GroupResourcesTest, FullMergeAccounting) {
+  CallGraph g = MovieReviewLike();
+  const MergeSolution full = FullMergeSolution(g);
+  const GroupResources res = ComputeGroupResources(g, full.groups[0]);
+  // CPU: root 0.2 + three async callees (0.1 each, alpha 1) + cau via three
+  // edges (0.15 * 3) = 0.2 + 0.3 + 0.45 = 0.95.
+  EXPECT_NEAR(res.cpu, 0.95, 1e-9);
+  // Memory: 40 + (20+20+30) + cau counted per internal edge (25*3) = 185.
+  EXPECT_NEAR(res.memory, 185.0, 1e-9);
+}
+
+TEST(GroupResourcesTest, AsyncAlphaAddsConcurrentInstances) {
+  CallGraph g;
+  const NodeId a = g.AddNode("a", 0.1, 10);
+  const NodeId b = g.AddNode("b", 0.2, 50);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 300, 3, CallType::kAsync).ok());
+  const GroupResources res = ComputeGroupResources(g, MergeGroup{a, {a, b}});
+  EXPECT_NEAR(res.cpu, 0.1 + 3 * 0.2, 1e-9);
+  EXPECT_NEAR(res.memory, 10 + 50 + 2 * 50, 1e-9);
+}
+
+TEST(CrossCostTest, BaselineCostsAllEdges) {
+  CallGraph g = MovieReviewLike();
+  const MergeSolution baseline = BaselineSolution(g);
+  EXPECT_DOUBLE_EQ(baseline.cross_cost, 600.0);
+  EXPECT_DOUBLE_EQ(ComputeCrossCost(g, baseline), 600.0);
+}
+
+TEST(CrossCostTest, FullMergeCostsNothing) {
+  CallGraph g = MovieReviewLike();
+  const MergeSolution full = FullMergeSolution(g);
+  EXPECT_DOUBLE_EQ(ComputeCrossCost(g, full), 0.0);
+}
+
+TEST(CrossCostTest, CloningAvoidsCuts) {
+  CallGraph g = MovieReviewLike();
+  // Two groups: {root, uid, rating, cau} and {text, cau}: text is a root,
+  // cau cloned into both. Cut edges: root->text only (weight 100).
+  MergeSolution solution;
+  solution.groups.push_back(MergeGroup{0, {0, 1, 2, 4}});
+  solution.groups.push_back(MergeGroup{3, {3, 4}});
+  EXPECT_DOUBLE_EQ(ComputeCrossCost(g, solution), 100.0);
+}
+
+TEST(CheckSolutionTest, AcceptsValidTwoGroupSolution) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 256.0};
+  MergeSolution solution;
+  solution.groups.push_back(MergeGroup{0, {0, 1, 2, 4}});
+  solution.groups.push_back(MergeGroup{3, {3, 4}});
+  EXPECT_TRUE(CheckSolution(problem, solution).ok());
+}
+
+TEST(CheckSolutionTest, RejectsMissingCoverage) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 256.0};
+  MergeSolution solution;
+  solution.groups.push_back(MergeGroup{0, {0, 1, 2}});  // text & cau missing.
+  EXPECT_FALSE(CheckSolution(problem, solution).ok());
+}
+
+TEST(CheckSolutionTest, RejectsDuplicateRoots) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 256.0};
+  MergeSolution solution;
+  solution.groups.push_back(MergeGroup{0, {0, 1, 2, 3, 4}});
+  solution.groups.push_back(MergeGroup{0, {0, 1}});
+  EXPECT_FALSE(CheckSolution(problem, solution).ok());
+}
+
+TEST(CheckSolutionTest, RejectsDisconnectedGroup) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 256.0};
+  MergeSolution solution;
+  // cau (4) not reachable from root 0 inside {0, 4}: requires an uploader.
+  solution.groups.push_back(MergeGroup{0, {0, 4}});
+  solution.groups.push_back(MergeGroup{1, {1, 4}});
+  solution.groups.push_back(MergeGroup{2, {2, 4}});
+  solution.groups.push_back(MergeGroup{3, {3, 4}});
+  EXPECT_FALSE(CheckSolution(problem, solution).ok());
+}
+
+TEST(CheckSolutionTest, RejectsResourceViolation) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 0.5, 256.0};  // Full merge needs 0.95 vCPUs.
+  const MergeSolution full = FullMergeSolution(g);
+  EXPECT_EQ(CheckSolution(problem, full).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CheckSolutionTest, RejectsCutEdgeToNonRoot) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 256.0};
+  MergeSolution solution;
+  // Cut root->text but text is not a group root anywhere.
+  solution.groups.push_back(MergeGroup{0, {0, 1, 2, 4}});
+  solution.groups.push_back(MergeGroup{4, {4}});
+  // text (3) uncovered too; make a group rooted elsewhere containing it is
+  // impossible, so this should fail on coverage/cut rules.
+  EXPECT_FALSE(CheckSolution(problem, solution).ok());
+}
+
+TEST(CheckSolutionTest, RequiresWorkflowRootGroup) {
+  CallGraph g = MovieReviewLike();
+  MergeProblem problem{&g, 2.0, 256.0};
+  MergeSolution solution;
+  solution.groups.push_back(MergeGroup{1, {1, 4}});
+  EXPECT_FALSE(CheckSolution(problem, solution).ok());
+}
+
+TEST(SolutionToStringTest, ContainsGroupInfo) {
+  CallGraph g = MovieReviewLike();
+  const MergeSolution full = FullMergeSolution(g);
+  const std::string s = SolutionToString(g, full);
+  EXPECT_NE(s.find("compose-review"), std::string::npos);
+  EXPECT_NE(s.find("cpu="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quilt

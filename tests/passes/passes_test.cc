@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/frontend.h"
+#include "src/ir/linker.h"
+#include "src/passes/dce.h"
+#include "src/passes/delay_http.h"
+#include "src/passes/implib_wrap.h"
+#include "src/passes/merge_func.h"
+#include "src/passes/rename_func.h"
+#include "src/passes/shims.h"
+
+namespace quilt {
+namespace {
+
+SourceFunction Caller(Lang lang = Lang::kRust) {
+  SourceFunction fn;
+  fn.handle = "caller-fn";
+  fn.lang = lang;
+  fn.invocations.push_back(InvocationSite{"callee-fn", false, false});
+  return fn;
+}
+
+SourceFunction Callee(Lang lang = Lang::kRust) {
+  SourceFunction fn;
+  fn.handle = "callee-fn";
+  fn.lang = lang;
+  return fn;
+}
+
+// Compiles caller+callee, renames the callee, links: the state right before
+// MergeFunc runs.
+IrModule LinkedPair(Lang caller_lang = Lang::kRust, Lang callee_lang = Lang::kRust) {
+  IrModule caller = std::move(CompileToIr(Caller(caller_lang))).value();
+  IrModule callee = std::move(CompileToIr(Callee(callee_lang))).value();
+  Result<RenameResult> renamed = RunRenameFuncPass(callee, "callee_fn");
+  EXPECT_TRUE(renamed.ok());
+  EXPECT_TRUE(LinkInto(caller, callee).ok());
+  return caller;
+}
+
+TEST(RenameFuncTest, RenamesUserSymbolsOnly) {
+  IrModule module = std::move(CompileToIr(Callee())).value();
+  Result<RenameResult> result = RunRenameFuncPass(module, "callee_fn");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.changed);
+  EXPECT_FALSE(module.HasFunction("main"));
+  EXPECT_TRUE(module.HasFunction("main__callee_fn"));
+  EXPECT_FALSE(module.HasFunction("parse_input"));
+  EXPECT_TRUE(module.HasFunction("parse_input__callee_fn"));
+  // Library code keeps its symbols for link-time dedup.
+  EXPECT_TRUE(module.HasFunction("rt.rust.core"));
+  EXPECT_TRUE(module.Verify().ok());
+}
+
+TEST(RenameFuncTest, Idempotent) {
+  IrModule module = std::move(CompileToIr(Callee())).value();
+  ASSERT_TRUE(RunRenameFuncPass(module, "x").ok());
+  Result<RenameResult> second = RunRenameFuncPass(module, "x");
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->stats.changed);
+}
+
+TEST(RenameFuncTest, RejectsEmptySuffix) {
+  IrModule module = std::move(CompileToIr(Callee())).value();
+  EXPECT_FALSE(RunRenameFuncPass(module, "").ok());
+}
+
+TEST(RenameFuncTest, EnablesLinkingTwoSameLanguageFunctions) {
+  // Without RenameFunc, linking collides on "main"; with it, linking works
+  // and shared dependencies deduplicate.
+  IrModule caller = std::move(CompileToIr(Caller())).value();
+  IrModule callee = std::move(CompileToIr(Callee())).value();
+  IrModule callee_copy = callee;
+  EXPECT_FALSE(LinkInto(caller, callee_copy).ok());
+
+  ASSERT_TRUE(RunRenameFuncPass(callee, "callee_fn").ok());
+  LinkStats stats;
+  ASSERT_TRUE(LinkInto(caller, callee, &stats).ok());
+  EXPECT_GT(stats.functions_deduplicated, 0);  // libstd/serde/invoke glue.
+}
+
+TEST(MergeFuncTest, LocalizesInvokeAndRemovesScaffold) {
+  IrModule module = LinkedPair();
+  const std::string callee_entry =
+      RenamedSymbol(MangleSymbol(Lang::kRust, "callee-fn", "handler"), "callee_fn");
+  MergeFuncOptions options;
+  options.callee_handle = "callee-fn";
+  options.callee_entry_symbol = callee_entry;
+  options.callee_scaffold_symbol = "main__callee_fn";
+  options.profiled_alpha = 3;
+  Result<PassStats> stats = RunMergeFuncPass(module, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->counter("calls_localized"), 1);
+  EXPECT_EQ(stats->counter("scaffolds_removed"), 1);
+  EXPECT_FALSE(module.HasFunction("main__callee_fn"));
+
+  // The callee is now a plain local function.
+  const IrFunction* callee = module.GetFunction(callee_entry);
+  ASSERT_NE(callee, nullptr);
+  EXPECT_FALSE(callee->is_handler);
+  EXPECT_FALSE(callee->uses_get_req);
+
+  // The caller's invoke became a budgeted local call.
+  const IrFunction* handler =
+      module.GetFunction(MangleSymbol(Lang::kRust, "caller-fn", "handler"));
+  ASSERT_NE(handler, nullptr);
+  bool found = false;
+  for (const CallInst& call : handler->calls) {
+    if (call.localized) {
+      found = true;
+      EXPECT_EQ(call.opcode, CallOpcode::kLocal);
+      EXPECT_EQ(call.callee_symbol, callee_entry);
+      EXPECT_EQ(call.target_handle, "callee-fn");  // Fallback preserved.
+      EXPECT_EQ(call.budget, 3);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(module.Verify().ok());
+}
+
+TEST(MergeFuncTest, UnconditionalModeHasZeroBudget) {
+  IrModule module = LinkedPair();
+  MergeFuncOptions options;
+  options.callee_handle = "callee-fn";
+  options.callee_entry_symbol =
+      RenamedSymbol(MangleSymbol(Lang::kRust, "callee-fn", "handler"), "callee_fn");
+  options.conditional_invocations = false;
+  options.profiled_alpha = 5;
+  ASSERT_TRUE(RunMergeFuncPass(module, options).ok());
+  const IrFunction* handler =
+      module.GetFunction(MangleSymbol(Lang::kRust, "caller-fn", "handler"));
+  for (const CallInst& call : handler->calls) {
+    if (call.localized) {
+      EXPECT_EQ(call.budget, 0);
+    }
+  }
+}
+
+TEST(MergeFuncTest, PerFunctionBudgetOverride) {
+  IrModule module = LinkedPair();
+  const std::string caller_handler = MangleSymbol(Lang::kRust, "caller-fn", "handler");
+  MergeFuncOptions options;
+  options.callee_handle = "callee-fn";
+  options.callee_entry_symbol =
+      RenamedSymbol(MangleSymbol(Lang::kRust, "callee-fn", "handler"), "callee_fn");
+  options.profiled_alpha = 1;
+  options.budget_by_function_symbol[caller_handler] = 7;
+  ASSERT_TRUE(RunMergeFuncPass(module, options).ok());
+  const IrFunction* handler = module.GetFunction(caller_handler);
+  for (const CallInst& call : handler->calls) {
+    if (call.localized) {
+      EXPECT_EQ(call.budget, 7);
+    }
+  }
+}
+
+TEST(MergeFuncTest, MissingCalleeEntryFails) {
+  IrModule module = LinkedPair();
+  MergeFuncOptions options;
+  options.callee_handle = "callee-fn";
+  options.callee_entry_symbol = "nonexistent";
+  EXPECT_FALSE(RunMergeFuncPass(module, options).ok());
+}
+
+TEST(MergeFuncTest, CrossLanguageInsertsShims) {
+  IrModule module = LinkedPair(Lang::kRust, Lang::kSwift);
+  const std::string callee_entry =
+      RenamedSymbol(MangleSymbol(Lang::kSwift, "callee-fn", "handler"), "callee_fn");
+  MergeFuncOptions options;
+  options.callee_handle = "callee-fn";
+  options.callee_entry_symbol = callee_entry;
+  options.callee_scaffold_symbol = "main__callee_fn";
+  Result<PassStats> stats = RunMergeFuncPass(module, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->counter("cross_lang_shims"), 1);
+  EXPECT_TRUE(module.HasFunction("c2callee_callee_fn"));
+  EXPECT_TRUE(module.HasFunction("caller2c_callee_fn_from_rust"));
+  // The shim chain: caller2c (rust, native strings) -> c2callee (swift,
+  // char*) -> callee handler.
+  const IrFunction* caller2c = module.GetFunction("caller2c_callee_fn_from_rust");
+  EXPECT_EQ(caller2c->lang, Lang::kRust);
+  EXPECT_EQ(caller2c->param_kind, StringKind::kRustString);
+  EXPECT_EQ(caller2c->calls[0].callee_symbol, "c2callee_callee_fn");
+  const IrFunction* c2callee = module.GetFunction("c2callee_callee_fn");
+  EXPECT_EQ(c2callee->lang, Lang::kSwift);
+  EXPECT_EQ(c2callee->param_kind, StringKind::kCChar);
+  EXPECT_EQ(c2callee->calls[0].callee_symbol, callee_entry);
+  EXPECT_TRUE(module.Verify().ok());
+}
+
+TEST(ShimsTest, ReusedAcrossMultipleCallers) {
+  IrModule module = LinkedPair(Lang::kGo, Lang::kRust);
+  const std::string callee_entry =
+      RenamedSymbol(MangleSymbol(Lang::kRust, "callee-fn", "handler"), "callee_fn");
+  Result<std::string> first =
+      EnsureCrossLangShims(module, Lang::kGo, callee_entry, "callee-fn");
+  ASSERT_TRUE(first.ok());
+  const int functions_before = module.num_functions();
+  Result<std::string> second =
+      EnsureCrossLangShims(module, Lang::kGo, callee_entry, "callee-fn");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(module.num_functions(), functions_before);
+}
+
+TEST(ShimsTest, MissingTargetErrors) {
+  IrModule module("m");
+  EXPECT_FALSE(EnsureCrossLangShims(module, Lang::kRust, "missing", "h").ok());
+}
+
+TEST(DelayHttpTest, DefersCtorAndCurl) {
+  IrModule module = LinkedPair();
+  Result<PassStats> stats = RunDelayHttpPass(module);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->counter("ctors_deferred"), 1);
+  EXPECT_EQ(stats->counter("libs_deferred"), 1);
+  for (const GlobalCtor& ctor : module.ctors()) {
+    EXPECT_FALSE(ctor.is_http_init);
+  }
+  bool curl_lazy = false;
+  for (const SharedLibDep& lib : module.shared_libs()) {
+    if (lib.name == "libcurl.so.4") {
+      curl_lazy = lib.lazy;
+    }
+  }
+  EXPECT_TRUE(curl_lazy);
+}
+
+TEST(DelayHttpTest, IdempotentOnSecondRun) {
+  IrModule module = LinkedPair();
+  ASSERT_TRUE(RunDelayHttpPass(module).ok());
+  Result<PassStats> second = RunDelayHttpPass(module);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->changed);
+}
+
+TEST(DceTest, RemovesUnreachableScaffold) {
+  IrModule module = LinkedPair();
+  const std::string callee_entry =
+      RenamedSymbol(MangleSymbol(Lang::kRust, "callee-fn", "handler"), "callee_fn");
+  MergeFuncOptions mf;
+  mf.callee_handle = "callee-fn";
+  mf.callee_entry_symbol = callee_entry;
+  mf.callee_scaffold_symbol = "main__callee_fn";
+  ASSERT_TRUE(RunMergeFuncPass(module, mf).ok());
+
+  DceOptions dce;
+  dce.extra_roots = {"main"};
+  Result<PassStats> stats = RunDcePass(module, dce);
+  ASSERT_TRUE(stats.ok());
+  // Callee helpers reachable through the callee entry stay; anything else
+  // unreferenced is gone.
+  EXPECT_TRUE(module.HasFunction(callee_entry));
+  EXPECT_TRUE(module.HasFunction("parse_input__callee_fn"));
+  EXPECT_TRUE(module.Verify().ok());
+}
+
+TEST(DceTest, ConditionalFallbackKeepsHttpStack) {
+  IrModule module = LinkedPair();
+  const std::string callee_entry =
+      RenamedSymbol(MangleSymbol(Lang::kRust, "callee-fn", "handler"), "callee_fn");
+  MergeFuncOptions mf;
+  mf.callee_handle = "callee-fn";
+  mf.callee_entry_symbol = callee_entry;
+  mf.callee_scaffold_symbol = "main__callee_fn";
+  mf.profiled_alpha = 2;  // Conditional: fallback possible.
+  ASSERT_TRUE(RunMergeFuncPass(module, mf).ok());
+  DceOptions dce;
+  dce.extra_roots = {"main"};
+  ASSERT_TRUE(RunDcePass(module, dce).ok());
+  EXPECT_TRUE(module.HasFunction("rt.rust.sync_inv"));
+  bool curl_present = false;
+  for (const SharedLibDep& lib : module.shared_libs()) {
+    if (lib.name == "libcurl.so.4") {
+      curl_present = true;
+    }
+  }
+  EXPECT_TRUE(curl_present);
+}
+
+TEST(DceTest, RequiresRoots) {
+  IrModule module("empty");
+  EXPECT_FALSE(RunDcePass(module).ok());
+}
+
+TEST(ImplibWrapTest, WrapsColdHttpStack) {
+  IrModule module = LinkedPair();
+  const std::string callee_entry =
+      RenamedSymbol(MangleSymbol(Lang::kRust, "callee-fn", "handler"), "callee_fn");
+  MergeFuncOptions mf;
+  mf.callee_handle = "callee-fn";
+  mf.callee_entry_symbol = callee_entry;
+  mf.callee_scaffold_symbol = "main__callee_fn";
+  ASSERT_TRUE(RunMergeFuncPass(module, mf).ok());
+  Result<PassStats> stats = RunImplibWrapPass(module);
+  ASSERT_TRUE(stats.ok());
+  bool curl_lazy = false;
+  for (const SharedLibDep& lib : module.shared_libs()) {
+    if (lib.name == "libcurl.so.4") {
+      curl_lazy = lib.lazy;
+    }
+    if (lib.name == "libc.so.6") {
+      EXPECT_FALSE(lib.lazy);  // libc never wrapped.
+    }
+  }
+  EXPECT_TRUE(curl_lazy);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,71 @@
+#include "src/platform/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+const WorkerSpec kWorker{16.0, 32768.0};
+
+TEST(ClusterTest, EmptyRequest) {
+  const PlacementResult result = PlaceContainers({}, kWorker, 10);
+  EXPECT_EQ(result.workers_used, 0);
+  EXPECT_EQ(result.containers_placed, 0);
+  EXPECT_EQ(result.stranded_cpu, 0.0);
+}
+
+TEST(ClusterTest, SmallContainersPackDensely) {
+  // 32 containers of 2 vCPU fill exactly 4 workers of 16 vCPU.
+  const PlacementResult result =
+      PlaceContainers({{"fn", 2.0, 1024.0, 32}}, kWorker, 10);
+  EXPECT_EQ(result.containers_placed, 32);
+  EXPECT_EQ(result.workers_used, 4);
+  EXPECT_EQ(result.stranded_cpu, 0.0);
+}
+
+TEST(ClusterTest, GiantContainersStrandResources) {
+  // 12-vCPU merged monsters: one per 16-vCPU worker, stranding 4 vCPUs each
+  // -- the §4 fragmentation argument.
+  const PlacementResult result =
+      PlaceContainers({{"merged", 12.0, 8192.0, 4}}, kWorker, 10);
+  EXPECT_EQ(result.containers_placed, 4);
+  EXPECT_EQ(result.workers_used, 4);
+  EXPECT_DOUBLE_EQ(result.stranded_cpu, 16.0);
+  EXPECT_NEAR(result.StrandedCpuFraction(kWorker), 0.25, 1e-9);
+}
+
+TEST(ClusterTest, OversizedContainerIsUnplaceable) {
+  const PlacementResult result =
+      PlaceContainers({{"whale", 20.0, 1024.0, 1}}, kWorker, 10);
+  EXPECT_EQ(result.containers_unplaced, 1);
+  EXPECT_EQ(result.containers_placed, 0);
+}
+
+TEST(ClusterTest, WorkerLimitCapsPlacement) {
+  const PlacementResult result =
+      PlaceContainers({{"fn", 8.0, 1024.0, 6}}, kWorker, /*max_workers=*/2);
+  EXPECT_EQ(result.containers_placed, 4);  // 2 per worker.
+  EXPECT_EQ(result.containers_unplaced, 2);
+}
+
+TEST(ClusterTest, FirstFitDecreasingMixesSizes) {
+  // A 12-vCPU and a 4-vCPU container share one worker; two 8s share another.
+  const PlacementResult result = PlaceContainers(
+      {{"large", 12.0, 1024.0, 1}, {"mid", 8.0, 1024.0, 2}, {"small", 4.0, 1024.0, 1}},
+      kWorker, 10);
+  EXPECT_EQ(result.containers_placed, 4);
+  EXPECT_EQ(result.workers_used, 2);
+  EXPECT_EQ(result.stranded_cpu, 0.0);
+}
+
+TEST(ClusterTest, MemoryCanBeTheBindingDimension) {
+  const WorkerSpec worker{64.0, 4096.0};
+  const PlacementResult result =
+      PlaceContainers({{"memhog", 1.0, 3000.0, 3}}, worker, 10);
+  EXPECT_EQ(result.containers_placed, 3);
+  EXPECT_EQ(result.workers_used, 3);  // One per worker: memory binds.
+  EXPECT_GT(result.StrandedMemoryFraction(worker), 0.2);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,69 @@
+// Request-busy accounting: what the cAdvisor-style profiler divides CPU
+// time by to obtain the average-CPU node labels (§3/§4.1).
+#include <gtest/gtest.h>
+
+#include "src/sim/container.h"
+
+namespace quilt {
+namespace {
+
+TEST(BusyAccountingTest, IdleContainerAccruesNothing) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, ContainerConfig{});
+  sim.Schedule(Seconds(5), [] {});
+  sim.Run();
+  EXPECT_EQ(container.request_busy_seconds(), 0.0);
+}
+
+TEST(BusyAccountingTest, BusyWhileRequestsInFlight) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, ContainerConfig{});
+  container.set_state(ContainerState::kReady);
+
+  int64_t token = 0;
+  sim.Schedule(Seconds(1), [&] { token = container.BeginRequest([] {}); });
+  sim.Schedule(Seconds(4), [&] { container.EndRequest(token); });
+  sim.Schedule(Seconds(10), [] {});
+  sim.Run();
+  EXPECT_NEAR(container.request_busy_seconds(), 3.0, 1e-9);
+}
+
+TEST(BusyAccountingTest, OverlappingRequestsCountOnce) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, ContainerConfig{});
+  container.set_state(ContainerState::kReady);
+  int64_t t1 = 0;
+  int64_t t2 = 0;
+  sim.Schedule(Seconds(1), [&] { t1 = container.BeginRequest([] {}); });
+  sim.Schedule(Seconds(2), [&] { t2 = container.BeginRequest([] {}); });
+  sim.Schedule(Seconds(3), [&] { container.EndRequest(t1); });
+  sim.Schedule(Seconds(5), [&] { container.EndRequest(t2); });
+  sim.Run();
+  // Busy from 1s to 5s: wall-clock with >=1 in-flight request, not summed.
+  EXPECT_NEAR(container.request_busy_seconds(), 4.0, 1e-9);
+}
+
+TEST(BusyAccountingTest, InFlightReadIncludesCurrentStretch) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, ContainerConfig{});
+  container.set_state(ContainerState::kReady);
+  container.BeginRequest([] {});
+  sim.Schedule(Seconds(2), [&] {
+    EXPECT_NEAR(container.request_busy_seconds(), 2.0, 1e-9);
+  });
+  sim.Run();
+}
+
+TEST(BusyAccountingTest, KillStopsTheClock) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, ContainerConfig{});
+  container.set_state(ContainerState::kReady);
+  container.BeginRequest([] {});
+  sim.Schedule(Seconds(3), [&] { container.Kill(); });
+  sim.Schedule(Seconds(9), [] {});
+  sim.Run();
+  EXPECT_NEAR(container.request_busy_seconds(), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace quilt

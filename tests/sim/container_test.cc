@@ -1,0 +1,104 @@
+#include "src/sim/container.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+ContainerConfig SmallConfig() {
+  ContainerConfig config;
+  config.cpu_limit = 2.0;
+  config.memory_limit_mb = 100.0;
+  config.base_memory_mb = 20.0;
+  config.lazy_libs = 41;
+  return config;
+}
+
+TEST(ContainerTest, StartsColdWithBaseMemory) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  EXPECT_EQ(container.state(), ContainerState::kColdStarting);
+  EXPECT_EQ(container.memory_in_use_mb(), 20.0);
+  EXPECT_EQ(container.peak_memory_mb(), 20.0);
+}
+
+TEST(ContainerTest, ReserveAndRelease) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  ASSERT_TRUE(container.ReserveMemory(30).ok());
+  EXPECT_EQ(container.memory_in_use_mb(), 50.0);
+  container.ReleaseMemory(30);
+  EXPECT_EQ(container.memory_in_use_mb(), 20.0);
+  EXPECT_EQ(container.peak_memory_mb(), 50.0);  // Peak persists.
+}
+
+TEST(ContainerTest, ReserveBeyondLimitFails) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  ASSERT_TRUE(container.ReserveMemory(70).ok());  // 90/100.
+  const Status status = container.ReserveMemory(20);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(container.oom_kills(), 1);
+  // The failed reservation is not applied.
+  EXPECT_EQ(container.memory_in_use_mb(), 90.0);
+}
+
+TEST(ContainerTest, ReleaseNeverDropsBelowBase) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  container.ReleaseMemory(500);
+  EXPECT_EQ(container.memory_in_use_mb(), 20.0);
+}
+
+TEST(ContainerTest, KillFiresAbortHandlers) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  container.set_state(ContainerState::kReady);
+  int aborted = 0;
+  container.BeginRequest([&] { ++aborted; });
+  container.BeginRequest([&] { ++aborted; });
+  EXPECT_EQ(container.active_requests(), 2);
+  container.Kill();
+  EXPECT_EQ(aborted, 2);
+  EXPECT_EQ(container.active_requests(), 0);
+  EXPECT_EQ(container.state(), ContainerState::kKilled);
+  // Idempotent.
+  container.Kill();
+  EXPECT_EQ(aborted, 2);
+}
+
+TEST(ContainerTest, EndRequestRemovesAbortHandler) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  int aborted = 0;
+  const int64_t token = container.BeginRequest([&] { ++aborted; });
+  container.EndRequest(token);
+  container.Kill();
+  EXPECT_EQ(aborted, 0);
+}
+
+TEST(ContainerTest, KilledContainerRejectsReservations) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  container.Kill();
+  EXPECT_EQ(container.ReserveMemory(1).code(), StatusCode::kAborted);
+}
+
+TEST(ContainerTest, LazyHttpLoadPaidOnce) {
+  Simulation sim;
+  Container container(&sim, "fn", 1, SmallConfig());
+  const SimDuration first = container.ConsumeLazyHttpLoad(Microseconds(100));
+  EXPECT_EQ(first, Microseconds(100) * 41);
+  EXPECT_EQ(container.ConsumeLazyHttpLoad(Microseconds(100)), 0);
+}
+
+TEST(ContainerTest, NoLazyLibsMeansNoLoadCost) {
+  Simulation sim;
+  ContainerConfig config = SmallConfig();
+  config.lazy_libs = 0;
+  Container container(&sim, "fn", 1, config);
+  EXPECT_EQ(container.ConsumeLazyHttpLoad(Microseconds(100)), 0);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,138 @@
+#include "src/sim/cpu_share.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+TEST(CpuShareTest, SingleTaskRunsAtFullCore) {
+  Simulation sim;
+  CpuShare cpu(&sim, 2.0);
+  SimTime done_at = -1;
+  cpu.Submit(0.010, [&] { done_at = sim.now(); });  // 10ms of work.
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(done_at), static_cast<double>(Milliseconds(10)),
+              static_cast<double>(Microseconds(10)));
+}
+
+TEST(CpuShareTest, TwoTasksWithinLimitDontInterfere) {
+  Simulation sim;
+  CpuShare cpu(&sim, 2.0);
+  SimTime a = -1;
+  SimTime b = -1;
+  cpu.Submit(0.010, [&] { a = sim.now(); });
+  cpu.Submit(0.010, [&] { b = sim.now(); });
+  sim.Run();
+  // Both fit under the 2-vCPU quota: each finishes in ~10ms.
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(Milliseconds(10)), 1e5);
+  EXPECT_NEAR(static_cast<double>(b), static_cast<double>(Milliseconds(10)), 1e5);
+}
+
+TEST(CpuShareTest, OvercommitSharesProportionally) {
+  Simulation sim;
+  CpuShare cpu(&sim, 1.0);  // No throttle penalty.
+  SimTime a = -1;
+  SimTime b = -1;
+  cpu.Submit(0.010, [&] { a = sim.now(); });
+  cpu.Submit(0.010, [&] { b = sim.now(); });
+  sim.Run();
+  // 20ms of total work through a 1-vCPU quota: both done at ~20ms.
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(Milliseconds(20)), 1e5);
+  EXPECT_NEAR(static_cast<double>(b), static_cast<double>(Milliseconds(20)), 1e5);
+}
+
+TEST(CpuShareTest, ThrottlePenaltyWastesCapacity) {
+  Simulation sim;
+  CpuShare cpu(&sim, 1.0, /*throttle_penalty=*/0.5);
+  SimTime a = -1;
+  SimTime b = -1;
+  cpu.Submit(0.010, [&] { a = sim.now(); });
+  cpu.Submit(0.010, [&] { b = sim.now(); });
+  sim.Run();
+  // n=2, L=1: efficiency = 1 - 0.5*(1-0.5) = 0.75 -> 20ms/0.75 = 26.7ms.
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(Milliseconds(20)) / 0.75, 2e5);
+  EXPECT_NEAR(static_cast<double>(b), static_cast<double>(Milliseconds(20)) / 0.75, 2e5);
+}
+
+TEST(CpuShareTest, LateArrivalSlowsEarlierTask) {
+  Simulation sim;
+  CpuShare cpu(&sim, 1.0);
+  SimTime a = -1;
+  cpu.Submit(0.010, [&] { a = sim.now(); });
+  sim.Schedule(Milliseconds(5), [&] { cpu.Submit(0.010, [] {}); });
+  sim.Run();
+  // First 5ms alone (5ms of work done), then shares: remaining 5ms at 0.5
+  // rate = 10ms more -> finishes at 15ms.
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(Milliseconds(15)), 2e5);
+}
+
+TEST(CpuShareTest, ZeroWorkCompletesImmediately) {
+  Simulation sim;
+  CpuShare cpu(&sim, 1.0);
+  bool done = false;
+  cpu.Submit(0.0, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_LE(sim.now(), Microseconds(1));
+}
+
+TEST(CpuShareTest, CancelPreventsCallback) {
+  Simulation sim;
+  CpuShare cpu(&sim, 1.0);
+  bool done = false;
+  const CpuShare::TaskId id = cpu.Submit(0.010, [&] { done = true; });
+  sim.Schedule(Milliseconds(1), [&] { cpu.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(done);
+}
+
+TEST(CpuShareTest, CancelAllClears) {
+  Simulation sim;
+  CpuShare cpu(&sim, 1.0);
+  int done = 0;
+  cpu.Submit(0.010, [&] { ++done; });
+  cpu.Submit(0.010, [&] { ++done; });
+  sim.Schedule(Milliseconds(1), [&] { cpu.CancelAll(); });
+  sim.Run();
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(cpu.active_tasks(), 0);
+}
+
+TEST(CpuShareTest, AccountingTracksUsage) {
+  Simulation sim;
+  CpuShare cpu(&sim, 2.0);
+  cpu.Submit(0.010, [] {});
+  sim.Run();
+  EXPECT_NEAR(cpu.cpu_seconds_used(), 0.010, 1e-4);
+  EXPECT_NEAR(cpu.busy_seconds(), 0.010, 1e-4);
+}
+
+TEST(CpuShareTest, CpuInUseReflectsDemand) {
+  Simulation sim;
+  CpuShare cpu(&sim, 2.0);
+  EXPECT_EQ(cpu.cpu_in_use(), 0.0);
+  cpu.Submit(1.0, [] {});
+  EXPECT_EQ(cpu.cpu_in_use(), 1.0);
+  cpu.Submit(1.0, [] {});
+  cpu.Submit(1.0, [] {});
+  EXPECT_EQ(cpu.cpu_in_use(), 2.0);  // Capped at the quota.
+  cpu.CancelAll();
+}
+
+TEST(CpuShareTest, CallbackCanResubmit) {
+  Simulation sim;
+  CpuShare cpu(&sim, 1.0);
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 3) {
+      cpu.Submit(0.001, next);
+    }
+  };
+  cpu.Submit(0.001, next);
+  sim.Run();
+  EXPECT_EQ(chain, 3);
+  EXPECT_NEAR(static_cast<double>(sim.now()), static_cast<double>(Milliseconds(3)), 1e5);
+}
+
+}  // namespace
+}  // namespace quilt

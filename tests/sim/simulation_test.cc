@@ -1,0 +1,93 @@
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace quilt {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Milliseconds(3), [&] { order.push_back(3); });
+  sim.Schedule(Milliseconds(1), [&] { order.push_back(1); });
+  sim.Schedule(Milliseconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Milliseconds(3));
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, NestedScheduling) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(1), [&] {
+    ++fired;
+    sim.Schedule(Milliseconds(1), [&] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Milliseconds(2));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(1), [&] { ++fired; });
+  sim.Schedule(Milliseconds(10), [&] { ++fired; });
+  sim.RunUntil(Milliseconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Milliseconds(5));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.Schedule(Milliseconds(1), [&] {
+    bool ran = false;
+    sim.Schedule(-Milliseconds(5), [&] { ran = true; });
+    (void)ran;
+  });
+  sim.Run();  // Must not assert/throw.
+  EXPECT_EQ(sim.now(), Milliseconds(1));
+}
+
+TEST(SimulationTest, StopHaltsProcessing) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Milliseconds(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, EventsProcessedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.Schedule(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7);
+}
+
+}  // namespace
+}  // namespace quilt

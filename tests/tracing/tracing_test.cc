@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "src/tracing/call_graph_builder.h"
+#include "src/tracing/resource_monitor.h"
+#include "src/tracing/tracer.h"
+
+namespace quilt {
+namespace {
+
+Span MakeSpan(const std::string& caller, const std::string& callee, bool async = false,
+              SimTime t = 0) {
+  Span span;
+  span.caller = caller;
+  span.callee = callee;
+  span.async = async;
+  span.timestamp = t;
+  return span;
+}
+
+TEST(TracerTest, BatchesAndFlushesOnTimer) {
+  Simulation sim;
+  SpanStore store;
+  Tracer tracer(&sim, &store, Seconds(1));
+  tracer.Record(MakeSpan("client", "a"));
+  tracer.Record(MakeSpan("a", "b"));
+  EXPECT_EQ(store.size(), 0);  // Still buffered.
+  sim.Run();                   // The flush timer fires.
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(tracer.recorded(), 2);
+}
+
+TEST(TracerTest, ManualFlush) {
+  Simulation sim;
+  SpanStore store;
+  Tracer tracer(&sim, &store);
+  tracer.Record(MakeSpan("client", "a"));
+  tracer.Flush();
+  EXPECT_EQ(store.size(), 1);
+}
+
+TEST(SpanStoreTest, QueryByWindow) {
+  SpanStore store;
+  store.Add(MakeSpan("client", "a", false, Seconds(1)));
+  store.Add(MakeSpan("client", "a", false, Seconds(5)));
+  store.Add(MakeSpan("client", "a", false, Seconds(9)));
+  EXPECT_EQ(store.Query(Seconds(2), Seconds(8)).size(), 1u);
+  EXPECT_EQ(store.Query(0, Seconds(100)).size(), 3u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0);
+}
+
+TEST(ResourceMonitorTest, SamplesPeriodically) {
+  Simulation sim;
+  MetricsStore store;
+  int ticks = 0;
+  ResourceMonitor monitor(
+      &sim, &store,
+      [&] {
+        ++ticks;
+        ResourceSample sample;
+        sample.handle = "fn";
+        sample.container_id = 1;
+        sample.cpu_seconds_cum = ticks * 0.1;
+        sample.busy_seconds_cum = ticks * 0.5;
+        sample.peak_memory_mb = 30.0;
+        return std::vector<ResourceSample>{sample};
+      },
+      Seconds(1));
+  monitor.Start();
+  sim.RunUntil(Seconds(5) + 1);
+  monitor.Stop();
+  sim.Run();
+  EXPECT_GE(ticks, 5);
+  EXPECT_EQ(store.samples().size(), static_cast<size_t>(ticks));
+}
+
+TEST(MetricsStoreTest, AggregatesPerHandle) {
+  MetricsStore store;
+  // Two containers of fn-a, one of fn-b.
+  ResourceSample s1{"fn-a", 1, 0, 2.0, 4.0, 10.0, 12.0};
+  ResourceSample s2{"fn-a", 2, 0, 1.0, 2.0, 9.0, 20.0};
+  ResourceSample s3{"fn-b", 3, 0, 5.0, 5.0, 7.0, 8.0};
+  // Older duplicate of container 1 with lower counters: superseded.
+  ResourceSample s0{"fn-a", 1, 0, 1.0, 2.0, 10.0, 11.0};
+  store.Add(s0);
+  store.Add(s1);
+  store.Add(s2);
+  store.Add(s3);
+  const auto usage = store.Aggregate();
+  ASSERT_EQ(usage.size(), 2u);
+  // fn-a: (2+1) cpu over (4+2) busy = 0.5 vCPU; peak = 20.
+  EXPECT_NEAR(usage.at("fn-a").avg_cpu, 0.5, 1e-9);
+  EXPECT_EQ(usage.at("fn-a").peak_memory_mb, 20.0);
+  EXPECT_NEAR(usage.at("fn-b").avg_cpu, 1.0, 1e-9);
+}
+
+TEST(CallGraphBuilderTest, BuildsGraphWithAlpha) {
+  std::vector<Span> spans;
+  // 10 workflow invocations.
+  for (int i = 0; i < 10; ++i) {
+    spans.push_back(MakeSpan(kClientCaller, "root"));
+    spans.push_back(MakeSpan("root", "mid"));
+    // mid calls leaf 3x per request.
+    for (int j = 0; j < 3; ++j) {
+      spans.push_back(MakeSpan("mid", "leaf", /*async=*/true));
+    }
+  }
+  std::map<std::string, MetricsStore::FunctionUsage> usage;
+  usage["root"] = {0.2, 8.0};
+  usage["mid"] = {0.3, 12.0};
+
+  Result<CallGraph> graph = BuildCallGraphFromTraces(spans, usage, "root");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 3);
+  EXPECT_EQ(graph->root(), graph->FindNode("root"));
+  EXPECT_TRUE(graph->Validate().ok());
+
+  const EdgeId root_mid = graph->FindEdge(graph->FindNode("root"), graph->FindNode("mid"));
+  ASSERT_NE(root_mid, -1);
+  EXPECT_EQ(graph->edge(root_mid).alpha, 1);
+  EXPECT_EQ(graph->edge(root_mid).type, CallType::kSync);
+  EXPECT_DOUBLE_EQ(graph->edge(root_mid).weight, 10.0);
+
+  const EdgeId mid_leaf = graph->FindEdge(graph->FindNode("mid"), graph->FindNode("leaf"));
+  ASSERT_NE(mid_leaf, -1);
+  EXPECT_EQ(graph->edge(mid_leaf).alpha, 3);
+  EXPECT_EQ(graph->edge(mid_leaf).type, CallType::kAsync);
+
+  // Node labels: from usage where present, defaults elsewhere.
+  EXPECT_DOUBLE_EQ(graph->node(graph->FindNode("root")).cpu, 0.2);
+  EXPECT_DOUBLE_EQ(graph->node(graph->FindNode("leaf")).cpu, 0.1);  // Default.
+}
+
+TEST(CallGraphBuilderTest, RequiresWorkflowInvocations) {
+  std::vector<Span> spans = {MakeSpan("a", "b")};
+  EXPECT_FALSE(BuildCallGraphFromTraces(spans, {}, "root").ok());
+}
+
+TEST(CallGraphBuilderTest, AlphaIsCeilOfAverage) {
+  std::vector<Span> spans;
+  for (int i = 0; i < 4; ++i) {
+    spans.push_back(MakeSpan(kClientCaller, "root"));
+  }
+  // 5 calls over 4 invocations -> alpha = ceil(1.25) = 2.
+  for (int i = 0; i < 5; ++i) {
+    spans.push_back(MakeSpan("root", "leaf"));
+  }
+  Result<CallGraph> graph = BuildCallGraphFromTraces(spans, {}, "root");
+  ASSERT_TRUE(graph.ok());
+  const EdgeId edge = graph->FindEdge(graph->FindNode("root"), graph->FindNode("leaf"));
+  EXPECT_EQ(graph->edge(edge).alpha, 2);
+}
+
+}  // namespace
+}  // namespace quilt

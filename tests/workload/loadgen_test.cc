@@ -1,0 +1,137 @@
+#include "src/workload/loadgen.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+// A deterministic fake service with fixed latency.
+class FixedLatencyService : public Invoker {
+ public:
+  FixedLatencyService(Simulation* sim, SimDuration latency) : sim_(sim), latency_(latency) {}
+
+  void Invoke(const std::string& caller, const std::string& callee, const Json& payload,
+              bool async, std::function<void(Result<Json>)> done) override {
+    ++invocations;
+    sim_->Schedule(latency_, [done] { done(Json::MakeObject()); });
+  }
+
+  int64_t invocations = 0;
+
+ private:
+  Simulation* sim_;
+  SimDuration latency_;
+};
+
+TEST(ClosedLoopTest, OneConnectionSerializesRequests) {
+  Simulation sim;
+  FixedLatencyService service(&sim, Milliseconds(10));
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options options;
+  options.connections = 1;
+  options.warmup = Seconds(1);
+  options.duration = Seconds(10);
+  const LoadResult result = generator.Run(&sim, &service, "svc", options);
+  // 10ms per request, closed loop: ~100 rps.
+  EXPECT_NEAR(static_cast<double>(result.completed), 1000.0, 20.0);
+  EXPECT_EQ(result.failed, 0);
+  EXPECT_NEAR(static_cast<double>(result.latency.Median()),
+              static_cast<double>(Milliseconds(10)), 1e6);
+  EXPECT_NEAR(result.AchievedRps(), 100.0, 3.0);
+}
+
+TEST(ClosedLoopTest, MoreConnectionsMoreThroughput) {
+  Simulation sim;
+  FixedLatencyService service(&sim, Milliseconds(10));
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options options;
+  options.connections = 4;
+  options.warmup = Seconds(1);
+  options.duration = Seconds(5);
+  const LoadResult result = generator.Run(&sim, &service, "svc", options);
+  EXPECT_NEAR(static_cast<double>(result.completed), 2000.0, 50.0);
+}
+
+TEST(ClosedLoopTest, ThinkTimeSlowsRate) {
+  Simulation sim;
+  FixedLatencyService service(&sim, Milliseconds(10));
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options options;
+  options.connections = 1;
+  options.warmup = Seconds(1);
+  options.duration = Seconds(10);
+  options.think_time = Milliseconds(90);
+  const LoadResult result = generator.Run(&sim, &service, "svc", options);
+  EXPECT_NEAR(static_cast<double>(result.completed), 100.0, 5.0);
+}
+
+TEST(OpenLoopTest, ConstantRateOffersLoad) {
+  Simulation sim;
+  FixedLatencyService service(&sim, Milliseconds(5));
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::Options options;
+  options.rps = 200.0;
+  options.warmup = Seconds(1);
+  options.duration = Seconds(10);
+  const LoadResult result = generator.Run(&sim, &service, "svc", options);
+  EXPECT_NEAR(static_cast<double>(result.completed), 2000.0, 20.0);
+  EXPECT_DOUBLE_EQ(result.offered_rps, 200.0);
+  EXPECT_NEAR(result.AchievedRps(), 200.0, 5.0);
+}
+
+TEST(OpenLoopTest, PoissonArrivalsApproximateRate) {
+  Simulation sim;
+  FixedLatencyService service(&sim, Milliseconds(1));
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::Options options;
+  options.rps = 500.0;
+  options.warmup = Seconds(1);
+  options.duration = Seconds(20);
+  options.poisson = true;
+  options.seed = 42;
+  const LoadResult result = generator.Run(&sim, &service, "svc", options);
+  EXPECT_NEAR(static_cast<double>(result.completed), 10000.0, 400.0);
+}
+
+TEST(OpenLoopTest, PayloadFnCustomizesRequests) {
+  Simulation sim;
+  class PayloadCheck : public Invoker {
+   public:
+    explicit PayloadCheck(Simulation* sim) : sim_(sim) {}
+    void Invoke(const std::string&, const std::string&, const Json& payload, bool,
+                std::function<void(Result<Json>)> done) override {
+      sum += payload.Get("num").AsInt();
+      sim_->Schedule(0, [done] { done(Json::MakeObject()); });
+    }
+    int64_t sum = 0;
+
+   private:
+    Simulation* sim_;
+  } service(&sim);
+
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::Options options;
+  options.rps = 100.0;
+  options.warmup = 0;
+  options.duration = Seconds(1);
+  options.payload_fn = [](Rng& rng) {
+    Json payload = Json::MakeObject();
+    payload["num"] = 5;
+    return payload;
+  };
+  generator.Run(&sim, &service, "svc", options);
+  EXPECT_EQ(service.sum % 5, 0);
+  EXPECT_GT(service.sum, 0);
+}
+
+TEST(LoadResultTest, FailureRate) {
+  LoadResult result;
+  result.completed = 8;
+  result.failed = 2;
+  EXPECT_DOUBLE_EQ(result.FailureRate(), 0.2);
+  LoadResult empty;
+  EXPECT_DOUBLE_EQ(empty.FailureRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace quilt
