@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_passes.dir/ablation_merge_passes.cc.o"
+  "CMakeFiles/ablation_merge_passes.dir/ablation_merge_passes.cc.o.d"
+  "ablation_merge_passes"
+  "ablation_merge_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

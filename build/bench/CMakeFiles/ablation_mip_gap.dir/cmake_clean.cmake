@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mip_gap.dir/ablation_mip_gap.cc.o"
+  "CMakeFiles/ablation_mip_gap.dir/ablation_mip_gap.cc.o.d"
+  "ablation_mip_gap"
+  "ablation_mip_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mip_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

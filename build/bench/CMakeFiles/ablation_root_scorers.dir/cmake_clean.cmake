@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_root_scorers.dir/ablation_root_scorers.cc.o"
+  "CMakeFiles/ablation_root_scorers.dir/ablation_root_scorers.cc.o.d"
+  "ablation_root_scorers"
+  "ablation_root_scorers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_root_scorers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_conditional_invocation.dir/fig10_conditional_invocation.cc.o"
+  "CMakeFiles/fig10_conditional_invocation.dir/fig10_conditional_invocation.cc.o.d"
+  "fig10_conditional_invocation"
+  "fig10_conditional_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_conditional_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_resource_limits.dir/fig7c_resource_limits.cc.o"
+  "CMakeFiles/fig7c_resource_limits.dir/fig7c_resource_limits.cc.o.d"
+  "fig7c_resource_limits"
+  "fig7c_resource_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_resource_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_profiling_cost.dir/fig8a_profiling_cost.cc.o"
+  "CMakeFiles/fig8a_profiling_cost.dir/fig8a_profiling_cost.cc.o.d"
+  "fig8a_profiling_cost"
+  "fig8a_profiling_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_profiling_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

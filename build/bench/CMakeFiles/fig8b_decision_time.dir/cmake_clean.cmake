@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_decision_time.dir/fig8b_decision_time.cc.o"
+  "CMakeFiles/fig8b_decision_time.dir/fig8b_decision_time.cc.o.d"
+  "fig8b_decision_time"
+  "fig8b_decision_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_decision_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_solution_quality.dir/fig9_solution_quality.cc.o"
+  "CMakeFiles/fig9_solution_quality.dir/fig9_solution_quality.cc.o.d"
+  "fig9_solution_quality"
+  "fig9_solution_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_solution_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

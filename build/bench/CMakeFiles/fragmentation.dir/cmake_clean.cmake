@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation.dir/fragmentation.cc.o"
+  "CMakeFiles/fragmentation.dir/fragmentation.cc.o.d"
+  "fragmentation"
+  "fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

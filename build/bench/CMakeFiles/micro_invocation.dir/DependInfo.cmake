@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_invocation.cc" "bench/CMakeFiles/micro_invocation.dir/micro_invocation.cc.o" "gcc" "bench/CMakeFiles/micro_invocation.dir/micro_invocation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/quilt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/quilt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/quilt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/quilt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/quilt_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/quilt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracing/CMakeFiles/quilt_tracing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_invocation.dir/micro_invocation.cc.o"
+  "CMakeFiles/micro_invocation.dir/micro_invocation.cc.o.d"
+  "micro_invocation"
+  "micro_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_e_binary_size.dir/table_e_binary_size.cc.o"
+  "CMakeFiles/table_e_binary_size.dir/table_e_binary_size.cc.o.d"
+  "table_e_binary_size"
+  "table_e_binary_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_e_binary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

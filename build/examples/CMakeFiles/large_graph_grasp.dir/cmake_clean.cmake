@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_graph_grasp.dir/large_graph_grasp.cc.o"
+  "CMakeFiles/large_graph_grasp.dir/large_graph_grasp.cc.o.d"
+  "large_graph_grasp"
+  "large_graph_grasp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_graph_grasp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_review_pipeline.dir/movie_review_pipeline.cc.o"
+  "CMakeFiles/movie_review_pipeline.dir/movie_review_pipeline.cc.o.d"
+  "movie_review_pipeline"
+  "movie_review_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_review_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_aware_split.dir/resource_aware_split.cc.o"
+  "CMakeFiles/resource_aware_split.dir/resource_aware_split.cc.o.d"
+  "resource_aware_split"
+  "resource_aware_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_aware_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("graph")
+subdirs("ilp")
+subdirs("partition")
+subdirs("ir")
+subdirs("frontend")
+subdirs("passes")
+subdirs("quiltc")
+subdirs("sim")
+subdirs("runtime")
+subdirs("tracing")
+subdirs("platform")
+subdirs("workload")
+subdirs("apps")
+subdirs("core")

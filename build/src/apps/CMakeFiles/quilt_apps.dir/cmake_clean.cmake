@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_apps.dir/app.cc.o"
+  "CMakeFiles/quilt_apps.dir/app.cc.o.d"
+  "CMakeFiles/quilt_apps.dir/deathstarbench.cc.o"
+  "CMakeFiles/quilt_apps.dir/deathstarbench.cc.o.d"
+  "libquilt_apps.a"
+  "libquilt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_common.dir/histogram.cc.o"
+  "CMakeFiles/quilt_common.dir/histogram.cc.o.d"
+  "CMakeFiles/quilt_common.dir/json.cc.o"
+  "CMakeFiles/quilt_common.dir/json.cc.o.d"
+  "CMakeFiles/quilt_common.dir/logging.cc.o"
+  "CMakeFiles/quilt_common.dir/logging.cc.o.d"
+  "CMakeFiles/quilt_common.dir/rng.cc.o"
+  "CMakeFiles/quilt_common.dir/rng.cc.o.d"
+  "CMakeFiles/quilt_common.dir/sim_time.cc.o"
+  "CMakeFiles/quilt_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/quilt_common.dir/status.cc.o"
+  "CMakeFiles/quilt_common.dir/status.cc.o.d"
+  "CMakeFiles/quilt_common.dir/strings.cc.o"
+  "CMakeFiles/quilt_common.dir/strings.cc.o.d"
+  "libquilt_common.a"
+  "libquilt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

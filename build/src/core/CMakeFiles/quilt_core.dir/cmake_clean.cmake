@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_core.dir/quilt_controller.cc.o"
+  "CMakeFiles/quilt_core.dir/quilt_controller.cc.o.d"
+  "libquilt_core.a"
+  "libquilt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_frontend.dir/frontend.cc.o"
+  "CMakeFiles/quilt_frontend.dir/frontend.cc.o.d"
+  "libquilt_frontend.a"
+  "libquilt_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/betweenness.cc" "src/graph/CMakeFiles/quilt_graph.dir/betweenness.cc.o" "gcc" "src/graph/CMakeFiles/quilt_graph.dir/betweenness.cc.o.d"
+  "/root/repo/src/graph/call_graph.cc" "src/graph/CMakeFiles/quilt_graph.dir/call_graph.cc.o" "gcc" "src/graph/CMakeFiles/quilt_graph.dir/call_graph.cc.o.d"
+  "/root/repo/src/graph/descendants.cc" "src/graph/CMakeFiles/quilt_graph.dir/descendants.cc.o" "gcc" "src/graph/CMakeFiles/quilt_graph.dir/descendants.cc.o.d"
+  "/root/repo/src/graph/random_dag.cc" "src/graph/CMakeFiles/quilt_graph.dir/random_dag.cc.o" "gcc" "src/graph/CMakeFiles/quilt_graph.dir/random_dag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_graph.dir/betweenness.cc.o"
+  "CMakeFiles/quilt_graph.dir/betweenness.cc.o.d"
+  "CMakeFiles/quilt_graph.dir/call_graph.cc.o"
+  "CMakeFiles/quilt_graph.dir/call_graph.cc.o.d"
+  "CMakeFiles/quilt_graph.dir/descendants.cc.o"
+  "CMakeFiles/quilt_graph.dir/descendants.cc.o.d"
+  "CMakeFiles/quilt_graph.dir/random_dag.cc.o"
+  "CMakeFiles/quilt_graph.dir/random_dag.cc.o.d"
+  "libquilt_graph.a"
+  "libquilt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

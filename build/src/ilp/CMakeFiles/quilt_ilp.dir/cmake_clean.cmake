@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_ilp.dir/ilp_model.cc.o"
+  "CMakeFiles/quilt_ilp.dir/ilp_model.cc.o.d"
+  "CMakeFiles/quilt_ilp.dir/ilp_solver.cc.o"
+  "CMakeFiles/quilt_ilp.dir/ilp_solver.cc.o.d"
+  "libquilt_ilp.a"
+  "libquilt_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ir_module.cc" "src/ir/CMakeFiles/quilt_ir.dir/ir_module.cc.o" "gcc" "src/ir/CMakeFiles/quilt_ir.dir/ir_module.cc.o.d"
+  "/root/repo/src/ir/lang.cc" "src/ir/CMakeFiles/quilt_ir.dir/lang.cc.o" "gcc" "src/ir/CMakeFiles/quilt_ir.dir/lang.cc.o.d"
+  "/root/repo/src/ir/linker.cc" "src/ir/CMakeFiles/quilt_ir.dir/linker.cc.o" "gcc" "src/ir/CMakeFiles/quilt_ir.dir/linker.cc.o.d"
+  "/root/repo/src/ir/size_model.cc" "src/ir/CMakeFiles/quilt_ir.dir/size_model.cc.o" "gcc" "src/ir/CMakeFiles/quilt_ir.dir/size_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_ir.dir/ir_module.cc.o"
+  "CMakeFiles/quilt_ir.dir/ir_module.cc.o.d"
+  "CMakeFiles/quilt_ir.dir/lang.cc.o"
+  "CMakeFiles/quilt_ir.dir/lang.cc.o.d"
+  "CMakeFiles/quilt_ir.dir/linker.cc.o"
+  "CMakeFiles/quilt_ir.dir/linker.cc.o.d"
+  "CMakeFiles/quilt_ir.dir/size_model.cc.o"
+  "CMakeFiles/quilt_ir.dir/size_model.cc.o.d"
+  "libquilt_ir.a"
+  "libquilt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

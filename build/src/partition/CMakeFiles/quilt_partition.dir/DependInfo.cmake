@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/combinations.cc" "src/partition/CMakeFiles/quilt_partition.dir/combinations.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/combinations.cc.o.d"
+  "/root/repo/src/partition/dot_export.cc" "src/partition/CMakeFiles/quilt_partition.dir/dot_export.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/dot_export.cc.o.d"
+  "/root/repo/src/partition/grasp_solver.cc" "src/partition/CMakeFiles/quilt_partition.dir/grasp_solver.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/grasp_solver.cc.o.d"
+  "/root/repo/src/partition/heuristic_solver.cc" "src/partition/CMakeFiles/quilt_partition.dir/heuristic_solver.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/heuristic_solver.cc.o.d"
+  "/root/repo/src/partition/ilp_encoding.cc" "src/partition/CMakeFiles/quilt_partition.dir/ilp_encoding.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/ilp_encoding.cc.o.d"
+  "/root/repo/src/partition/optimal_solver.cc" "src/partition/CMakeFiles/quilt_partition.dir/optimal_solver.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/optimal_solver.cc.o.d"
+  "/root/repo/src/partition/problem.cc" "src/partition/CMakeFiles/quilt_partition.dir/problem.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/problem.cc.o.d"
+  "/root/repo/src/partition/scorers.cc" "src/partition/CMakeFiles/quilt_partition.dir/scorers.cc.o" "gcc" "src/partition/CMakeFiles/quilt_partition.dir/scorers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/quilt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/quilt_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_partition.dir/combinations.cc.o"
+  "CMakeFiles/quilt_partition.dir/combinations.cc.o.d"
+  "CMakeFiles/quilt_partition.dir/dot_export.cc.o"
+  "CMakeFiles/quilt_partition.dir/dot_export.cc.o.d"
+  "CMakeFiles/quilt_partition.dir/grasp_solver.cc.o"
+  "CMakeFiles/quilt_partition.dir/grasp_solver.cc.o.d"
+  "CMakeFiles/quilt_partition.dir/heuristic_solver.cc.o"
+  "CMakeFiles/quilt_partition.dir/heuristic_solver.cc.o.d"
+  "CMakeFiles/quilt_partition.dir/ilp_encoding.cc.o"
+  "CMakeFiles/quilt_partition.dir/ilp_encoding.cc.o.d"
+  "CMakeFiles/quilt_partition.dir/optimal_solver.cc.o"
+  "CMakeFiles/quilt_partition.dir/optimal_solver.cc.o.d"
+  "CMakeFiles/quilt_partition.dir/problem.cc.o"
+  "CMakeFiles/quilt_partition.dir/problem.cc.o.d"
+  "CMakeFiles/quilt_partition.dir/scorers.cc.o"
+  "CMakeFiles/quilt_partition.dir/scorers.cc.o.d"
+  "libquilt_partition.a"
+  "libquilt_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/dce.cc" "src/passes/CMakeFiles/quilt_passes.dir/dce.cc.o" "gcc" "src/passes/CMakeFiles/quilt_passes.dir/dce.cc.o.d"
+  "/root/repo/src/passes/delay_http.cc" "src/passes/CMakeFiles/quilt_passes.dir/delay_http.cc.o" "gcc" "src/passes/CMakeFiles/quilt_passes.dir/delay_http.cc.o.d"
+  "/root/repo/src/passes/implib_wrap.cc" "src/passes/CMakeFiles/quilt_passes.dir/implib_wrap.cc.o" "gcc" "src/passes/CMakeFiles/quilt_passes.dir/implib_wrap.cc.o.d"
+  "/root/repo/src/passes/merge_func.cc" "src/passes/CMakeFiles/quilt_passes.dir/merge_func.cc.o" "gcc" "src/passes/CMakeFiles/quilt_passes.dir/merge_func.cc.o.d"
+  "/root/repo/src/passes/rename_func.cc" "src/passes/CMakeFiles/quilt_passes.dir/rename_func.cc.o" "gcc" "src/passes/CMakeFiles/quilt_passes.dir/rename_func.cc.o.d"
+  "/root/repo/src/passes/shims.cc" "src/passes/CMakeFiles/quilt_passes.dir/shims.cc.o" "gcc" "src/passes/CMakeFiles/quilt_passes.dir/shims.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/quilt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

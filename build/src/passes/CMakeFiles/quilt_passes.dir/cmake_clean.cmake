@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_passes.dir/dce.cc.o"
+  "CMakeFiles/quilt_passes.dir/dce.cc.o.d"
+  "CMakeFiles/quilt_passes.dir/delay_http.cc.o"
+  "CMakeFiles/quilt_passes.dir/delay_http.cc.o.d"
+  "CMakeFiles/quilt_passes.dir/implib_wrap.cc.o"
+  "CMakeFiles/quilt_passes.dir/implib_wrap.cc.o.d"
+  "CMakeFiles/quilt_passes.dir/merge_func.cc.o"
+  "CMakeFiles/quilt_passes.dir/merge_func.cc.o.d"
+  "CMakeFiles/quilt_passes.dir/rename_func.cc.o"
+  "CMakeFiles/quilt_passes.dir/rename_func.cc.o.d"
+  "CMakeFiles/quilt_passes.dir/shims.cc.o"
+  "CMakeFiles/quilt_passes.dir/shims.cc.o.d"
+  "libquilt_passes.a"
+  "libquilt_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

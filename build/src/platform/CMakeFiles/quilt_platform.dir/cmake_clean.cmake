@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_platform.dir/cluster.cc.o"
+  "CMakeFiles/quilt_platform.dir/cluster.cc.o.d"
+  "CMakeFiles/quilt_platform.dir/platform.cc.o"
+  "CMakeFiles/quilt_platform.dir/platform.cc.o.d"
+  "libquilt_platform.a"
+  "libquilt_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

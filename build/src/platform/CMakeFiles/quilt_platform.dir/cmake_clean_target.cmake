@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquilt_platform.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_quiltc.dir/compiler.cc.o"
+  "CMakeFiles/quilt_quiltc.dir/compiler.cc.o.d"
+  "libquilt_quiltc.a"
+  "libquilt_quiltc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_quiltc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

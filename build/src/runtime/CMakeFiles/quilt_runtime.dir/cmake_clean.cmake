@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_runtime.dir/executor.cc.o"
+  "CMakeFiles/quilt_runtime.dir/executor.cc.o.d"
+  "libquilt_runtime.a"
+  "libquilt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

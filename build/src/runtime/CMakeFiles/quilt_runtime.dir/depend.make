@@ -1,0 +1,2 @@
+# Empty dependencies file for quilt_runtime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/container.cc" "src/sim/CMakeFiles/quilt_sim.dir/container.cc.o" "gcc" "src/sim/CMakeFiles/quilt_sim.dir/container.cc.o.d"
+  "/root/repo/src/sim/cpu_share.cc" "src/sim/CMakeFiles/quilt_sim.dir/cpu_share.cc.o" "gcc" "src/sim/CMakeFiles/quilt_sim.dir/cpu_share.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/quilt_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/quilt_sim.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_sim.dir/container.cc.o"
+  "CMakeFiles/quilt_sim.dir/container.cc.o.d"
+  "CMakeFiles/quilt_sim.dir/cpu_share.cc.o"
+  "CMakeFiles/quilt_sim.dir/cpu_share.cc.o.d"
+  "CMakeFiles/quilt_sim.dir/simulation.cc.o"
+  "CMakeFiles/quilt_sim.dir/simulation.cc.o.d"
+  "libquilt_sim.a"
+  "libquilt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

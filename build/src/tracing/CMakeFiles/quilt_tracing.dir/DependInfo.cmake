@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracing/call_graph_builder.cc" "src/tracing/CMakeFiles/quilt_tracing.dir/call_graph_builder.cc.o" "gcc" "src/tracing/CMakeFiles/quilt_tracing.dir/call_graph_builder.cc.o.d"
+  "/root/repo/src/tracing/resource_monitor.cc" "src/tracing/CMakeFiles/quilt_tracing.dir/resource_monitor.cc.o" "gcc" "src/tracing/CMakeFiles/quilt_tracing.dir/resource_monitor.cc.o.d"
+  "/root/repo/src/tracing/tracer.cc" "src/tracing/CMakeFiles/quilt_tracing.dir/tracer.cc.o" "gcc" "src/tracing/CMakeFiles/quilt_tracing.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/quilt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/quilt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_tracing.dir/call_graph_builder.cc.o"
+  "CMakeFiles/quilt_tracing.dir/call_graph_builder.cc.o.d"
+  "CMakeFiles/quilt_tracing.dir/resource_monitor.cc.o"
+  "CMakeFiles/quilt_tracing.dir/resource_monitor.cc.o.d"
+  "CMakeFiles/quilt_tracing.dir/tracer.cc.o"
+  "CMakeFiles/quilt_tracing.dir/tracer.cc.o.d"
+  "libquilt_tracing.a"
+  "libquilt_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quilt_workload.dir/loadgen.cc.o"
+  "CMakeFiles/quilt_workload.dir/loadgen.cc.o.d"
+  "libquilt_workload.a"
+  "libquilt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quilt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

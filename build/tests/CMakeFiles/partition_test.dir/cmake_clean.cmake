@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_test.dir/partition/combinations_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/combinations_test.cc.o.d"
+  "CMakeFiles/partition_test.dir/partition/compact_encoding_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/compact_encoding_test.cc.o.d"
+  "CMakeFiles/partition_test.dir/partition/dot_export_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/dot_export_test.cc.o.d"
+  "CMakeFiles/partition_test.dir/partition/grasp_solver_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/grasp_solver_test.cc.o.d"
+  "CMakeFiles/partition_test.dir/partition/heuristic_solver_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/heuristic_solver_test.cc.o.d"
+  "CMakeFiles/partition_test.dir/partition/ilp_encoding_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/ilp_encoding_test.cc.o.d"
+  "CMakeFiles/partition_test.dir/partition/optimal_solver_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/optimal_solver_test.cc.o.d"
+  "CMakeFiles/partition_test.dir/partition/problem_test.cc.o"
+  "CMakeFiles/partition_test.dir/partition/problem_test.cc.o.d"
+  "partition_test"
+  "partition_test.pdb"
+  "partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

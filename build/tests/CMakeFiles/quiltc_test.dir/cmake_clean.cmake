@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quiltc_test.dir/quiltc/compiler_test.cc.o"
+  "CMakeFiles/quiltc_test.dir/quiltc/compiler_test.cc.o.d"
+  "CMakeFiles/quiltc_test.dir/quiltc/debloat_test.cc.o"
+  "CMakeFiles/quiltc_test.dir/quiltc/debloat_test.cc.o.d"
+  "quiltc_test"
+  "quiltc_test.pdb"
+  "quiltc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quiltc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/loadgen_test.cc" "tests/CMakeFiles/workload_test.dir/workload/loadgen_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/loadgen_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quilt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/quilt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/quilt_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/quilt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/quilt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/quilt_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/quilt_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/quiltc/CMakeFiles/quilt_quiltc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/quilt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/quilt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracing/CMakeFiles/quilt_tracing.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/quilt_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/quilt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/quilt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quilt_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
