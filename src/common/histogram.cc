@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <limits>
 
 namespace quilt {
 
@@ -27,7 +28,11 @@ int LatencyHistogram::BucketIndex(int64_t value) {
   const int msb = 63 - std::countl_zero(v);  // >= 8 here.
   const int row = msb - kSubBucketBits;      // >= 1.
   const int sub = static_cast<int>((v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
-  return kExactLimit + (row - 1) * kSubBuckets + sub;
+  const int index = kExactLimit + (row - 1) * kSubBuckets + sub;
+  // Clamp to the top overflow bucket: storage never grows past the
+  // preallocated octaves, whatever the input.
+  constexpr int kTopBucket = kExactLimit + kBuckets * kSubBuckets - 1;
+  return index < kTopBucket ? index : kTopBucket;
 }
 
 int64_t LatencyHistogram::BucketMidpoint(int index) {
@@ -37,6 +42,11 @@ int64_t LatencyHistogram::BucketMidpoint(int index) {
   const int rest = index - kExactLimit;
   const int row = rest / kSubBuckets + 1;
   const int sub = rest % kSubBuckets;
+  if (row > 55) {
+    // Overflow octaves (incl. the top clamp bucket): a shifted midpoint
+    // would exceed int64. Saturate; Quantile clamps to the tracked max.
+    return std::numeric_limits<int64_t>::max();
+  }
   const int64_t lo = static_cast<int64_t>(kSubBuckets + sub) << row;
   const int64_t width = static_cast<int64_t>(1) << row;
   return lo + width / 2;
@@ -53,9 +63,7 @@ void LatencyHistogram::RecordMany(int64_t value_ns, int64_t count) {
     value_ns = 0;
   }
   const int index = BucketIndex(value_ns);
-  if (index >= static_cast<int>(counts_.size())) {
-    counts_.resize(index + 1, 0);
-  }
+  assert(index >= 0 && index < static_cast<int>(counts_.size()));
   counts_[index] += count;
   if (count_ == 0) {
     min_ = value_ns;
@@ -72,9 +80,7 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   if (other.count_ == 0) {
     return;
   }
-  if (other.counts_.size() > counts_.size()) {
-    counts_.resize(other.counts_.size(), 0);
-  }
+  assert(other.counts_.size() == counts_.size());
   for (size_t i = 0; i < other.counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }

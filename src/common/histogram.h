@@ -7,6 +7,7 @@
 #ifndef SRC_COMMON_HISTOGRAM_H_
 #define SRC_COMMON_HISTOGRAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +36,11 @@ class LatencyHistogram {
 
   int64_t Median() const { return Quantile(0.5); }
   int64_t P99() const { return Quantile(0.99); }
+
+  // Storage is fixed at construction: values past the preallocated octaves
+  // land in one top overflow bucket instead of growing counts_ (memory stays
+  // O(1) no matter the inputs; exact min/max are tracked separately).
+  size_t bucket_count() const { return counts_.size(); }
 
  private:
   static constexpr int kSubBucketBits = 7;  // 128 sub-buckets per power of two.

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:

@@ -21,6 +21,8 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,
   kAborted,
+  kUnavailable,  // Transient infrastructure failure (gateway 5xx, network
+                 // drop, open circuit breaker); safe to retry if idempotent.
   kUnimplemented,
   kInternal,
   kInfeasible,  // Used by solvers: the constraint system has no solution.
@@ -70,6 +72,9 @@ inline Status DeadlineExceededError(std::string msg) {
   return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 inline Status AbortedError(std::string msg) { return Status(StatusCode::kAborted, std::move(msg)); }
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
 inline Status UnimplementedError(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
 }

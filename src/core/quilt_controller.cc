@@ -19,6 +19,9 @@ QuiltController::QuiltController(Simulation* sim, Platform* platform, Controller
       monitor_(sim, &metrics_store_, [platform] { return platform->SampleResources(); },
                options.monitor_interval) {
   platform_->ConnectTracer(&tracer_);
+  // The same sampling tick also snapshots the failure taxonomy (timeouts,
+  // retries, breaker activity) per deployment.
+  monitor_.set_failure_source([platform] { return platform->SampleFailures(); });
 }
 
 namespace {
@@ -322,11 +325,14 @@ Result<QuiltController::ReconsiderReport> QuiltController::ReconsiderWorkflow(
   for (const auto& [group_root, baseline] : deployed_it->second.oom_baseline) {
     const DeploymentStats* stats = platform_->StatsFor(group_root);
     if (stats != nullptr && stats->oom_kills > baseline) {
-      QUILT_RETURN_IF_ERROR(Rollback(root_handle));
-      deployed_.erase(root_handle);
+      // Build the report first: group_root/baseline point into the
+      // DeployedState that the erase below destroys, and Rollback may drop
+      // the stats entry behind `stats`.
       report.rolled_back = true;
       report.reason = StrCat("merged function '", group_root, "' exceeded its memory limit ",
                              stats->oom_kills - baseline, " time(s)");
+      QUILT_RETURN_IF_ERROR(Rollback(root_handle));
+      deployed_.erase(root_handle);
       return report;
     }
   }

@@ -35,10 +35,13 @@ Result<PassStats> RunMergeFuncPass(IrModule& module, const MergeFuncOptions& opt
   }
 
   // Rewrite matching invoke sites everywhere in the module (the caller may
-  // itself have been merged earlier, so scan all functions).
+  // itself have been merged earlier, so scan all functions). Iterate a
+  // snapshot: EnsureCrossLangShims adds functions mid-loop, which reallocates
+  // the live order vector (and shims have no invoke sites to scan anyway).
   int64_t localized = 0;
   int64_t shimmed = 0;
-  for (const std::string& symbol : module.function_order()) {
+  const std::vector<std::string> symbols = module.function_order();
+  for (const std::string& symbol : symbols) {
     IrFunction* fn = module.GetMutableFunction(symbol);
     for (CallInst& call : fn->calls) {
       const bool is_invoke = call.opcode == CallOpcode::kSyncInvoke ||

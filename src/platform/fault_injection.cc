@@ -1,0 +1,99 @@
+#include "src/platform/fault_injection.h"
+
+namespace quilt {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNetworkDrop:
+      return "network_drop";
+    case FaultKind::kNetworkDelay:
+      return "network_delay";
+    case FaultKind::kGatewayError:
+      return "gateway_error";
+    case FaultKind::kContainerCrash:
+      return "container_crash";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed), fired_(plan_.rules.size(), 0) {}
+
+bool FaultInjector::RuleActive(size_t rule_index, const std::string& deployment,
+                               SimTime now) const {
+  const FaultRule& rule = plan_.rules[rule_index];
+  if (!rule.deployment.empty() && rule.deployment != deployment) {
+    return false;
+  }
+  if (now < rule.window_start) {
+    return false;
+  }
+  if (rule.window_end > 0 && now >= rule.window_end) {
+    return false;
+  }
+  if (rule.max_faults > 0 && fired_[rule_index] >= rule.max_faults) {
+    return false;
+  }
+  return rule.probability > 0.0;
+}
+
+FaultInjector::GatewayFault FaultInjector::OnGatewayHop(const std::string& deployment,
+                                                        SimTime now) {
+  GatewayFault fault;
+  // Rules are evaluated in plan order so the Rng draw sequence -- and with
+  // it the whole failure pattern -- is a pure function of (plan, seed,
+  // event order).
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.kind == FaultKind::kContainerCrash || !RuleActive(i, deployment, now)) {
+      continue;
+    }
+    if (!rng_.Bernoulli(rule.probability)) {
+      continue;
+    }
+    switch (rule.kind) {
+      case FaultKind::kNetworkDrop:
+        if (!fault.drop && !fault.gateway_error) {
+          fault.drop = true;
+          ++fired_[i];
+          ++stats_.network_drops;
+        }
+        break;
+      case FaultKind::kGatewayError:
+        if (!fault.drop && !fault.gateway_error) {
+          fault.gateway_error = true;
+          ++fired_[i];
+          ++stats_.gateway_errors;
+        }
+        break;
+      case FaultKind::kNetworkDelay:
+        fault.extra_delay += rule.extra_delay;
+        ++fired_[i];
+        ++stats_.network_delays;
+        break;
+      case FaultKind::kContainerCrash:
+        break;
+    }
+  }
+  return fault;
+}
+
+bool FaultInjector::OnDispatch(const std::string& deployment, SimTime now) {
+  bool crash = false;
+  for (size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& rule = plan_.rules[i];
+    if (rule.kind != FaultKind::kContainerCrash || !RuleActive(i, deployment, now)) {
+      continue;
+    }
+    if (rng_.Bernoulli(rule.probability)) {
+      ++fired_[i];
+      if (!crash) {
+        crash = true;
+        ++stats_.container_crashes;
+      }
+    }
+  }
+  return crash;
+}
+
+}  // namespace quilt

@@ -1,0 +1,130 @@
+// Deterministic fault injection for the platform substrate (§6/§8).
+//
+// Merging widens the blast radius of a crash: once a workflow is one
+// process, any member function's fault kills every co-located in-flight
+// request. To evaluate that trade-off (and the retry/timeout machinery that
+// copes with transient infrastructure faults) the simulator needs a way to
+// *inject* failures deliberately and reproducibly. A FaultPlan describes the
+// faults; a FaultInjector draws them from its own seeded Rng so that the
+// same plan + seed yields a bit-identical failure sequence, independent of
+// any other randomness in the experiment.
+//
+// Two mechanisms:
+//   * Probabilistic rules, evaluated at well-defined points of the
+//     invocation path (the gateway hop, container dispatch). Rules can be
+//     scoped to one deployment and to a virtual-time window, and capped to
+//     a maximum number of fired faults.
+//   * Scheduled crash events: "kill a live container of deployment D at
+//     time T". These are what the blast-radius chaos tests use, since they
+//     are exact by construction.
+//
+// A default FaultPlan{} is disabled: the platform skips every injection
+// hook (no Rng draws, no extra events), so experiments without a plan are
+// bit-identical to builds that predate this layer.
+#ifndef SRC_PLATFORM_FAULT_INJECTION_H_
+#define SRC_PLATFORM_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace quilt {
+
+enum class FaultKind {
+  kNetworkDrop,     // Request vanishes at the gateway hop (client sees a
+                    // timeout, or an immediate connection reset if the
+                    // platform has no invocation timeout configured).
+  kNetworkDelay,    // Extra one-way latency at the gateway hop.
+  kGatewayError,    // Gateway answers 5xx without reaching a container.
+  kContainerCrash,  // The dispatched-to container dies (spurious crash).
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kNetworkDrop;
+  // Deployment handle this rule applies to; empty = every deployment.
+  std::string deployment;
+  // Per-decision-point probability in [0, 1].
+  double probability = 0.0;
+  // Active virtual-time window [window_start, window_end); window_end == 0
+  // means open-ended.
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  // kNetworkDelay only: the extra latency added to the hop.
+  SimDuration extra_delay = 0;
+  // Cap on how many faults this rule may fire (0 = unlimited).
+  int64_t max_faults = 0;
+};
+
+// Deterministic, exact container kill: at virtual time `at`, one live
+// container of `deployment` (the oldest) is crashed.
+struct CrashEvent {
+  std::string deployment;
+  SimTime at = 0;
+};
+
+struct FaultPlan {
+  // Seed for the injector's private Rng stream. Independent of workload and
+  // solver seeds so adding a rule never perturbs unrelated randomness.
+  uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+  std::vector<CrashEvent> crashes;
+
+  bool enabled() const { return !rules.empty() || !crashes.empty(); }
+};
+
+struct FaultStats {
+  int64_t network_drops = 0;
+  int64_t network_delays = 0;
+  int64_t gateway_errors = 0;
+  int64_t container_crashes = 0;  // Probabilistic + scheduled.
+
+  int64_t total() const {
+    return network_drops + network_delays + gateway_errors + container_crashes;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultPlan{}) {}
+  explicit FaultInjector(FaultPlan plan);
+
+  bool enabled() const { return plan_.enabled(); }
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  // The faults hitting one gateway hop toward `deployment` at `now`. At most
+  // one of drop/gateway_error fires per hop (drop wins); extra_delay can
+  // combine with neither or either.
+  struct GatewayFault {
+    bool drop = false;
+    bool gateway_error = false;
+    SimDuration extra_delay = 0;
+
+    bool any() const { return drop || gateway_error || extra_delay > 0; }
+  };
+  GatewayFault OnGatewayHop(const std::string& deployment, SimTime now);
+
+  // True if the container a request was just dispatched to should crash.
+  bool OnDispatch(const std::string& deployment, SimTime now);
+
+  // Bookkeeping hook for scheduled CrashEvents (the platform executes them;
+  // the injector only counts them so stats().total() covers all faults).
+  void CountScheduledCrash() { ++stats_.container_crashes; }
+
+ private:
+  bool RuleActive(size_t rule_index, const std::string& deployment, SimTime now) const;
+
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<int64_t> fired_;  // Per-rule fired-fault count (max_faults cap).
+  FaultStats stats_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PLATFORM_FAULT_INJECTION_H_

@@ -2,13 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "src/common/strings.h"
 
 namespace quilt {
 
 Platform::Platform(Simulation* sim, PlatformConfig config)
-    : sim_(sim), config_(std::move(config)) {}
+    : sim_(sim),
+      config_(std::move(config)),
+      injector_(config_.fault_plan),
+      // Jitter stream decorrelated from the injector's draw stream so a plan
+      // change never perturbs retry timing of unrelated deployments.
+      failure_rng_(config_.fault_plan.seed * 0x9e3779b97f4a7c15ull + 1) {
+  // Scheduled deterministic crash events (blast-radius experiments): at the
+  // planned instant, the oldest live container of the target deployment dies.
+  for (const CrashEvent& crash : config_.fault_plan.crashes) {
+    const std::string handle = crash.deployment;
+    sim_->Schedule(std::max<SimDuration>(0, crash.at - sim_->now()), [this, handle] {
+      auto it = deployments_.find(handle);
+      if (it == deployments_.end()) {
+        return;
+      }
+      Deployment& dep = *it->second;
+      std::shared_ptr<Container> victim;
+      for (const auto& container : dep.containers) {
+        if (container->state() != ContainerState::kKilled) {
+          victim = container;
+          break;
+        }
+      }
+      if (victim != nullptr) {
+        injector_.CountScheduledCrash();
+        ++dep.stats.injected_faults;
+        KillContainer(dep, victim, KillReason::kInjectedCrash);
+      }
+    });
+  }
+}
 
 Platform::~Platform() = default;
 
@@ -71,7 +102,11 @@ void Platform::SetProfiling(bool enabled) {
 
 const DeploymentStats* Platform::StatsFor(const std::string& handle) const {
   auto it = deployments_.find(handle);
-  return it != deployments_.end() ? &it->second->stats : nullptr;
+  if (it == deployments_.end()) {
+    return nullptr;
+  }
+  it->second->stats.AssertNonNegative();
+  return &it->second->stats;
 }
 
 std::vector<ResourceSample> Platform::SampleResources() const {
@@ -118,7 +153,8 @@ int Platform::TotalContainers() const {
 void Platform::Invoke(const std::string& caller_handle, const std::string& callee_handle,
                       const Json& payload, bool async,
                       std::function<void(Result<Json>)> done) {
-  // Request path: serialize -> network -> (ingress) -> gateway.
+  // Request path: serialize -> network -> (ingress) -> gateway. Paid once
+  // per attempt; the span is recorded once per logical invocation.
   SimDuration request_path = config_.serialize_latency + config_.network_rtt / 2;
   if (config_.profiling_enabled && tracer_ != nullptr) {
     request_path += config_.ingress_overhead;
@@ -135,19 +171,223 @@ void Platform::Invoke(const std::string& caller_handle, const std::string& calle
   // Response path: gateway -> network -> deserialize at the caller.
   const SimDuration response_path =
       config_.gateway_overhead + config_.network_rtt / 2 + config_.serialize_latency;
-  auto respond = [this, response_path, done = std::move(done)](Result<Json> result) {
-    sim_->Schedule(response_path,
-                   [done, result = std::move(result)]() mutable { done(std::move(result)); });
-  };
+  auto done_shared = std::make_shared<std::function<void(Result<Json>)>>(std::move(done));
 
-  sim_->Schedule(request_path, [this, callee_handle, payload, respond]() mutable {
-    auto it = deployments_.find(callee_handle);
-    if (it == deployments_.end()) {
-      respond(NotFoundError(StrCat("no function '", callee_handle, "'")));
+  auto ctx = std::make_shared<CallContext>();
+  ctx->callee = callee_handle;
+  ctx->payload = payload;
+  ctx->async = async;
+  ctx->request_path = request_path;
+  ctx->respond = [this, response_path, done_shared](Result<Json> result) {
+    sim_->Schedule(response_path, [done_shared, result = std::move(result)]() mutable {
+      (*done_shared)(std::move(result));
+    });
+  };
+  BeginAttempt(std::move(ctx));
+}
+
+void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
+  ctx->shed = false;
+  // Guarantees the attempt settles exactly once: the first of {timeout,
+  // gateway rejection, execution result} wins, later arrivals are dropped.
+  auto settled = std::make_shared<bool>(false);
+  auto complete = [this, ctx, settled](Result<Json> result) {
+    if (*settled) {
       return;
     }
-    RouteRequest(*it->second, std::move(payload), std::move(respond));
+    *settled = true;
+    OnAttemptResult(ctx, std::move(result));
+  };
+
+  if (config_.invocation_timeout > 0) {
+    sim_->Schedule(config_.invocation_timeout, [this, ctx, settled] {
+      if (*settled) {
+        return;
+      }
+      *settled = true;
+      OnAttemptResult(ctx, DeadlineExceededError(StrCat("invocation of '", ctx->callee,
+                                                        "' timed out (attempt ", ctx->attempt,
+                                                        ")")));
+    });
+  }
+
+  sim_->Schedule(ctx->request_path, [this, ctx, complete]() mutable {
+    auto it = deployments_.find(ctx->callee);
+    if (it == deployments_.end()) {
+      complete(NotFoundError(StrCat("no function '", ctx->callee, "'")));
+      return;
+    }
+    Deployment& dep = *it->second;
+
+    if (BreakerRejects(dep)) {
+      // Load shedding: answer immediately, never reaches a container.
+      ++dep.stats.breaker_rejected;
+      ++dep.stats.failures_by_cause["BREAKER_OPEN"];
+      ctx->shed = true;
+      complete(UnavailableError(StrCat("circuit breaker open for '", ctx->callee, "'")));
+      return;
+    }
+
+    if (injector_.enabled()) {
+      const FaultInjector::GatewayFault fault = injector_.OnGatewayHop(ctx->callee, sim_->now());
+      if (fault.drop) {
+        ++dep.stats.injected_faults;
+        if (config_.invocation_timeout > 0) {
+          return;  // The request vanishes; the attempt deadline answers.
+        }
+        complete(UnavailableError("injected network drop (connection reset)"));
+        return;
+      }
+      if (fault.gateway_error) {
+        ++dep.stats.injected_faults;
+        complete(UnavailableError("injected gateway 5xx"));
+        return;
+      }
+      if (fault.extra_delay > 0) {
+        ++dep.stats.injected_faults;
+        sim_->Schedule(fault.extra_delay, [this, ctx, complete = std::move(complete)]() mutable {
+          auto delayed_it = deployments_.find(ctx->callee);
+          if (delayed_it == deployments_.end()) {
+            complete(NotFoundError(StrCat("no function '", ctx->callee, "'")));
+            return;
+          }
+          RouteRequest(*delayed_it->second, ctx->payload, std::move(complete));
+        });
+        return;
+      }
+    }
+
+    RouteRequest(dep, ctx->payload, std::move(complete));
   });
+}
+
+void Platform::OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<Json> result) {
+  auto it = deployments_.find(ctx->callee);
+  Deployment* dep = it != deployments_.end() ? it->second.get() : nullptr;
+
+  if (ctx->shed) {
+    // Breaker rejections are load shedding, not attempt outcomes: they must
+    // neither trip the breaker further nor trigger retries (retry storms are
+    // exactly what the breaker interrupts).
+    ctx->respond(std::move(result));
+    return;
+  }
+  if (dep != nullptr) {
+    RecordAttemptOutcome(*dep, result.ok() ? Status::Ok() : result.status());
+  }
+  if (result.ok()) {
+    ctx->respond(std::move(result));
+    return;
+  }
+
+  const StatusCode code = result.status().code();
+  const bool transient = code == StatusCode::kUnavailable ||
+                         code == StatusCode::kDeadlineExceeded || code == StatusCode::kAborted;
+  const bool retry_safe = ctx->async || (dep != nullptr && dep->spec.idempotent);
+  const bool breaker_open =
+      dep != nullptr && dep->breaker_state == BreakerState::kOpen;
+  if (!config_.retry.enabled() || !transient || !retry_safe || breaker_open) {
+    ctx->respond(std::move(result));
+    return;
+  }
+  if (ctx->attempt >= config_.retry.max_attempts) {
+    if (dep != nullptr) {
+      ++dep->stats.retries_exhausted;
+    }
+    ctx->respond(std::move(result));
+    return;
+  }
+
+  // Exponential backoff with jitter, from the platform's seeded Rng.
+  double backoff_ns = static_cast<double>(config_.retry.initial_backoff) *
+                      std::pow(config_.retry.backoff_multiplier, ctx->attempt - 1);
+  backoff_ns = std::min(backoff_ns, static_cast<double>(config_.retry.max_backoff));
+  if (config_.retry.jitter > 0.0) {
+    const double jitter = config_.retry.jitter;
+    backoff_ns *= failure_rng_.UniformDouble(1.0 - jitter, 1.0 + jitter);
+  }
+  if (dep != nullptr) {
+    ++dep->stats.retries;
+  }
+  ++ctx->attempt;
+  sim_->Schedule(std::max<SimDuration>(0, static_cast<SimDuration>(backoff_ns)),
+                 [this, ctx] { BeginAttempt(ctx); });
+}
+
+bool Platform::BreakerRejects(Deployment& dep) {
+  if (!config_.breaker.enabled || dep.breaker_state != BreakerState::kOpen) {
+    return false;
+  }
+  if (sim_->now() >= dep.breaker_open_until) {
+    // Cooldown over: half-open, let one round of traffic probe the callee.
+    dep.breaker_state = BreakerState::kHalfOpen;
+    dep.stats.breaker_open_ns += sim_->now() - dep.breaker_opened_at;
+    return false;
+  }
+  return true;
+}
+
+void Platform::RecordAttemptOutcome(Deployment& dep, const Status& status) {
+  if (status.ok()) {
+    dep.consecutive_failures = 0;
+    if (dep.breaker_state == BreakerState::kHalfOpen) {
+      dep.breaker_state = BreakerState::kClosed;
+    }
+    return;
+  }
+  ++dep.stats.failures_by_cause[StatusCodeName(status.code())];
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    ++dep.stats.timeouts;
+  }
+  ++dep.consecutive_failures;
+  dep.stats.AssertNonNegative();
+  if (!config_.breaker.enabled) {
+    return;
+  }
+  if (dep.breaker_state == BreakerState::kHalfOpen ||
+      (dep.breaker_state == BreakerState::kClosed &&
+       dep.consecutive_failures >= config_.breaker.failure_threshold)) {
+    OpenBreaker(dep);
+  }
+}
+
+void Platform::OpenBreaker(Deployment& dep) {
+  dep.breaker_state = BreakerState::kOpen;
+  dep.breaker_opened_at = sim_->now();
+  dep.breaker_open_until = sim_->now() + config_.breaker.open_duration;
+  ++dep.stats.breaker_opens;
+}
+
+SimDuration Platform::BreakerOpenNs(const std::string& handle) const {
+  auto it = deployments_.find(handle);
+  if (it == deployments_.end()) {
+    return 0;
+  }
+  const Deployment& dep = *it->second;
+  SimDuration total = dep.stats.breaker_open_ns;
+  if (dep.breaker_state == BreakerState::kOpen) {
+    total += sim_->now() - dep.breaker_opened_at;
+  }
+  return total;
+}
+
+std::vector<FailureSample> Platform::SampleFailures() const {
+  std::vector<FailureSample> samples;
+  for (const auto& [handle, dep] : deployments_) {
+    FailureSample sample;
+    sample.handle = handle;
+    sample.timestamp = sim_->now();
+    sample.completed_cum = dep->stats.completed;
+    sample.failed_cum = dep->stats.failed;
+    sample.timeouts_cum = dep->stats.timeouts;
+    sample.retries_cum = dep->stats.retries;
+    sample.crashes_cum = dep->stats.crashes;
+    sample.oom_kills_cum = dep->stats.oom_kills;
+    sample.breaker_rejected_cum = dep->stats.breaker_rejected;
+    sample.breaker_open_ns_cum = BreakerOpenNs(handle);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
 }
 
 SimDuration Platform::ColdStartDelay(const Deployment& dep) const {
@@ -264,10 +504,10 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
   env.container = container;
   env.remote = this;
   env.costs = &config_.runtime;
-  env.trigger_oom = [this, handle, container] {
+  env.trigger_kill = [this, handle, container](KillReason reason) {
     auto it = deployments_.find(handle);
     if (it != deployments_.end()) {
-      KillContainer(*it->second, container);
+      KillContainer(*it->second, container, reason);
     } else {
       container->Kill();
     }
@@ -275,16 +515,11 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
   env.bill_cpu = [this](const std::string& fn, double cpu_ms) {
     billing_[fn] += cpu_ms / 1000.0;
   };
-  env.trigger_crash = [this, handle, container] {
-    auto it = deployments_.find(handle);
-    if (it != deployments_.end()) {
-      ++it->second->stats.crashes;
-      --it->second->stats.oom_kills;  // KillContainer charges OOM; rebalance.
-      KillContainer(*it->second, container);
-    } else {
-      container->Kill();
-    }
-  };
+  // Spurious-crash injection: decide before execution starts, apply after,
+  // so the new request is registered and dies with the container (widest
+  // blast radius, as a real mid-request crash would produce).
+  const bool injected_crash =
+      injector_.enabled() && injector_.OnDispatch(handle, sim_->now());
   ExecuteRequest(env, dep.spec.behavior, std::move(payload), /*remote_entry=*/true,
                  [this, handle, container, respond = std::move(respond)](Result<Json> result) {
                    auto it = deployments_.find(handle);
@@ -300,6 +535,10 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
                    }
                    respond(std::move(result));
                  });
+  if (injected_crash) {
+    ++dep.stats.injected_faults;
+    KillContainer(dep, container, KillReason::kInjectedCrash);
+  }
 }
 
 void Platform::DrainPending(Deployment& dep) {
@@ -319,12 +558,25 @@ void Platform::DrainPending(Deployment& dep) {
   dep.draining = false;
 }
 
-void Platform::KillContainer(Deployment& dep, const std::shared_ptr<Container>& container) {
-  ++dep.stats.oom_kills;
+void Platform::KillContainer(Deployment& dep, const std::shared_ptr<Container>& container,
+                             KillReason reason) {
+  if (container->state() == ContainerState::kKilled) {
+    return;  // Already dead: a kill is charged to exactly one cause, once.
+  }
+  switch (reason) {
+    case KillReason::kOom:
+      ++dep.stats.oom_kills;
+      break;
+    case KillReason::kCrash:
+    case KillReason::kInjectedCrash:
+      ++dep.stats.crashes;
+      break;
+  }
   dep.containers.erase(std::remove(dep.containers.begin(), dep.containers.end(), container),
                        dep.containers.end());
   dep.container_versions.erase(container->id());
   container->Kill();
+  dep.stats.AssertNonNegative();
 }
 
 void Platform::RetireStaleContainers(Deployment& dep) {

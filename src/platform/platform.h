@@ -6,6 +6,7 @@
 #ifndef SRC_PLATFORM_PLATFORM_H_
 #define SRC_PLATFORM_PLATFORM_H_
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -15,6 +16,7 @@
 
 #include "src/common/json.h"
 #include "src/common/status.h"
+#include "src/platform/fault_injection.h"
 #include "src/runtime/behavior.h"
 #include "src/runtime/executor.h"
 #include "src/sim/container.h"
@@ -23,6 +25,35 @@
 #include "src/tracing/tracer.h"
 
 namespace quilt {
+
+// Client-side invocation retry policy. Defaults keep the seed behavior: one
+// attempt, no retries. A retry is attempted only for *transient* failures
+// (kUnavailable, kDeadlineExceeded, kAborted) and only when the call is
+// async or the callee deployment declares itself idempotent -- re-running a
+// non-idempotent handler is never safe.
+struct RetryPolicy {
+  int max_attempts = 1;  // Total attempts; 1 = retries disabled.
+  SimDuration initial_backoff = Milliseconds(10);
+  double backoff_multiplier = 2.0;
+  SimDuration max_backoff = Seconds(2);
+  // Uniform jitter fraction: the backoff is scaled by a factor drawn from
+  // [1 - jitter, 1 + jitter] using the platform's seeded failure Rng, so
+  // retry storms decorrelate but runs stay reproducible.
+  double jitter = 0.2;
+
+  bool enabled() const { return max_attempts > 1; }
+};
+
+// Per-deployment circuit breaker: after `failure_threshold` consecutive
+// failed attempts the deployment sheds load (immediate kUnavailable) for
+// `open_duration`, then lets traffic probe again (half-open). A successful
+// probe closes the breaker; a failed one re-opens it. This degrades
+// gracefully instead of feeding retry storms into a dying deployment.
+struct CircuitBreakerConfig {
+  bool enabled = false;
+  int failure_threshold = 5;
+  SimDuration open_duration = Seconds(5);
+};
 
 struct PlatformConfig {
   // Network and message costs (cluster: 1 Gbps, ~200us RTT, §7.1).
@@ -57,6 +88,18 @@ struct PlatformConfig {
   // The profiler-enabled Kubernetes token (§3): when true, invocations take
   // the ingress path and are traced.
   bool profiling_enabled = false;
+
+  // --- Failure handling. All defaults are "off": with an empty FaultPlan,
+  // no timeout, one attempt and no breaker, the invocation path is
+  // event-for-event identical to a platform without this layer.
+  // Client-observed deadline per attempt (0 = no timeout). Covers the full
+  // round trip: gateway, queueing, cold start, execution, response path.
+  SimDuration invocation_timeout = 0;
+  RetryPolicy retry;
+  CircuitBreakerConfig breaker;
+  // Deterministic fault injection (network drops/delay, gateway 5xx,
+  // spurious container crashes). Empty plan = disabled.
+  FaultPlan fault_plan;
 };
 
 struct DeploymentSpec {
@@ -68,6 +111,10 @@ struct DeploymentSpec {
   // know their per-request memory footprint (Quilt does; the naive CM
   // baseline does not) set this so containers never overcommit memory.
   int max_concurrent_requests = 0;
+  // Handler is safe to re-execute: sync calls to this deployment may be
+  // retried under the platform's RetryPolicy. Async calls are always
+  // considered retry-safe (fire-and-forget semantics).
+  bool idempotent = false;
   DeployedBehavior behavior;
 };
 
@@ -76,10 +123,31 @@ struct DeploymentStats {
   int64_t failed = 0;
   int64_t cold_starts = 0;
   int64_t oom_kills = 0;
-  int64_t crashes = 0;
+  int64_t crashes = 0;           // CrashStep faults + injected crashes.
+  int64_t injected_faults = 0;   // Faults a FaultPlan charged to this deployment.
   int64_t containers_created = 0;
   int64_t stale_route_hits = 0;
   int64_t pending_peak = 0;
+
+  // Failure-handling taxonomy.
+  int64_t timeouts = 0;           // Attempts that hit the invocation timeout.
+  int64_t retries = 0;            // Re-dispatched attempts.
+  int64_t retries_exhausted = 0;  // Calls that failed after the last attempt.
+  int64_t breaker_opens = 0;
+  int64_t breaker_rejected = 0;        // Calls shed while the breaker was open.
+  SimDuration breaker_open_ns = 0;     // Total time spent open (closed spans).
+  // Failed attempts by status-code name ("UNAVAILABLE", "ABORTED", ...).
+  std::map<std::string, int64_t> failures_by_cause;
+
+  // Every counter is monotone; a negative value means a failure was charged
+  // twice and then "rebalanced", which this taxonomy exists to prevent.
+  void AssertNonNegative() const {
+    assert(completed >= 0 && failed >= 0 && cold_starts >= 0);
+    assert(oom_kills >= 0 && crashes >= 0 && injected_faults >= 0);
+    assert(containers_created >= 0 && stale_route_hits >= 0 && pending_peak >= 0);
+    assert(timeouts >= 0 && retries >= 0 && retries_exhausted >= 0);
+    assert(breaker_opens >= 0 && breaker_rejected >= 0 && breaker_open_ns >= 0);
+  }
 };
 
 class Platform : public Invoker {
@@ -110,6 +178,13 @@ class Platform : public Invoker {
               std::function<void(Result<Json>)> done) override;
 
   const DeploymentStats* StatsFor(const std::string& handle) const;
+  // Cumulative breaker-open time including a currently-open span.
+  SimDuration BreakerOpenNs(const std::string& handle) const;
+  // Injection bookkeeping (how many faults the plan actually fired).
+  const FaultStats& fault_stats() const { return injector_.stats(); }
+  // Per-deployment failure snapshot for the metrics pipeline ("cAdvisor"
+  // samples the failure taxonomy the same way it samples CPU/memory).
+  std::vector<FailureSample> SampleFailures() const;
   // Per-function CPU attribution (§8 extension): vCPU-seconds billed to each
   // function handle, including functions running inside merged processes.
   double BilledCpuSeconds(const std::string& function_handle) const;
@@ -128,6 +203,8 @@ class Platform : public Invoker {
     std::function<void(Result<Json>)> respond;
   };
 
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
   struct Deployment {
     DeploymentSpec spec;
     int64_t version = 1;
@@ -137,6 +214,23 @@ class Platform : public Invoker {
     SimTime last_routed = -1;
     DeploymentStats stats;
     bool draining = false;
+
+    // Circuit-breaker state.
+    BreakerState breaker_state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    SimTime breaker_opened_at = 0;
+    SimTime breaker_open_until = 0;
+  };
+
+  // One logical invocation, possibly spanning several attempts.
+  struct CallContext {
+    std::string callee;
+    Json payload;
+    bool async = false;
+    int attempt = 1;
+    bool shed = false;  // Current attempt was rejected by the circuit breaker.
+    SimDuration request_path = 0;  // Gateway-path latency each attempt pays.
+    std::function<void(Result<Json>)> respond;  // Schedules the response path.
   };
 
   SimDuration ColdStartDelay(const Deployment& dep) const;
@@ -146,12 +240,23 @@ class Platform : public Invoker {
   void Dispatch(Deployment& dep, const std::shared_ptr<Container>& container, Json payload,
                 std::function<void(Result<Json>)> respond);
   void DrainPending(Deployment& dep);
-  void KillContainer(Deployment& dep, const std::shared_ptr<Container>& container);
+  void KillContainer(Deployment& dep, const std::shared_ptr<Container>& container,
+                     KillReason reason);
   void RetireStaleContainers(Deployment& dep);
+
+  // Failure-handling path (timeout, retry, breaker, fault injection).
+  void BeginAttempt(std::shared_ptr<CallContext> ctx);
+  void OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<Json> result);
+  // True when the deployment's breaker currently sheds this call.
+  bool BreakerRejects(Deployment& dep);
+  void RecordAttemptOutcome(Deployment& dep, const Status& status);
+  void OpenBreaker(Deployment& dep);
 
   Simulation* sim_;
   PlatformConfig config_;
   Tracer* tracer_ = nullptr;
+  FaultInjector injector_;
+  Rng failure_rng_;  // Retry-backoff jitter; independent of injection draws.
   std::map<std::string, std::unique_ptr<Deployment>> deployments_;
   std::map<std::string, double> billing_;  // function handle -> vCPU-seconds.
   int64_t next_container_id_ = 1;

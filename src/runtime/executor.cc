@@ -7,6 +7,18 @@
 
 namespace quilt {
 
+const char* KillReasonName(KillReason reason) {
+  switch (reason) {
+    case KillReason::kOom:
+      return "oom";
+    case KillReason::kCrash:
+      return "crash";
+    case KillReason::kInjectedCrash:
+      return "injected_crash";
+  }
+  return "unknown";
+}
+
 namespace {
 
 // Per top-level-request state shared by every nested local execution:
@@ -50,8 +62,8 @@ class FunctionRun : public std::enable_shared_from_this<FunctionRun> {
     const Status reserved = env_.container->ReserveMemory(want_mb);
     if (!reserved.ok()) {
       // Memory limit exceeded: the kernel kills the whole container.
-      if (env_.trigger_oom) {
-        env_.trigger_oom();
+      if (env_.trigger_kill) {
+        env_.trigger_kill(KillReason::kOom);
       }
       // The top-level abort handler (fired by Kill) already answered; nested
       // runs collapse silently -- their parents were aborted too.
@@ -118,8 +130,8 @@ class FunctionRun : public std::enable_shared_from_this<FunctionRun> {
     } else if (const auto* alloc = std::get_if<AllocStep>(&step)) {
       const Status reserved = env_.container->ReserveMemory(alloc->mb);
       if (!reserved.ok()) {
-        if (env_.trigger_oom) {
-          env_.trigger_oom();
+        if (env_.trigger_kill) {
+          env_.trigger_kill(KillReason::kOom);
         }
         return;
       }
@@ -130,10 +142,8 @@ class FunctionRun : public std::enable_shared_from_this<FunctionRun> {
     } else if (const auto* crash = std::get_if<CrashStep>(&step)) {
       if (!crash->only_on_poison || payload_.Get("poison").AsBool()) {
         // The process dies: every function fused into it dies too.
-        if (env_.trigger_crash) {
-          env_.trigger_crash();
-        } else if (env_.trigger_oom) {
-          env_.trigger_oom();
+        if (env_.trigger_kill) {
+          env_.trigger_kill(KillReason::kCrash);
         }
         return;
       }

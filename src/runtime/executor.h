@@ -42,6 +42,17 @@ struct RuntimeCosts {
   double cm_process_base_mb = 16.0;  // Callee process runtime footprint.
 };
 
+// Why a container dies. The platform charges exactly one failure counter
+// per kill based on this reason, so OOM kills and crashes can never be
+// double-counted (or negated) against each other.
+enum class KillReason {
+  kOom,            // Memory limit exceeded; the kernel kills the cgroup.
+  kCrash,          // The process hit an unhandled fault (CrashStep).
+  kInjectedCrash,  // Spurious crash injected by a FaultPlan.
+};
+
+const char* KillReasonName(KillReason reason);
+
 struct ExecutionEnv {
   Simulation* sim = nullptr;
   // shared_ptr: in-flight events may outlive the container's deployment slot
@@ -49,11 +60,9 @@ struct ExecutionEnv {
   std::shared_ptr<Container> container;
   Invoker* remote = nullptr;
   const RuntimeCosts* costs = nullptr;
-  // Installed by the platform: kill this container (memory limit exceeded).
-  std::function<void()> trigger_oom;
-  // Installed by the platform: the process crashed (unhandled fault). Also
-  // kills the container; accounted separately from OOM.
-  std::function<void()> trigger_crash;
+  // Installed by the platform: kill this container, charging the failure to
+  // the given cause (OOM kill vs. crash).
+  std::function<void(KillReason)> trigger_kill;
   // Per-function billing instrumentation (§8, implemented here as the
   // extension the paper leaves open): called with (function handle,
   // vCPU-milliseconds) every time a compute burst attributable to that

@@ -70,8 +70,13 @@ void CpuShare::ScheduleNextCompletion() {
   const double rate = RatePerTask();
   const double eta_seconds = rate > 0.0 ? min_remaining / rate : 0.0;
   const int64_t generation = generation_;
+  std::weak_ptr<bool> alive = alive_;
   sim_->Schedule(Seconds(eta_seconds) + 1,  // +1ns guards zero-length loops.
-                 [this, generation] { OnCompletionEvent(generation); });
+                 [this, generation, alive] {
+                   if (alive.lock()) {
+                     OnCompletionEvent(generation);
+                   }
+                 });
 }
 
 void CpuShare::OnCompletionEvent(int64_t generation) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "src/sim/simulation.h"
 
@@ -68,6 +69,11 @@ class CpuShare {
   TaskId next_id_ = 1;
   SimTime last_update_ = 0;
   int64_t generation_ = 0;  // Invalidates stale completion events.
+  // Scheduled completion events capture `this` but hold this token weakly:
+  // a killed container can be freed while its completion event is still in
+  // the simulator queue, and the event must then no-op instead of touching
+  // the dead object.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   double cpu_seconds_used_ = 0.0;
   double busy_seconds_ = 0.0;
 };

@@ -33,6 +33,17 @@ std::map<std::string, MetricsStore::FunctionUsage> MetricsStore::Aggregate() con
   return result;
 }
 
+std::map<std::string, FailureSample> MetricsStore::LatestFailures() const {
+  std::map<std::string, FailureSample> latest;
+  for (const FailureSample& sample : failure_samples_) {
+    FailureSample& entry = latest[sample.handle];
+    if (entry.handle.empty() || sample.timestamp >= entry.timestamp) {
+      entry = sample;
+    }
+  }
+  return latest;
+}
+
 ResourceMonitor::ResourceMonitor(Simulation* sim, MetricsStore* store, SampleSource source,
                                  SimDuration interval)
     : sim_(sim), store_(store), source_(std::move(source)), interval_(interval) {}
@@ -51,6 +62,11 @@ void ResourceMonitor::Tick() {
   }
   for (ResourceSample& sample : source_()) {
     store_->Add(std::move(sample));
+  }
+  if (failure_source_) {
+    for (FailureSample& sample : failure_source_()) {
+      store_->AddFailure(std::move(sample));
+    }
   }
   sim_->Schedule(interval_, [this] { Tick(); });
 }

@@ -26,6 +26,22 @@ struct ResourceSample {
   double peak_memory_mb = 0.0;
 };
 
+// Per-deployment failure-taxonomy snapshot (cumulative counters), sampled on
+// the same tick as resource usage. Lets the metrics pipeline watch timeouts,
+// retries and breaker activity per function over time.
+struct FailureSample {
+  std::string handle;
+  SimTime timestamp = 0;
+  int64_t completed_cum = 0;
+  int64_t failed_cum = 0;
+  int64_t timeouts_cum = 0;
+  int64_t retries_cum = 0;
+  int64_t crashes_cum = 0;
+  int64_t oom_kills_cum = 0;
+  int64_t breaker_rejected_cum = 0;
+  SimDuration breaker_open_ns_cum = 0;
+};
+
 // Time-series storage ("InfluxDB").
 class MetricsStore {
  public:
@@ -36,13 +52,22 @@ class MetricsStore {
 
   void Add(ResourceSample sample) { samples_.push_back(std::move(sample)); }
   const std::vector<ResourceSample>& samples() const { return samples_; }
-  void Clear() { samples_.clear(); }
+  void AddFailure(FailureSample sample) { failure_samples_.push_back(std::move(sample)); }
+  const std::vector<FailureSample>& failure_samples() const { return failure_samples_; }
+  void Clear() {
+    samples_.clear();
+    failure_samples_.clear();
+  }
 
   // Aggregates the latest sample of each container, per function handle.
   std::map<std::string, FunctionUsage> Aggregate() const;
 
+  // Latest failure snapshot per function handle.
+  std::map<std::string, FailureSample> LatestFailures() const;
+
  private:
   std::vector<ResourceSample> samples_;
+  std::vector<FailureSample> failure_samples_;
 };
 
 // Periodic sampler ("cAdvisor"). The source callback snapshots all live
@@ -50,9 +75,14 @@ class MetricsStore {
 class ResourceMonitor {
  public:
   using SampleSource = std::function<std::vector<ResourceSample>()>;
+  using FailureSource = std::function<std::vector<FailureSample>()>;
 
   ResourceMonitor(Simulation* sim, MetricsStore* store, SampleSource source,
                   SimDuration interval = Seconds(1));
+
+  // Optional second source: per-deployment failure-taxonomy snapshots,
+  // sampled on the same tick as resources (the platform provides it).
+  void set_failure_source(FailureSource source) { failure_source_ = std::move(source); }
 
   void Start();
   void Stop() { running_ = false; }
@@ -64,6 +94,7 @@ class ResourceMonitor {
   Simulation* sim_;
   MetricsStore* store_;
   SampleSource source_;
+  FailureSource failure_source_;
   SimDuration interval_;
   bool running_ = false;
 };

@@ -15,18 +15,25 @@ struct RunState {
   int64_t outstanding = 0;
 };
 
-void RecordResponse(RunState& state, SimTime sent_at, SimTime now, bool ok) {
+void RecordResponse(RunState& state, SimTime sent_at, SimTime now, const Status& status) {
   if (sent_at < state.measure_start || sent_at >= state.measure_end) {
     return;  // Warmup or overrun: not measured.
   }
-  if (ok) {
-    if (now > state.measure_end) {
-      return;  // Completed during the drain period: not throughput.
-    }
+  if (now > state.measure_end) {
+    // Completed during the drain period: not part of the measured window.
+    // Applies to successes and failures alike -- counting drain failures but
+    // not drain successes would skew FailureRate() under load.
+    return;
+  }
+  if (status.ok()) {
     ++state.result.completed;
     state.result.latency.Record(now - sent_at);
   } else {
     ++state.result.failed;
+    ++state.result.failures_by_cause[StatusCodeName(status.code())];
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      ++state.result.timeouts;
+    }
   }
 }
 
@@ -39,17 +46,25 @@ LoadResult ClosedLoopGenerator::Run(Simulation* sim, Invoker* invoker,
   state->measure_end = state->measure_start + options.duration;
   state->result.measured_duration = options.duration;
 
-  // One send-loop per connection.
+  // One send-loop per connection. The loop closure captures itself weakly:
+  // a strong self-capture would form a shared_ptr cycle that outlives the
+  // run (the local `send_next` below is the one strong reference, released
+  // when Run returns; late-firing events then lock() null and no-op).
   auto send_next = std::make_shared<std::function<void()>>();
-  *send_next = [sim, invoker, target, options, state, send_next] {
+  std::weak_ptr<std::function<void()>> weak_send = send_next;
+  *send_next = [sim, invoker, target, options, state, weak_send] {
     const SimTime sent_at = sim->now();
     if (sent_at >= state->measure_end) {
       return;  // Connection closes.
     }
     invoker->Invoke(kClientCaller, target, options.payload, /*async=*/false,
-                    [sim, options, state, send_next, sent_at](Result<Json> result) {
-                      RecordResponse(*state, sent_at, sim->now(), result.ok());
-                      sim->Schedule(options.think_time, [send_next] { (*send_next)(); });
+                    [sim, options, state, weak_send, sent_at](Result<Json> result) {
+                      RecordResponse(*state, sent_at, sim->now(), result.status());
+                      sim->Schedule(options.think_time, [weak_send] {
+                        if (auto next = weak_send.lock()) {
+                          (*next)();
+                        }
+                      });
                     });
   };
   for (int c = 0; c < options.connections; ++c) {
@@ -73,9 +88,12 @@ LoadResult OpenLoopGenerator::Run(Simulation* sim, Invoker* invoker, const std::
   const double interval_s = options.rps > 0.0 ? 1.0 / options.rps : 0.0;
 
   // Schedule arrivals lazily (one event schedules the next) to keep the
-  // event queue small at high rates.
+  // event queue small at high rates. Weak self-capture, as in the closed
+  // loop above: the local `arrive` is the only strong reference, so the
+  // closure chain is freed when Run returns.
   auto arrive = std::make_shared<std::function<void()>>();
-  *arrive = [sim, invoker, target, options, state, rng, arrive, run_end, interval_s] {
+  std::weak_ptr<std::function<void()>> weak_arrive = arrive;
+  *arrive = [sim, invoker, target, options, state, rng, weak_arrive, run_end, interval_s] {
     const SimTime sent_at = sim->now();
     if (sent_at >= run_end) {
       return;
@@ -83,11 +101,15 @@ LoadResult OpenLoopGenerator::Run(Simulation* sim, Invoker* invoker, const std::
     Json payload = options.payload_fn ? options.payload_fn(*rng) : options.payload;
     invoker->Invoke(kClientCaller, target, std::move(payload), /*async=*/false,
                     [sim, state, sent_at](Result<Json> result) {
-                      RecordResponse(*state, sent_at, sim->now(), result.ok());
+                      RecordResponse(*state, sent_at, sim->now(), result.status());
                     });
     const double next_s =
         options.poisson ? rng->Exponential(interval_s) : interval_s;
-    sim->Schedule(Seconds(next_s), [arrive] { (*arrive)(); });
+    sim->Schedule(Seconds(next_s), [weak_arrive] {
+      if (auto next = weak_arrive.lock()) {
+        (*next)();
+      }
+    });
   };
   sim->Schedule(0, [arrive] { (*arrive)(); });
 

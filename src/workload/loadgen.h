@@ -5,6 +5,7 @@
 #ifndef SRC_WORKLOAD_LOADGEN_H_
 #define SRC_WORKLOAD_LOADGEN_H_
 
+#include <map>
 #include <string>
 
 #include "src/common/histogram.h"
@@ -19,6 +20,12 @@ struct LoadResult {
   LatencyHistogram latency;
   int64_t completed = 0;
   int64_t failed = 0;
+  // Failure taxonomy as the *client* sees it: failed responses bucketed by
+  // status-code name ("UNAVAILABLE", "DEADLINE_EXCEEDED", ...). timeouts is
+  // the DEADLINE_EXCEEDED subset, broken out because it is the headline
+  // metric of the failure-handling layer.
+  int64_t timeouts = 0;
+  std::map<std::string, int64_t> failures_by_cause;
   SimDuration measured_duration = 0;
   double offered_rps = 0.0;
 

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 
 namespace quilt {
 namespace {
+
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
 
 TEST(HistogramBoundsTest, ExtremeQuantilesClampToMinMax) {
   LatencyHistogram h;
@@ -40,6 +45,66 @@ TEST(HistogramBoundsTest, SingleRepeatedValueEverywhere) {
   }
   EXPECT_EQ(h.min(), 777777);
   EXPECT_EQ(h.max(), 777777);
+}
+
+TEST(HistogramBoundsTest, HugeValuesLandInTopBucketWithoutGrowth) {
+  LatencyHistogram h;
+  const size_t buckets = h.bucket_count();
+  h.Record(kInt64Max);
+  h.RecordMany(kInt64Max - 1, 3);
+  h.Record(1);
+
+  // Storage is fixed: the overflow values share the top bucket instead of
+  // growing counts_.
+  EXPECT_EQ(h.bucket_count(), buckets);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), kInt64Max);
+  // Quantiles stay within the histogram's relative error (1/128) of the
+  // true value; they never overflow past int64 or exceed the tracked max.
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.99)), static_cast<double>(kInt64Max),
+              static_cast<double>(kInt64Max) / 100.0);
+  EXPECT_LE(h.Quantile(0.99), kInt64Max);
+  EXPECT_EQ(h.Quantile(0.01), 1);
+  int64_t last = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    const int64_t value = h.Quantile(q);
+    EXPECT_GE(value, last) << "q=" << q;
+    EXPECT_LE(value, kInt64Max);
+    last = value;
+  }
+}
+
+TEST(HistogramBoundsTest, MergeAtOverflowBoundaryStaysCorrect) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordMany(kInt64Max, 5);
+  b.RecordMany(1000, 5);
+  b.Merge(a);
+
+  EXPECT_EQ(b.count(), 10);
+  EXPECT_EQ(b.min(), 1000);
+  EXPECT_EQ(b.max(), kInt64Max);
+  EXPECT_EQ(b.bucket_count(), a.bucket_count());
+  // Lower half resolves to the finite values (within the histogram's
+  // relative error), upper half to the saturated top bucket.
+  EXPECT_NEAR(static_cast<double>(b.Quantile(0.25)), 1000.0, 16.0);
+  EXPECT_NEAR(static_cast<double>(b.Quantile(0.95)), static_cast<double>(kInt64Max),
+              static_cast<double>(kInt64Max) / 100.0);
+  EXPECT_LE(b.Quantile(0.95), kInt64Max);
+
+  // Merging an empty histogram is a no-op.
+  LatencyHistogram empty;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 10);
+  EXPECT_EQ(b.min(), 1000);
+
+  // Merging into an empty histogram adopts the other's min/max verbatim.
+  LatencyHistogram fresh;
+  fresh.Merge(b);
+  EXPECT_EQ(fresh.count(), 10);
+  EXPECT_EQ(fresh.min(), 1000);
+  EXPECT_EQ(fresh.max(), kInt64Max);
 }
 
 }  // namespace

@@ -2,11 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/graph/random_dag.h"
 #include "src/partition/scorers.h"
 
 namespace quilt {
 namespace {
+
+// Canonical form of a solution: groups as (root, sorted members), sorted by
+// root. Two solutions with equal canonical forms picked the same roots and
+// the same membership, regardless of construction order.
+std::vector<std::pair<NodeId, std::vector<NodeId>>> CanonicalGroups(
+    const MergeSolution& solution) {
+  std::vector<std::pair<NodeId, std::vector<NodeId>>> groups;
+  for (const MergeGroup& group : solution.groups) {
+    std::vector<NodeId> members = group.members;
+    std::sort(members.begin(), members.end());
+    groups.emplace_back(group.root, std::move(members));
+  }
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
 
 TEST(GraspSolverTest, SolvesMediumRandomGraph) {
   Rng graph_rng(11);
@@ -105,6 +124,39 @@ TEST(GraspSolverTest, DeterministicGivenSeed) {
   ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a->cross_cost, b->cross_cost);
   EXPECT_EQ(a->num_groups(), b->num_groups());
+  // Not just equal cost: the same seed picks the identical group roots and
+  // the identical member sets.
+  EXPECT_EQ(CanonicalGroups(*a), CanonicalGroups(*b));
+}
+
+TEST(GraspSolverTest, DifferentSeedStillProducesValidSolution) {
+  Rng graph_rng(41);
+  RandomDagOptions options;
+  options.num_nodes = 20;
+  CallGraph g = GenerateRandomRdag(options, graph_rng);
+  double total_mem = 0.0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    total_mem += g.node(id).memory;
+  }
+  MergeProblem problem{&g, 100.0, total_mem * 0.4};
+  DownstreamImpactScorer dih;
+  GraspSolver solver(dih);
+
+  Rng rng_base(123);
+  Result<MergeSolution> base = solver.Solve(problem, rng_base);
+  ASSERT_TRUE(base.ok());
+
+  // Any other seed must still satisfy every solution invariant (coverage,
+  // unique roots, rooted connectivity, resource limits), whatever roots the
+  // randomized construction happens to pick.
+  for (uint64_t seed : {7u, 777u, 31337u}) {
+    Rng rng(seed);
+    Result<MergeSolution> other = solver.Solve(problem, rng);
+    ASSERT_TRUE(other.ok()) << "seed " << seed << ": " << other.status().ToString();
+    EXPECT_TRUE(CheckSolution(problem, *other).ok())
+        << "seed " << seed << ": " << CheckSolution(problem, *other).ToString();
+    EXPECT_LT(other->cross_cost, g.TotalEdgeWeight());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,158 @@
+#include "src/platform/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace quilt {
+namespace {
+
+FaultRule Rule(FaultKind kind, double probability) {
+  FaultRule rule;
+  rule.kind = kind;
+  rule.probability = probability;
+  return rule;
+}
+
+TEST(FaultInjectorTest, DefaultPlanIsDisabled) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  const FaultInjector::GatewayFault fault = injector.OnGatewayHop("any", Seconds(1));
+  EXPECT_FALSE(fault.any());
+  EXPECT_FALSE(injector.OnDispatch("any", Seconds(1)));
+  EXPECT_EQ(injector.stats().total(), 0);
+}
+
+TEST(FaultInjectorTest, SamePlanSameSeedSameFaultSequence) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rules = {Rule(FaultKind::kNetworkDrop, 0.3), Rule(FaultKind::kGatewayError, 0.2),
+                Rule(FaultKind::kContainerCrash, 0.25)};
+  FaultRule delay = Rule(FaultKind::kNetworkDelay, 0.2);
+  delay.extra_delay = Milliseconds(1);
+  plan.rules.push_back(delay);
+
+  auto trace = [&plan] {
+    FaultInjector injector(plan);
+    std::vector<std::string> decisions;
+    for (int i = 0; i < 200; ++i) {
+      const std::string dep = (i % 2 == 0) ? "a" : "b";
+      const SimTime now = Milliseconds(i);
+      const FaultInjector::GatewayFault f = injector.OnGatewayHop(dep, now);
+      decisions.push_back(std::string(f.drop ? "D" : "-") + (f.gateway_error ? "E" : "-") +
+                          (f.extra_delay > 0 ? "L" : "-") +
+                          (injector.OnDispatch(dep, now) ? "C" : "-"));
+    }
+    return std::make_pair(decisions, injector.stats());
+  };
+
+  const auto [seq_a, stats_a] = trace();
+  const auto [seq_b, stats_b] = trace();
+  EXPECT_EQ(seq_a, seq_b);
+  EXPECT_EQ(stats_a.network_drops, stats_b.network_drops);
+  EXPECT_EQ(stats_a.network_delays, stats_b.network_delays);
+  EXPECT_EQ(stats_a.gateway_errors, stats_b.gateway_errors);
+  EXPECT_EQ(stats_a.container_crashes, stats_b.container_crashes);
+  EXPECT_GT(stats_a.total(), 0);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentPattern) {
+  FaultPlan plan;
+  plan.rules = {Rule(FaultKind::kGatewayError, 0.5)};
+  auto trace = [&plan](uint64_t seed) {
+    FaultPlan seeded = plan;
+    seeded.seed = seed;
+    FaultInjector injector(seeded);
+    std::vector<bool> fired;
+    for (int i = 0; i < 100; ++i) {
+      fired.push_back(injector.OnGatewayHop("a", Milliseconds(i)).gateway_error);
+    }
+    return fired;
+  };
+  EXPECT_NE(trace(1), trace(2));
+}
+
+TEST(FaultInjectorTest, RulesScopeToDeploymentAndWindow) {
+  FaultPlan plan;
+  FaultRule rule = Rule(FaultKind::kGatewayError, 1.0);
+  rule.deployment = "target";
+  rule.window_start = Milliseconds(100);
+  rule.window_end = Milliseconds(200);
+  plan.rules = {rule};
+  FaultInjector injector(plan);
+
+  EXPECT_FALSE(injector.OnGatewayHop("other", Milliseconds(150)).any());
+  EXPECT_FALSE(injector.OnGatewayHop("target", Milliseconds(50)).any());
+  EXPECT_TRUE(injector.OnGatewayHop("target", Milliseconds(100)).gateway_error);
+  EXPECT_TRUE(injector.OnGatewayHop("target", Milliseconds(150)).gateway_error);
+  // window_end is exclusive.
+  EXPECT_FALSE(injector.OnGatewayHop("target", Milliseconds(200)).any());
+  EXPECT_FALSE(injector.OnGatewayHop("target", Milliseconds(250)).any());
+  EXPECT_EQ(injector.stats().gateway_errors, 2);
+}
+
+TEST(FaultInjectorTest, MaxFaultsCapsARule) {
+  FaultPlan plan;
+  FaultRule rule = Rule(FaultKind::kNetworkDrop, 1.0);
+  rule.max_faults = 3;
+  plan.rules = {rule};
+  FaultInjector injector(plan);
+
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.OnGatewayHop("a", Milliseconds(i)).drop) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(injector.stats().network_drops, 3);
+}
+
+TEST(FaultInjectorTest, DropAndGatewayErrorAreMutuallyExclusive) {
+  FaultPlan plan;
+  plan.rules = {Rule(FaultKind::kNetworkDrop, 1.0), Rule(FaultKind::kGatewayError, 1.0)};
+  FaultInjector injector(plan);
+  for (int i = 0; i < 20; ++i) {
+    const FaultInjector::GatewayFault f = injector.OnGatewayHop("a", Milliseconds(i));
+    EXPECT_TRUE(f.drop);            // First matching rule wins the hop.
+    EXPECT_FALSE(f.gateway_error);  // Never both on one hop.
+  }
+  EXPECT_EQ(injector.stats().network_drops, 20);
+  EXPECT_EQ(injector.stats().gateway_errors, 0);
+}
+
+TEST(FaultInjectorTest, DelaysAccumulateAcrossRules) {
+  FaultPlan plan;
+  FaultRule d1 = Rule(FaultKind::kNetworkDelay, 1.0);
+  d1.extra_delay = Milliseconds(2);
+  FaultRule d2 = Rule(FaultKind::kNetworkDelay, 1.0);
+  d2.extra_delay = Milliseconds(3);
+  plan.rules = {d1, d2};
+  FaultInjector injector(plan);
+
+  const FaultInjector::GatewayFault f = injector.OnGatewayHop("a", 0);
+  EXPECT_EQ(f.extra_delay, Milliseconds(5));
+  EXPECT_FALSE(f.drop);
+  EXPECT_FALSE(f.gateway_error);
+  EXPECT_EQ(injector.stats().network_delays, 2);
+}
+
+TEST(FaultInjectorTest, ScheduledCrashesMakeThePlanEnabled) {
+  FaultPlan plan;
+  plan.crashes = {CrashEvent{"dep", Seconds(1)}};
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.enabled());
+  injector.CountScheduledCrash();
+  EXPECT_EQ(injector.stats().container_crashes, 1);
+}
+
+TEST(FaultInjectorTest, FaultKindNames) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kNetworkDrop), "network_drop");
+  EXPECT_STREQ(FaultKindName(FaultKind::kNetworkDelay), "network_delay");
+  EXPECT_STREQ(FaultKindName(FaultKind::kGatewayError), "gateway_error");
+  EXPECT_STREQ(FaultKindName(FaultKind::kContainerCrash), "container_crash");
+}
+
+}  // namespace
+}  // namespace quilt

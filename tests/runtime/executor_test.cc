@@ -55,8 +55,8 @@ struct Harness {
     env.container = container;
     env.remote = &invoker;
     env.costs = &costs;
-    env.trigger_oom = [this] {
-      oom_triggered = true;
+    env.trigger_kill = [this](KillReason reason) {
+      oom_triggered = reason == KillReason::kOom || oom_triggered;
       container->Kill();
     };
   }

@@ -124,6 +124,75 @@ TEST(OpenLoopTest, PayloadFnCustomizesRequests) {
   EXPECT_GT(service.sum, 0);
 }
 
+// A service that fails every second request with a fixed latency, for
+// exercising the drain-window accounting on both response branches.
+class AlternatingFailureService : public Invoker {
+ public:
+  AlternatingFailureService(Simulation* sim, SimDuration latency, Status failure)
+      : sim_(sim), latency_(latency), failure_(std::move(failure)) {}
+
+  void Invoke(const std::string&, const std::string&, const Json&, bool,
+              std::function<void(Result<Json>)> done) override {
+    const bool fail = (count_++ % 2) == 1;
+    Status failure = failure_;
+    sim_->Schedule(latency_, [done, fail, failure] {
+      if (fail) {
+        done(failure);
+      } else {
+        done(Json::MakeObject());
+      }
+    });
+  }
+
+ private:
+  Simulation* sim_;
+  SimDuration latency_;
+  Status failure_;
+  int64_t count_ = 0;
+};
+
+// Regression: responses completing during the drain period must be excluded
+// from the measured window whether they succeeded or failed. The failure
+// branch used to skip the drain check, so a slow failing service inflated
+// FailureRate() with drain-period failures whose paired successes were
+// dropped.
+TEST(OpenLoopTest, DrainExcludesLateFailuresAndSuccessesAlike) {
+  Simulation sim;
+  AlternatingFailureService service(&sim, Seconds(3), UnavailableError("synthetic"));
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::Options options;
+  options.rps = 1.0;
+  options.warmup = 0;
+  options.duration = Seconds(10);
+  options.drain_grace = Seconds(10);
+  const LoadResult result = generator.Run(&sim, &service, "svc", options);
+
+  // Requests sent at t = 0..9s complete at t+3s; only completions at
+  // t <= 10s count, i.e. the 8 requests sent by t = 7s: 4 ok, 4 failed.
+  // (Pre-fix the failure sent at t = 9s was also counted: 4 ok, 5 failed.)
+  EXPECT_EQ(result.completed, 4);
+  EXPECT_EQ(result.failed, 4);
+  EXPECT_EQ(result.failures_by_cause.at("UNAVAILABLE"), 4);
+  EXPECT_EQ(result.timeouts, 0);
+}
+
+TEST(OpenLoopTest, ClientTimeoutsBrokenOutInFailureTaxonomy) {
+  Simulation sim;
+  AlternatingFailureService service(&sim, Milliseconds(1),
+                                    DeadlineExceededError("too slow"));
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::Options options;
+  options.rps = 10.0;
+  options.warmup = 0;
+  options.duration = Seconds(2);
+  const LoadResult result = generator.Run(&sim, &service, "svc", options);
+
+  EXPECT_EQ(result.completed + result.failed, 20);
+  EXPECT_EQ(result.failed, 10);
+  EXPECT_EQ(result.timeouts, result.failed);
+  EXPECT_EQ(result.failures_by_cause.at("DEADLINE_EXCEEDED"), result.failed);
+}
+
 TEST(LoadResultTest, FailureRate) {
   LoadResult result;
   result.completed = 8;
