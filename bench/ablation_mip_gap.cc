@@ -56,7 +56,7 @@ int main() {
       MergeProblem problem = ProblemFor(graph);
       DownstreamImpactScorer dih;
       HeuristicSolver solver(dih);
-      HeuristicSolverOptions options;
+      SolverOptions options;
       options.pool_size = 8;
       options.mip_gap = gap;
       const auto start = std::chrono::steady_clock::now();
@@ -76,6 +76,6 @@ int main() {
   std::printf(
       "\nShape check: at benchmark scale the Phase-2 ILPs are already cheap, so the\n"
       "relaxation costs nothing and saves little -- the knob exists for the large\n"
-      "candidate sets of Appendix C.4, where GraspOptions.mip_gap defaults to 5%%.\n");
+      "candidate sets of Appendix C.4, where GRASP defaults to a 5%% gap.\n");
   return 0;
 }

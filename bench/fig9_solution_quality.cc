@@ -128,10 +128,10 @@ int main() {
       } else {
         GraspSolver indeg(indeg_scorer);
         GraspSolver dih(dih_scorer);
-        Rng r1(300 + trial);
-        Rng r2(300 + trial);
-        Result<MergeSolution> h1 = indeg.Solve(problem, r1);
-        Result<MergeSolution> h2 = dih.Solve(problem, r2);
+        SolverOptions grasp_options = SolverOptions::GraspDefaults();
+        grasp_options.seed = 300 + trial;
+        Result<MergeSolution> h1 = indeg.Solve(problem, grasp_options);
+        Result<MergeSolution> h2 = dih.Solve(problem, grasp_options);
         indeg_cost.values.push_back(h1.ok() ? h1->cross_cost : graph.TotalEdgeWeight());
         dih_cost.values.push_back(h2.ok() ? h2->cross_cost : graph.TotalEdgeWeight());
       }

@@ -30,11 +30,12 @@ int main() {
 
   DownstreamImpactScorer dih;
   GraspSolver solver(dih);
-  Rng rng(7);
-  GraspStats stats;
+  SolverOptions grasp_options = SolverOptions::GraspDefaults();
+  grasp_options.seed = 7;
+  SolverStats stats;
 
   const auto start = std::chrono::steady_clock::now();
-  Result<MergeSolution> solution = solver.Solve(problem, rng, {}, &stats);
+  Result<MergeSolution> solution = solver.Solve(problem, grasp_options, &stats);
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
       std::chrono::steady_clock::now() - start);
   if (!solution.ok()) {

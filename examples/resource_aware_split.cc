@@ -35,7 +35,7 @@ int main() {
 
   // The exact solver finds the resource-respecting optimum.
   OptimalSolver optimal;
-  OptimalSolverStats stats;
+  SolverStats stats;
   Result<MergeSolution> best = optimal.Solve(problem, {}, &stats);
   if (!best.ok()) {
     std::printf("optimal solve failed: %s\n", best.status().ToString().c_str());
@@ -53,7 +53,7 @@ int main() {
     std::printf("  %-18s %.3f\n", graph->node(id).name.c_str(), scores[id]);
   }
   HeuristicSolver heuristic(dih);
-  HeuristicSolverStats h_stats;
+  SolverStats h_stats;
   Result<MergeSolution> approx = heuristic.Solve(problem, {}, &h_stats);
   if (!approx.ok()) {
     std::printf("heuristic solve failed: %s\n", approx.status().ToString().c_str());

@@ -1,0 +1,81 @@
+#include "src/common/thread_pool.h"
+
+#include <utility>
+
+namespace quilt {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  if (num_threads_ <= 1) {
+    return;  // Synchronous mode: Submit() runs tasks inline.
+  }
+  workers_.reserve(num_threads_);
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) {
+    return;  // Synchronous mode: everything already ran in Submit().
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  for (int i = 0; i < count; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutdown with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) {
+        batch_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace quilt

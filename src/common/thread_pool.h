@@ -1,0 +1,60 @@
+// Fixed-size thread pool for deterministic fan-out parallelism.
+//
+// Deliberately work-stealing-free: callers submit closures and wait for the
+// whole batch. Determinism is the caller's job — the pattern used by the
+// decision stack is "write results into pre-sized slots indexed by task id,
+// then reduce in index order", so the outcome is independent of which thread
+// runs which task and of the interleaving.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace quilt {
+
+class ThreadPool {
+ public:
+  // num_threads <= 1 degenerates to synchronous execution in Submit() — no
+  // worker threads are started, so a ThreadPool(1) is safe anywhere.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw; exceptions escaping a task
+  // terminate the process (same contract as std::thread).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. The pool is reusable
+  // afterwards (Submit/Wait cycles).
+  void Wait();
+
+  int num_threads() const { return num_threads_; }
+
+  // Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  // Queued + currently executing tasks.
+  bool shutdown_ = false;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -3,17 +3,36 @@
 #include <algorithm>
 
 #include "src/common/strings.h"
-#include "src/partition/heuristic_solver.h"
-#include "src/partition/optimal_solver.h"
-#include "src/partition/scorers.h"
 
 namespace quilt {
+
+namespace {
+
+DecisionEngineOptions EngineOptionsFrom(const ControllerOptions& options) {
+  DecisionEngineOptions engine;
+  engine.solver = options.decision_solver;
+  engine.optimal_max_nodes = options.optimal_solver_max_nodes;
+  engine.grasp_min_nodes = options.grasp_min_nodes;
+  engine.mip_gap = options.mip_gap;
+  engine.dih_pool_size = options.dih_pool_size;
+  engine.seed = options.decision_seed;
+  engine.deadline_ms = options.decision_deadline_ms;
+  engine.grasp_mip_gap = options.grasp_mip_gap;
+  engine.grasp_starts = options.grasp_starts;
+  engine.grasp_threads = options.decision_threads;
+  engine.enable_cache = options.decision_cache;
+  engine.cache_capacity = options.decision_cache_capacity;
+  return engine;
+}
+
+}  // namespace
 
 QuiltController::QuiltController(Simulation* sim, Platform* platform, ControllerOptions options)
     : sim_(sim),
       platform_(platform),
       options_(options),
       compiler_(options.quiltc),
+      decision_engine_(EngineOptionsFrom(options)),
       tracer_(sim, &span_store_),
       metrics_store_(),
       monitor_(sim, &metrics_store_, [platform] { return platform->SampleResources(); },
@@ -185,24 +204,23 @@ Result<CallGraph> QuiltController::BuildCallGraph(const std::string& root_handle
 }
 
 Result<MergeSolution> QuiltController::Decide(const CallGraph& graph) {
+  return DecideWithTrigger(graph, "decide");
+}
+
+Result<MergeSolution> QuiltController::DecideWithTrigger(const CallGraph& graph,
+                                                         const std::string& trigger) {
   MergeProblem problem;
   problem.graph = &graph;
   problem.cpu_limit = options_.container_cpu_limit;
   problem.memory_limit = options_.container_memory_limit_mb;
-  QUILT_RETURN_IF_ERROR(problem.Validate());
 
-  if (graph.num_nodes() <= options_.optimal_solver_max_nodes) {
-    OptimalSolver solver;
-    OptimalSolverOptions solver_options;
-    solver_options.mip_gap = options_.mip_gap;
-    return solver.Solve(problem, solver_options);
-  }
-  DownstreamImpactScorer scorer;
-  HeuristicSolver solver(scorer);
-  HeuristicSolverOptions solver_options;
-  solver_options.pool_size = options_.dih_pool_size;
-  solver_options.mip_gap = options_.mip_gap;
-  return solver.Solve(problem, solver_options);
+  DecisionRecord record;
+  Result<MergeSolution> solution = decision_engine_.Decide(problem, &record);
+  record.trigger = trigger;
+  record.workflow = graph.num_nodes() > 0 ? graph.node(graph.root()).name : "";
+  record.virtual_time = sim_->now();
+  metrics_store_.AddDecision(std::move(record));
+  return solution;
 }
 
 Result<std::vector<MergedArtifact>> QuiltController::Merge(const CallGraph& graph,
@@ -344,7 +362,7 @@ Result<QuiltController::ReconsiderReport> QuiltController::ReconsiderWorkflow(
   if (!graph.ok()) {
     return graph.status();
   }
-  Result<MergeSolution> solution = Decide(*graph);
+  Result<MergeSolution> solution = DecideWithTrigger(*graph, "reconsider");
   if (!solution.ok()) {
     return solution.status();
   }

@@ -21,6 +21,7 @@
 
 #include "src/apps/app.h"
 #include "src/common/status.h"
+#include "src/partition/decision_engine.h"
 #include "src/partition/problem.h"
 #include "src/platform/platform.h"
 #include "src/quiltc/compiler.h"
@@ -36,10 +37,31 @@ struct ControllerOptions {
   double container_memory_limit_mb = 128.0;
   int max_scale = 10;
 
-  // Merge decision: exact solver up to this size, DIH beyond (§4.2/§4.3).
+  // Merge decision (§4), delegated to the DecisionEngine. kAuto picks by
+  // graph size: exact solver up to optimal_solver_max_nodes, the DIH k-sweep
+  // below grasp_min_nodes, multi-start GRASP at or beyond it; the explicit
+  // choices force one solver regardless of size.
+  SolverChoice decision_solver = SolverChoice::kAuto;
   int optimal_solver_max_nodes = 11;
+  int grasp_min_nodes = 26;
   int dih_pool_size = 6;
   double mip_gap = 0.0;
+  // GRASP decisions: paper defaults (5% stage gap, bounded stage ILPs),
+  // best-of-N multi-start, optionally threaded. Controller-driven GRASP runs
+  // are reproducible: draws derive from decision_seed, which every
+  // DecisionRecord carries.
+  double grasp_mip_gap = 0.05;
+  int grasp_starts = 4;
+  int decision_threads = 1;
+  uint64_t decision_seed = 0x9e3779b97f4a7c15ull;
+  // Wall-clock budget per decision in ms (0 = none). On expiry the solvers
+  // stop sweeping and return the best incumbent (trades determinism for
+  // bounded decision latency).
+  double decision_deadline_ms = 0.0;
+  // Phase-2 ILP memoization shared across solvers and successive decisions
+  // (ReconsiderWorkflow re-decides continuously; a stable profile hits).
+  bool decision_cache = true;
+  size_t decision_cache_capacity = 4096;
 
   // When a merged function replaces a group, it receives the containers of
   // all its members (resource parity with the baseline, §7.3.1).
@@ -116,6 +138,7 @@ class QuiltController {
   Tracer* tracer() { return &tracer_; }
   SpanStore* span_store() { return &span_store_; }
   MetricsStore* metrics_store() { return &metrics_store_; }
+  DecisionEngine* decision_engine() { return &decision_engine_; }
   const ControllerOptions& options() const { return options_; }
 
   // Deployment-spec builders (exposed for benchmarks/tests).
@@ -127,11 +150,15 @@ class QuiltController {
  private:
   const WorkflowApp* AppForHandle(const std::string& handle) const;
   double BaseMemoryMb(const BinaryImage& image) const;
+  // Decide + decision telemetry: emits a DecisionRecord (tagged with the
+  // trigger) into the MetricsStore, success or failure.
+  Result<MergeSolution> DecideWithTrigger(const CallGraph& graph, const std::string& trigger);
 
   Simulation* sim_;
   Platform* platform_;
   ControllerOptions options_;
   QuiltCompiler compiler_;
+  DecisionEngine decision_engine_;
 
   SpanStore span_store_;
   Tracer tracer_;

@@ -206,6 +206,12 @@ class Search {
       if (options_.max_nodes > 0 && nodes_ > options_.max_nodes) {
         return false;
       }
+      // Deadline checks are amortized: a clock read every node would dominate
+      // the cheap propagation work.
+      if (options_.has_deadline() && (nodes_ & 1023) == 0 &&
+          std::chrono::steady_clock::now() >= options_.deadline) {
+        return false;  // Incumbent (if any) is reported as kFeasible.
+      }
 
       bool conflict = !Propagate();
       if (!conflict && bound_ >= PruneThreshold() - kEps) {

@@ -11,6 +11,7 @@
 #ifndef SRC_ILP_ILP_SOLVER_H_
 #define SRC_ILP_ILP_SOLVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -35,6 +36,17 @@ struct IlpSolveOptions {
   double cutoff = std::numeric_limits<double>::infinity();
   // Search limits (0 = unlimited).
   int64_t max_nodes = 0;
+  // Wall-clock deadline (absolute, steady clock). On expiry the search stops
+  // and the best incumbent found so far is returned as kFeasible
+  // (kLimitReached when none exists yet). time_point::max() = no deadline.
+  // Note: a deadline trades determinism for latency — identical inputs can
+  // return different incumbents depending on machine speed.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 struct IlpSolution {

@@ -1,0 +1,102 @@
+#include "src/partition/decision_engine.h"
+
+#include <chrono>
+
+namespace quilt {
+
+DecisionEngine::DecisionEngine(DecisionEngineOptions options)
+    : options_(options),
+      heuristic_(scorer_),
+      grasp_(scorer_) {
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<IlpSolveCache>(options_.cache_capacity);
+  }
+}
+
+SolverChoice DecisionEngine::Resolve(int num_nodes) const {
+  if (options_.solver != SolverChoice::kAuto) {
+    return options_.solver;
+  }
+  if (num_nodes <= options_.optimal_max_nodes) {
+    return SolverChoice::kOptimal;
+  }
+  if (num_nodes < options_.grasp_min_nodes) {
+    return SolverChoice::kHeuristic;
+  }
+  return SolverChoice::kGrasp;
+}
+
+SolverOptions DecisionEngine::OptionsFor(SolverChoice choice) const {
+  SolverOptions solver_options;
+  if (choice == SolverChoice::kGrasp) {
+    solver_options = SolverOptions::GraspDefaults();
+    solver_options.mip_gap = options_.grasp_mip_gap;
+    solver_options.max_nodes_per_ilp = options_.grasp_max_nodes_per_ilp;
+    solver_options.num_starts = options_.grasp_starts;
+    solver_options.num_threads = options_.grasp_threads;
+  } else {
+    solver_options.mip_gap = options_.mip_gap;
+    solver_options.pool_size = options_.dih_pool_size;
+  }
+  solver_options.seed = options_.seed;
+  solver_options.cache = cache_.get();
+  if (options_.deadline_ms > 0.0) {
+    solver_options.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<int64_t>(options_.deadline_ms * 1000.0));
+  }
+  return solver_options;
+}
+
+Result<MergeSolution> DecisionEngine::Decide(const MergeProblem& problem,
+                                             DecisionRecord* record) {
+  QUILT_RETURN_IF_ERROR(problem.Validate());
+  const SolverChoice choice = Resolve(problem.graph->num_nodes());
+  const SolverOptions solver_options = OptionsFor(choice);
+
+  MergeSolver* solver = nullptr;
+  switch (choice) {
+    case SolverChoice::kOptimal:
+      solver = &optimal_;
+      break;
+    case SolverChoice::kHeuristic:
+      solver = &heuristic_;
+      break;
+    case SolverChoice::kGrasp:
+    case SolverChoice::kAuto:  // Unreachable: Resolve never returns kAuto.
+      solver = &grasp_;
+      break;
+  }
+
+  SolverStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  Result<MergeSolution> solution = solver->Solve(problem, solver_options, &stats);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (record != nullptr) {
+    *record = DecisionRecord{};
+    record->solver = solver->name();
+    record->seed = solver_options.seed;
+    record->graph_nodes = problem.graph->num_nodes();
+    record->graph_edges = problem.graph->num_edges();
+    record->feasible = solution.ok();
+    record->final_cost = solution.ok() ? solution->cross_cost : 0.0;
+    record->num_groups = solution.ok() ? solution->num_groups() : 0;
+    record->wall_ms = wall_ms;
+    record->ilp_solves = stats.ilp_solves;
+    record->ilp_cache_hits = stats.ilp_cache_hits;
+    record->candidate_sets_tried = stats.candidate_sets_tried;
+    record->feasible_sets = stats.feasible_sets;
+    record->stage1_attempts = stats.stage1_attempts;
+    record->refinement_removals = stats.refinement_removals;
+    record->grasp_starts = stats.starts;
+    record->threads = stats.threads;
+    record->exhaustive = stats.exhaustive;
+    record->hit_deadline = stats.hit_deadline;
+  }
+  return solution;
+}
+
+}  // namespace quilt

@@ -1,0 +1,81 @@
+// DecisionEngine: the single entry point of the merge-decision stage (§4).
+//
+// Owns the solver portfolio (exact ILP sweep, DIH k-sweep, multi-start
+// GRASP), a shared IlpSolveCache memoizing Phase-2 solves across solvers AND
+// across successive decisions (the merge monitor re-runs Decide continuously
+// as workloads drift — recurring decisions on a stable profile are near-free
+// cache hits), and the policy that picks a solver per graph size:
+//
+//   kAuto:  |V| <= optimal_max_nodes   -> exact sweep (§4.2)
+//           |V| <  grasp_min_nodes     -> DIH k-sweep (§4.3)
+//           otherwise                  -> multi-start GRASP (App C.4)
+//
+// Every decision emits a DecisionRecord describing what ran and what it cost.
+#ifndef SRC_PARTITION_DECISION_ENGINE_H_
+#define SRC_PARTITION_DECISION_ENGINE_H_
+
+#include <memory>
+
+#include "src/common/decision_record.h"
+#include "src/partition/grasp_solver.h"
+#include "src/partition/heuristic_solver.h"
+#include "src/partition/ilp_solve_cache.h"
+#include "src/partition/merge_solver.h"
+#include "src/partition/optimal_solver.h"
+#include "src/partition/scorers.h"
+
+namespace quilt {
+
+struct DecisionEngineOptions {
+  SolverChoice solver = SolverChoice::kAuto;
+
+  // kAuto policy thresholds.
+  int optimal_max_nodes = 11;  // Exact sweep up to here (2^(|V|-1) sets).
+  int grasp_min_nodes = 26;    // GRASP at or beyond; DIH sweep in between.
+
+  // Shared solver knobs (see SolverOptions).
+  double mip_gap = 0.0;   // Exact sweep + DIH sweep.
+  int dih_pool_size = 6;  // ℓ for the DIH sweep.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;  // GRASP draws; recorded per decision.
+  double deadline_ms = 0.0;  // Wall-clock budget per decision (0 = none).
+
+  // GRASP knobs (paper defaults: 5% gap, bounded stage ILPs).
+  double grasp_mip_gap = 0.05;
+  int64_t grasp_max_nodes_per_ilp = 500000;
+  int grasp_starts = 4;
+  int grasp_threads = 1;
+
+  // Phase-2 memoization.
+  bool enable_cache = true;
+  size_t cache_capacity = 4096;
+};
+
+class DecisionEngine {
+ public:
+  explicit DecisionEngine(DecisionEngineOptions options = {});
+
+  // Runs the policy-selected solver. On success or failure, `record` (when
+  // non-null) is filled with the decision telemetry; the caller owns adding
+  // context (trigger, workflow, virtual time) and storing it.
+  Result<MergeSolution> Decide(const MergeProblem& problem, DecisionRecord* record = nullptr);
+
+  // Which portfolio member kAuto resolves to for a graph of `num_nodes`.
+  SolverChoice Resolve(int num_nodes) const;
+
+  IlpSolveCache* cache() { return cache_.get(); }  // Null when disabled.
+  const DecisionEngineOptions& options() const { return options_; }
+
+ private:
+  SolverOptions OptionsFor(SolverChoice choice) const;
+
+  DecisionEngineOptions options_;
+  DownstreamImpactScorer scorer_;
+  std::unique_ptr<IlpSolveCache> cache_;
+  OptimalSolver optimal_;
+  HeuristicSolver heuristic_;
+  GraspSolver grasp_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_DECISION_ENGINE_H_

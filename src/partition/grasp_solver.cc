@@ -1,64 +1,92 @@
 #include "src/partition/grasp_solver.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/common/thread_pool.h"
 #include "src/partition/ilp_encoding.h"
+#include "src/partition/ilp_solve_cache.h"
 
 namespace quilt {
 
-Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem, Rng& rng,
-                                         const GraspOptions& options, GraspStats* stats) {
-  QUILT_RETURN_IF_ERROR(problem.Validate());
+std::string CanonicalSolutionSignature(const MergeSolution& solution) {
+  std::vector<std::string> groups;
+  groups.reserve(solution.groups.size());
+  for (const MergeGroup& group : solution.groups) {
+    std::vector<NodeId> members = group.members;
+    std::sort(members.begin(), members.end());
+    std::string s = StrCat(group.root, ":");
+    for (NodeId id : members) {
+      s += StrCat(id, ",");
+    }
+    groups.push_back(std::move(s));
+  }
+  std::sort(groups.begin(), groups.end());
+  return StrJoin(groups, ";");
+}
+
+namespace {
+
+struct StartOutcome {
+  Result<MergeSolution> solution = InternalError("start never ran");
+  SolverStats stats;
+};
+
+// One GRASP start: the two-stage procedure of Appendix C.4, drawing from its
+// own RNG stream. Pure function of (problem, ranked, scores, options, rng
+// seed) — cache answers are cutoff-free, so a shared cache cannot change the
+// outcome, only its cost.
+StartOutcome RunStart(const MergeProblem& problem, uint64_t fingerprint,
+                      const std::vector<NodeId>& ranked, const std::vector<double>& scores,
+                      const SolverOptions& options, uint64_t start_seed) {
   const CallGraph& graph = *problem.graph;
   const NodeId workflow_root = graph.root();
-  const int n = graph.num_nodes();
+  Rng rng(start_seed);
 
-  GraspStats local_stats;
-  GraspStats& st = stats != nullptr ? *stats : local_stats;
-  st = GraspStats{};
-
-  const std::vector<double> scores = scorer_.Score(problem);
-
-  // Candidates ranked by score, descending.
-  std::vector<NodeId> ranked;
-  for (NodeId id = 0; id < n; ++id) {
-    if (id != workflow_root) {
-      ranked.push_back(id);
-    }
-  }
-  std::sort(ranked.begin(), ranked.end(), [&](NodeId a, NodeId b) {
-    if (scores[a] != scores[b]) {
-      return scores[a] > scores[b];
-    }
-    return a < b;
-  });
+  StartOutcome out;
+  SolverStats& st = out.stats;
 
   IlpSolveOptions ilp_options;
   ilp_options.mip_gap = options.mip_gap;
   ilp_options.max_nodes = options.max_nodes_per_ilp;
+  ilp_options.deadline = options.deadline;
 
   // ---- Stage 1: find an initial feasible solution. ----
   std::optional<MergeSolution> best;
   std::vector<NodeId> best_roots;
   int pool_size = std::min<int>(options.initial_pool_size, static_cast<int>(ranked.size()));
+  if (pool_size < 1) {
+    pool_size = 1;
+  }
   while (!best.has_value()) {
     if (pool_size > static_cast<int>(ranked.size())) {
-      return InfeasibleError("GRASP stage 1 exhausted all candidates without feasibility");
+      out.solution = InfeasibleError("GRASP stage 1 exhausted all candidates without feasibility");
+      return out;
+    }
+    if (options.expired()) {
+      st.hit_deadline = true;
+      st.exhaustive = false;
+      out.solution = DeadlineExceededError("GRASP deadline expired before stage 1 feasibility");
+      return out;
     }
     const int rcl = std::min<int>(std::max(options.rcl_size, pool_size),
                                   static_cast<int>(ranked.size()));
     for (int draw = 0; draw < options.draws_per_size && !best.has_value(); ++draw) {
       ++st.stage1_attempts;
+      ++st.candidate_sets_tried;
       // Randomly select pool_size distinct candidates from the RCL.
       std::vector<NodeId> rcl_nodes(ranked.begin(), ranked.begin() + rcl);
       rng.Shuffle(rcl_nodes);
       std::vector<NodeId> roots = {workflow_root};
       roots.insert(roots.end(), rcl_nodes.begin(), rcl_nodes.begin() + pool_size);
 
-      ++st.ilp_solves;
-      Result<MergeSolution> solution = SolveForRoots(problem, roots, ilp_options);
+      Result<MergeSolution> solution =
+          SolveForRootsCached(problem, fingerprint, roots, ilp_options, options.cache, &st);
       if (solution.ok()) {
+        ++st.feasible_sets;
         best = std::move(solution).value();
         best_roots = roots;
       }
@@ -72,7 +100,7 @@ Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem, Rng& rng,
   // ---- Stage 2: greedy refinement by pruning low-score roots. ----
   int rounds = 0;
   bool improved = true;
-  while (improved) {
+  while (improved && !st.hit_deadline) {
     improved = false;
     if (options.max_refinement_rounds > 0 && ++rounds > options.max_refinement_rounds) {
       break;
@@ -92,6 +120,11 @@ Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem, Rng& rng,
     });
 
     for (NodeId remove : removable) {
+      if (options.expired()) {
+        st.hit_deadline = true;
+        st.exhaustive = false;
+        break;  // Keep the incumbent found so far.
+      }
       std::vector<NodeId> candidate_roots;
       for (NodeId r : best_roots) {
         if (r != remove) {
@@ -100,9 +133,11 @@ Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem, Rng& rng,
       }
       IlpSolveOptions refine_options = ilp_options;
       refine_options.cutoff = best->cross_cost;  // Strict improvement required.
-      ++st.ilp_solves;
-      Result<MergeSolution> solution = SolveForRoots(problem, candidate_roots, refine_options);
+      ++st.candidate_sets_tried;
+      Result<MergeSolution> solution = SolveForRootsCached(problem, fingerprint, candidate_roots,
+                                                           refine_options, options.cache, &st);
       if (solution.ok() && solution->cross_cost < best->cross_cost) {
+        ++st.feasible_sets;
         best = std::move(solution).value();
         best_roots = candidate_roots;
         ++st.refinement_removals;
@@ -112,7 +147,101 @@ Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem, Rng& rng,
     }
   }
 
-  return *best;
+  out.solution = *best;
+  return out;
+}
+
+}  // namespace
+
+Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem,
+                                         const SolverOptions& options,
+                                         SolverStats* stats) {
+  QUILT_RETURN_IF_ERROR(problem.Validate());
+  const CallGraph& graph = *problem.graph;
+  const NodeId workflow_root = graph.root();
+  const int n = graph.num_nodes();
+  const uint64_t fingerprint = FingerprintProblem(problem);
+
+  SolverStats local_stats;
+  SolverStats& st = stats != nullptr ? *stats : local_stats;
+  st = SolverStats{};
+
+  const std::vector<double> scores = scorer_.Score(problem);
+
+  // Candidates ranked by score, descending.
+  std::vector<NodeId> ranked;
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != workflow_root) {
+      ranked.push_back(id);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](NodeId a, NodeId b) {
+    if (scores[a] != scores[b]) {
+      return scores[a] > scores[b];
+    }
+    return a < b;
+  });
+
+  const int num_starts = std::max(1, options.num_starts);
+  const int num_threads = std::max(1, std::min(options.num_threads, num_starts));
+  st.starts = num_starts;
+  st.threads = num_threads;
+
+  // Run the starts, each with its own SplitMix-derived RNG stream, into
+  // pre-sized slots: the reduction below reads them in start order, so the
+  // outcome is independent of scheduling.
+  std::vector<StartOutcome> outcomes(num_starts);
+  auto run_one = [&](int s) {
+    const uint64_t start_seed = options.seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(s);
+    outcomes[s] = RunStart(problem, fingerprint, ranked, scores, options, start_seed);
+  };
+  if (num_threads > 1) {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(num_starts, run_one);
+  } else {
+    for (int s = 0; s < num_starts; ++s) {
+      run_one(s);
+    }
+  }
+
+  // Deterministic reduction: aggregate counters in start order; the winner is
+  // the argmin by (cross cost, canonical signature), first start on full tie.
+  int winner = -1;
+  std::string winner_signature;
+  for (int s = 0; s < num_starts; ++s) {
+    const StartOutcome& outcome = outcomes[s];
+    st.ilp_solves += outcome.stats.ilp_solves;
+    st.ilp_cache_hits += outcome.stats.ilp_cache_hits;
+    st.candidate_sets_tried += outcome.stats.candidate_sets_tried;
+    st.feasible_sets += outcome.stats.feasible_sets;
+    st.stage1_attempts += outcome.stats.stage1_attempts;
+    st.hit_deadline = st.hit_deadline || outcome.stats.hit_deadline;
+    st.exhaustive = st.exhaustive && outcome.stats.exhaustive;
+    if (!outcome.solution.ok()) {
+      continue;
+    }
+    if (winner == -1) {
+      winner = s;
+      winner_signature = CanonicalSolutionSignature(*outcome.solution);
+      continue;
+    }
+    const MergeSolution& incumbent = *outcomes[winner].solution;
+    if (outcome.solution->cross_cost > incumbent.cross_cost) {
+      continue;
+    }
+    const std::string signature = CanonicalSolutionSignature(*outcome.solution);
+    if (outcome.solution->cross_cost < incumbent.cross_cost || signature < winner_signature) {
+      winner = s;
+      winner_signature = signature;
+    }
+  }
+
+  if (winner == -1) {
+    return outcomes[0].solution.status();  // Deterministic: first start's error.
+  }
+  st.final_pool_size = outcomes[winner].stats.final_pool_size;
+  st.refinement_removals = outcomes[winner].stats.refinement_removals;
+  return outcomes[winner].solution;
 }
 
 }  // namespace quilt

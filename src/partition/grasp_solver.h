@@ -1,51 +1,54 @@
-// Large-graph merge decision via GRASP + greedy refinement (Appendix C.4).
+// Large-graph merge decision via GRASP + greedy refinement (Appendix C.4),
+// generalized to deterministic parallel multi-start.
 //
-// Stage 1 finds an initial feasible solution: starting from a small pool
-// size ℓ, it randomly draws ℓ candidates from a Restricted Candidate List of
-// top-DIH-score nodes and solves the ILP with all of them as roots; on
-// infeasibility ℓ grows and the draw repeats.
-//
-// Stage 2 greedily prunes the root set: removable roots are tried in
-// ascending DIH-score order; any removal that stays feasible and lowers the
+// One start works as in the paper. Stage 1 finds an initial feasible
+// solution: starting from a small pool size ℓ, it randomly draws ℓ
+// candidates from a Restricted Candidate List of top-score nodes and solves
+// the ILP with all of them as roots; on infeasibility ℓ grows and the draw
+// repeats. Stage 2 greedily prunes the root set: removable roots are tried in
+// ascending score order; any removal that stays feasible and lowers the
 // cross-edge cost is accepted and the scan restarts; a full pass with no
 // improvement is a local optimum.
+//
+// Multi-start (SolverOptions::num_starts) runs independent GRASP starts,
+// start s drawing from its own RNG stream derived from the base seed, and
+// keeps the winner by deterministic argmin: lowest cross cost, ties broken by
+// the lexicographically smallest canonical group signature. Starts are
+// embarrassingly parallel (SolverOptions::num_threads); because each start is
+// a pure function of (problem, seed, s) — shared-cache answers are
+// cutoff-free and therefore order-independent — the chosen solution is
+// bit-identical for 1 and N threads.
 #ifndef SRC_PARTITION_GRASP_SOLVER_H_
 #define SRC_PARTITION_GRASP_SOLVER_H_
 
-#include <cstdint>
+#include <string>
 
-#include "src/common/rng.h"
-#include "src/partition/problem.h"
+#include "src/partition/merge_solver.h"
 #include "src/partition/scorers.h"
 
 namespace quilt {
 
-struct GraspOptions {
-  int initial_pool_size = 2;  // Initial ℓ.
-  int rcl_size = 16;          // Restricted Candidate List size.
-  int draws_per_size = 3;     // Random pool draws before growing ℓ.
-  double mip_gap = 0.05;      // Stage ILPs may stop within 5% of optimal.
-  int64_t max_nodes_per_ilp = 500000;
-  int max_refinement_rounds = 0;  // 0 = until local optimum.
-};
-
-struct GraspStats {
-  int stage1_attempts = 0;
-  int final_pool_size = 0;
-  int refinement_removals = 0;
-  int64_t ilp_solves = 0;
-};
-
-class GraspSolver {
+// SolverOptions fields honored: mip_gap, max_nodes_per_ilp, deadline, cache,
+// seed, initial_pool_size, rcl_size, draws_per_size, max_refinement_rounds,
+// num_starts, num_threads. Callers wanting the paper's large-graph defaults
+// (5% gap, bounded ILPs) should start from SolverOptions::GraspDefaults().
+class GraspSolver : public MergeSolver {
  public:
   explicit GraspSolver(const RootScorer& scorer) : scorer_(scorer) {}
 
-  Result<MergeSolution> Solve(const MergeProblem& problem, Rng& rng,
-                              const GraspOptions& options = {}, GraspStats* stats = nullptr);
+  std::string name() const override { return "grasp"; }
+  Result<MergeSolution> Solve(const MergeProblem& problem,
+                              const SolverOptions& options = {},
+                              SolverStats* stats = nullptr) override;
 
  private:
   const RootScorer& scorer_;
 };
+
+// Canonical, order-independent signature of a solution: per group
+// "root:sorted-members", groups sorted. Used for the deterministic multi-start
+// tie-break and exposed for tests.
+std::string CanonicalSolutionSignature(const MergeSolution& solution);
 
 }  // namespace quilt
 

@@ -5,19 +5,21 @@
 
 #include "src/partition/combinations.h"
 #include "src/partition/ilp_encoding.h"
+#include "src/partition/ilp_solve_cache.h"
 
 namespace quilt {
 
 Result<MergeSolution> HeuristicSolver::Solve(const MergeProblem& problem,
-                                             const HeuristicSolverOptions& options,
-                                             HeuristicSolverStats* stats) {
+                                             const SolverOptions& options,
+                                             SolverStats* stats) {
   QUILT_RETURN_IF_ERROR(problem.Validate());
   const CallGraph& graph = *problem.graph;
   const NodeId workflow_root = graph.root();
+  const uint64_t fingerprint = FingerprintProblem(problem);
 
-  HeuristicSolverStats local_stats;
-  HeuristicSolverStats& st = stats != nullptr ? *stats : local_stats;
-  st = HeuristicSolverStats{};
+  SolverStats local_stats;
+  SolverStats& st = stats != nullptr ? *stats : local_stats;
+  st = SolverStats{};
 
   // Phase 1: candidate pool = top-ℓ nodes by score (workflow root excluded).
   const std::vector<double> scores = scorer_.Score(problem);
@@ -48,6 +50,11 @@ Result<MergeSolution> HeuristicSolver::Solve(const MergeProblem& problem,
     }
     bool improved_at_k = false;
     ForEachCombination(static_cast<int>(pool.size()), k - 1, [&](const std::vector<int>& combo) {
+      if (options.expired()) {
+        st.exhaustive = false;
+        st.hit_deadline = true;
+        return false;
+      }
       ++st.candidate_sets_tried;
       std::vector<NodeId> roots = {workflow_root};
       for (int index : combo) {
@@ -56,10 +63,12 @@ Result<MergeSolution> HeuristicSolver::Solve(const MergeProblem& problem,
       IlpSolveOptions ilp_options;
       ilp_options.mip_gap = options.mip_gap;
       ilp_options.max_nodes = options.max_nodes_per_ilp;
+      ilp_options.deadline = options.deadline;
       if (best.has_value()) {
         ilp_options.cutoff = best->cross_cost;
       }
-      Result<MergeSolution> solution = SolveForRoots(problem, roots, ilp_options);
+      Result<MergeSolution> solution =
+          SolveForRootsCached(problem, fingerprint, roots, ilp_options, options.cache, &st);
       if (solution.ok()) {
         ++st.feasible_sets;
         best = std::move(solution).value();
@@ -67,7 +76,7 @@ Result<MergeSolution> HeuristicSolver::Solve(const MergeProblem& problem,
       }
       return !(best.has_value() && best->cross_cost <= 0.0);
     });
-    if (best.has_value() && best->cross_cost <= 0.0) {
+    if (st.hit_deadline || (best.has_value() && best->cross_cost <= 0.0)) {
       break;
     }
     if (best.has_value()) {

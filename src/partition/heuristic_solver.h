@@ -8,35 +8,24 @@
 #ifndef SRC_PARTITION_HEURISTIC_SOLVER_H_
 #define SRC_PARTITION_HEURISTIC_SOLVER_H_
 
-#include <cstdint>
+#include <string>
 
-#include "src/partition/problem.h"
+#include "src/partition/merge_solver.h"
 #include "src/partition/scorers.h"
 
 namespace quilt {
 
-struct HeuristicSolverOptions {
-  int pool_size = 6;  // ℓ: number of top-scoring candidates kept.
-  int max_k = 0;      // 0 = up to pool_size + 1 subgraphs.
-  // Stop after this many consecutive k values without improvement over the
-  // incumbent (once one feasible solution exists). 0 = sweep all k.
-  int stall_limit = 2;
-  double mip_gap = 0.0;
-  int64_t max_nodes_per_ilp = 0;
-};
-
-struct HeuristicSolverStats {
-  int64_t candidate_sets_tried = 0;
-  int64_t feasible_sets = 0;
-};
-
-class HeuristicSolver {
+// SolverOptions fields honored: mip_gap, max_nodes_per_ilp, deadline, cache,
+// pool_size (ℓ), max_k (0 = up to ℓ+1 subgraphs), stall_limit (consecutive
+// non-improving k values before stopping; 0 = sweep all k).
+class HeuristicSolver : public MergeSolver {
  public:
   explicit HeuristicSolver(const RootScorer& scorer) : scorer_(scorer) {}
 
+  std::string name() const override { return "dih-sweep"; }
   Result<MergeSolution> Solve(const MergeProblem& problem,
-                              const HeuristicSolverOptions& options = {},
-                              HeuristicSolverStats* stats = nullptr);
+                              const SolverOptions& options = {},
+                              SolverStats* stats = nullptr) override;
 
  private:
   const RootScorer& scorer_;

@@ -1,0 +1,70 @@
+#include "src/partition/ilp_solve_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+IlpSolveCache::IlpSolveCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string IlpSolveCache::Key(uint64_t problem_fingerprint, std::vector<NodeId> roots,
+                               double mip_gap, int64_t max_nodes) {
+  std::sort(roots.begin(), roots.end());
+  std::string key = StrCat(problem_fingerprint, "|g", mip_gap, "|n", max_nodes, "|");
+  for (NodeId r : roots) {
+    key += StrCat(r, ",");
+  }
+  return key;
+}
+
+std::optional<IlpSolveCache::Entry> IlpSolveCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // Touch: move to front.
+  return it->second->second;
+}
+
+void IlpSolveCache::Insert(const std::string& key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent starts can race to compute the same key; values are pure
+    // functions of the key, so keeping either is fine.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void IlpSolveCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+size_t IlpSolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+IlpSolveCache::Stats IlpSolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace quilt

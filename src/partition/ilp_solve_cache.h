@@ -1,0 +1,74 @@
+// Memoization of Phase-2 ILP solves (§4.2/§4.3 inner loop).
+//
+// The k-sweep of the heuristic solver, the draws and refinement scans of
+// GRASP, multi-start GRASP, and above all *recurring* decisions (the merge
+// monitor re-runs Decide on every reconsideration, Fusionize/Konflux-style)
+// repeatedly pose Phase-2 ILPs for overlapping (problem, root set) pairs.
+// This cache keys a solve by a canonical encoding of
+// (problem fingerprint, sorted root set, mip_gap, node budget) and stores the
+// cutoff-free outcome — feasible solution or infeasibility — so any later
+// query with any cutoff can be answered from the entry.
+//
+// Thread-safe (one mutex; entries are small). Eviction is LRU with a fixed
+// entry capacity.
+#ifndef SRC_PARTITION_ILP_SOLVE_CACHE_H_
+#define SRC_PARTITION_ILP_SOLVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/call_graph.h"
+#include "src/partition/problem.h"
+
+namespace quilt {
+
+class IlpSolveCache {
+ public:
+  struct Entry {
+    bool feasible = false;
+    MergeSolution solution;  // Meaningful only when feasible.
+  };
+
+  struct Stats {
+    int64_t lookups = 0;
+    int64_t hits = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+    double hit_rate() const {
+      return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+    }
+  };
+
+  explicit IlpSolveCache(size_t capacity = 4096);
+
+  // Canonical key: fingerprint, sorted roots, and the solve knobs that shape
+  // the result. The cutoff is deliberately absent (see file comment).
+  static std::string Key(uint64_t problem_fingerprint, std::vector<NodeId> roots,
+                         double mip_gap, int64_t max_nodes);
+
+  std::optional<Entry> Lookup(const std::string& key);
+  void Insert(const std::string& key, Entry entry);
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  using LruList = std::list<std::pair<std::string, Entry>>;
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // Front = most recently used.
+  std::unordered_map<std::string, LruList::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_ILP_SOLVE_CACHE_H_

@@ -1,0 +1,129 @@
+// Common interface of the three merge-decision solvers (§4.2, §4.3, App C.4).
+//
+// OptimalSolver, HeuristicSolver and GraspSolver all answer the same
+// question — "which subgraphs should this call graph merge into?" — with
+// different search strategies over candidate root sets, each inner step being
+// a Phase-2 ILP solve. This header unifies their knobs (SolverOptions), their
+// telemetry (SolverStats) and their entry point (MergeSolver), so the
+// DecisionEngine can treat them as an interchangeable portfolio.
+#ifndef SRC_PARTITION_MERGE_SOLVER_H_
+#define SRC_PARTITION_MERGE_SOLVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ilp/ilp_solver.h"
+#include "src/partition/problem.h"
+
+namespace quilt {
+
+class IlpSolveCache;
+
+// Which member of the portfolio a caller wants (kAuto = size-based policy,
+// resolved by the DecisionEngine).
+enum class SolverChoice { kAuto, kOptimal, kHeuristic, kGrasp };
+
+const char* SolverChoiceName(SolverChoice choice);
+
+struct SolverOptions {
+  // --- Shared Phase-2 ILP knobs.
+  double mip_gap = 0.0;         // Stop within this relative gap (0 = exact).
+  int64_t max_nodes_per_ilp = 0;  // Branch-and-bound node budget (0 = off).
+  // Wall-clock deadline for the whole decision (steady clock; max() = none).
+  // Solvers stop sweeping/refining on expiry and return the incumbent; the
+  // in-flight ILP also stops and reports its own incumbent as kFeasible.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  // Optional shared memoization of Phase-2 solves (nullptr = off). With a
+  // cache, inner solves ignore the incumbent cutoff (results must be pure
+  // functions of the cache key) and the cutoff is applied to the memoized
+  // result instead — see SolveForRootsCached.
+  IlpSolveCache* cache = nullptr;
+
+  // --- Exact sweep (OptimalSolver). max_k also bounds the heuristic sweep.
+  int max_k = 0;                 // 0 = all k (optimal: |V|; heuristic: ℓ+1).
+  int64_t max_candidate_sets = 0;  // Abort enumeration after this many (0 = ∞).
+
+  // --- DIH k-sweep (HeuristicSolver).
+  int pool_size = 6;   // ℓ: top-scoring candidates kept in the Phase-1 pool.
+  int stall_limit = 2;  // Consecutive non-improving k values before stopping.
+
+  // --- GRASP (App C.4), now multi-start.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;  // Base seed; start s derives its own.
+  int initial_pool_size = 2;  // Initial ℓ.
+  int rcl_size = 16;          // Restricted Candidate List size.
+  int draws_per_size = 3;     // Random pool draws before growing ℓ.
+  int max_refinement_rounds = 0;  // 0 = until local optimum.
+  int num_starts = 1;   // Independent GRASP starts; best-of by (cost, signature).
+  int num_threads = 1;  // Threads for the starts (1 = inline, no pool).
+
+  // GRASP-flavored defaults from the paper: stage ILPs may stop within 5% of
+  // optimal and carry a node budget (the candidate sets are large).
+  static SolverOptions GraspDefaults() {
+    SolverOptions options;
+    options.mip_gap = 0.05;
+    options.max_nodes_per_ilp = 500000;
+    return options;
+  }
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+  bool expired() const {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+struct SolverStats {
+  // Shared counters.
+  int64_t ilp_solves = 0;       // Phase-2 solves requested (logical).
+  int64_t ilp_cache_hits = 0;   // ... of which the IlpSolveCache answered.
+  int64_t candidate_sets_tried = 0;
+  int64_t feasible_sets = 0;
+  bool exhaustive = true;   // False when a limit/deadline stopped a sweep early.
+  bool hit_deadline = false;
+
+  // GRASP specifics (zero for the other solvers).
+  int stage1_attempts = 0;
+  int final_pool_size = 0;       // Winning start.
+  int refinement_removals = 0;   // Winning start.
+  int starts = 0;
+  int threads = 0;
+
+  int64_t fresh_ilp_solves() const { return ilp_solves - ilp_cache_hits; }
+};
+
+class MergeSolver {
+ public:
+  virtual ~MergeSolver() = default;
+  virtual std::string name() const = 0;
+  virtual Result<MergeSolution> Solve(const MergeProblem& problem,
+                                      const SolverOptions& options = {},
+                                      SolverStats* stats = nullptr) = 0;
+};
+
+// 64-bit structural fingerprint of a merge problem: nodes (resources), edges
+// (endpoints, weight, alpha, type), the workflow root and the container
+// limits. Two problems with equal fingerprints pose the same Phase-2 ILPs.
+uint64_t FingerprintProblem(const MergeProblem& problem);
+
+// Phase-2 solve with optional memoization, the single inner step every
+// solver uses. Without a cache this is exactly SolveForRoots (the cutoff
+// prunes inside the ILP). With a cache, the root set is canonicalized
+// (sorted), the underlying solve runs cutoff-free so its result is a pure
+// function of (fingerprint, roots, mip_gap, max_nodes), and the cutoff is
+// applied to the memoized result afterwards — which keeps parallel GRASP
+// starts bit-deterministic regardless of which start populates the cache
+// first. Increments stats->ilp_solves (and ilp_cache_hits on a hit).
+Result<MergeSolution> SolveForRootsCached(const MergeProblem& problem,
+                                          uint64_t fingerprint,
+                                          const std::vector<NodeId>& roots,
+                                          const IlpSolveOptions& ilp_options,
+                                          IlpSolveCache* cache,
+                                          SolverStats* stats);
+
+}  // namespace quilt
+
+#endif  // SRC_PARTITION_MERGE_SOLVER_H_

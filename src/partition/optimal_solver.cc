@@ -5,16 +5,18 @@
 
 #include "src/partition/combinations.h"
 #include "src/partition/ilp_encoding.h"
+#include "src/partition/ilp_solve_cache.h"
 
 namespace quilt {
 
 Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
-                                           const OptimalSolverOptions& options,
-                                           OptimalSolverStats* stats) {
+                                           const SolverOptions& options,
+                                           SolverStats* stats) {
   QUILT_RETURN_IF_ERROR(problem.Validate());
   const CallGraph& graph = *problem.graph;
   const int n = graph.num_nodes();
   const NodeId workflow_root = graph.root();
+  const uint64_t fingerprint = FingerprintProblem(problem);
 
   // Non-root nodes eligible as extra roots.
   std::vector<NodeId> others;
@@ -25,9 +27,9 @@ Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
     }
   }
 
-  OptimalSolverStats local_stats;
-  OptimalSolverStats& st = stats != nullptr ? *stats : local_stats;
-  st = OptimalSolverStats{};
+  SolverStats local_stats;
+  SolverStats& st = stats != nullptr ? *stats : local_stats;
+  st = SolverStats{};
 
   std::optional<MergeSolution> best;
   const int max_k = options.max_k > 0 ? std::min(options.max_k, n) : n;
@@ -40,6 +42,11 @@ Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
             st.exhaustive = false;
             return false;
           }
+          if (options.expired()) {
+            st.exhaustive = false;
+            st.hit_deadline = true;
+            return false;
+          }
           ++st.candidate_sets_tried;
 
           std::vector<NodeId> roots = {workflow_root};
@@ -50,10 +57,12 @@ Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
           IlpSolveOptions ilp_options;
           ilp_options.mip_gap = options.mip_gap;
           ilp_options.max_nodes = options.max_nodes_per_ilp;
+          ilp_options.deadline = options.deadline;
           if (best.has_value()) {
             ilp_options.cutoff = best->cross_cost;  // Strict improvement only.
           }
-          Result<MergeSolution> solution = SolveForRoots(problem, roots, ilp_options);
+          Result<MergeSolution> solution =
+              SolveForRootsCached(problem, fingerprint, roots, ilp_options, options.cache, &st);
           if (solution.ok()) {
             ++st.feasible_sets;
             best = std::move(solution).value();
@@ -67,7 +76,7 @@ Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
       break;  // Early exit on perfect solution.
     }
     if (!completed && !st.exhaustive) {
-      break;  // Candidate-set budget exhausted.
+      break;  // Candidate-set budget or deadline exhausted.
     }
   }
 

@@ -11,32 +11,22 @@
 #ifndef SRC_PARTITION_OPTIMAL_SOLVER_H_
 #define SRC_PARTITION_OPTIMAL_SOLVER_H_
 
-#include <cstdint>
+#include <string>
 
-#include "src/partition/problem.h"
+#include "src/partition/merge_solver.h"
 
 namespace quilt {
 
-struct OptimalSolverOptions {
-  double mip_gap = 0.0;
-  int max_k = 0;  // 0 = sweep all k up to |V|.
-  int64_t max_nodes_per_ilp = 0;
-  // Abort enumeration after this many candidate root sets (0 = unlimited);
-  // the best solution found so far is returned (marked non-exhaustive).
-  int64_t max_candidate_sets = 0;
-};
-
-struct OptimalSolverStats {
-  int64_t candidate_sets_tried = 0;
-  int64_t feasible_sets = 0;
-  bool exhaustive = true;  // False when a limit stopped the sweep early.
-};
-
-class OptimalSolver {
+// SolverOptions fields honored: mip_gap, max_nodes_per_ilp, deadline, cache,
+// max_k (0 = sweep all k up to |V|), max_candidate_sets (abort enumeration
+// after this many root sets; the best solution so far is returned, marked
+// non-exhaustive in SolverStats).
+class OptimalSolver : public MergeSolver {
  public:
+  std::string name() const override { return "optimal"; }
   Result<MergeSolution> Solve(const MergeProblem& problem,
-                              const OptimalSolverOptions& options = {},
-                              OptimalSolverStats* stats = nullptr);
+                              const SolverOptions& options = {},
+                              SolverStats* stats = nullptr) override;
 };
 
 }  // namespace quilt

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/decision_record.h"
 #include "src/sim/simulation.h"
 
 namespace quilt {
@@ -54,9 +55,13 @@ class MetricsStore {
   const std::vector<ResourceSample>& samples() const { return samples_; }
   void AddFailure(FailureSample sample) { failure_samples_.push_back(std::move(sample)); }
   const std::vector<FailureSample>& failure_samples() const { return failure_samples_; }
+  // Decision telemetry (§4): one record per Decide/ReconsiderWorkflow run.
+  void AddDecision(DecisionRecord record) { decisions_.push_back(std::move(record)); }
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
   void Clear() {
     samples_.clear();
     failure_samples_.clear();
+    decisions_.clear();
   }
 
   // Aggregates the latest sample of each container, per function handle.
@@ -68,6 +73,7 @@ class MetricsStore {
  private:
   std::vector<ResourceSample> samples_;
   std::vector<FailureSample> failure_samples_;
+  std::vector<DecisionRecord> decisions_;
 };
 
 // Periodic sampler ("cAdvisor"). The source callback snapshots all live

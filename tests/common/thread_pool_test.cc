@@ -1,0 +1,60 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace quilt {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForFillsEverySlot) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    std::vector<int> out(100, -1);
+    pool.ParallelFor(100, [&](int i) { out[i] = i * i; });
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(out[i], i * i) << "threads=" << threads << " slot " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  // num_threads <= 1 executes in Submit: no workers, effects visible at once.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int value = 0;
+  pool.Submit([&] { value = 42; });
+  EXPECT_EQ(value, 42);
+  pool.Wait();  // No-op, but must not hang.
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilBatchDone) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    pool.ParallelFor(10, [&](int i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 3 * 45);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::vector<int> out(1000, 0);
+  pool.ParallelFor(1000, [&](int i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 1000);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -1,0 +1,114 @@
+// Controller-level decision policy (§4): QuiltController::Decide delegates
+// to the DecisionEngine, which picks the solver by graph size and logs a
+// DecisionRecord into the MetricsStore.
+#include <gtest/gtest.h>
+
+#include "src/core/quilt_controller.h"
+#include "src/graph/random_dag.h"
+#include "src/partition/grasp_solver.h"
+
+namespace quilt {
+namespace {
+
+struct Harness {
+  Simulation sim;
+  Platform platform{&sim, PlatformConfig{}};
+  QuiltController controller;
+
+  explicit Harness(ControllerOptions options = {}) : controller(&sim, &platform, options) {}
+};
+
+// A graph above the GRASP threshold whose groups need the generous limits
+// below to stay feasible.
+CallGraph LargeGraph() {
+  Rng rng(61);
+  RandomDagOptions options;
+  options.num_nodes = 60;
+  return GenerateRandomRdag(options, rng);
+}
+
+ControllerOptions LargeGraphOptions() {
+  ControllerOptions options;
+  options.container_cpu_limit = 100.0;
+  options.container_memory_limit_mb = 2000.0;
+  return options;
+}
+
+TEST(DecisionPolicyTest, LargeGraphDecisionUsesGraspAndLogsRecord) {
+  Harness h(LargeGraphOptions());
+  const CallGraph graph = LargeGraph();
+  ASSERT_GT(graph.num_nodes(), h.controller.options().grasp_min_nodes);
+
+  Result<MergeSolution> solution = h.controller.Decide(graph);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  MergeProblem problem{&graph, 100.0, 2000.0};
+  EXPECT_TRUE(CheckSolution(problem, *solution).ok());
+
+  ASSERT_EQ(h.controller.metrics_store()->decisions().size(), 1u);
+  const DecisionRecord& record = h.controller.metrics_store()->decisions().back();
+  EXPECT_EQ(record.solver, "grasp");
+  EXPECT_EQ(record.trigger, "decide");
+  EXPECT_EQ(record.seed, h.controller.options().decision_seed);
+  EXPECT_EQ(record.graph_nodes, graph.num_nodes());
+  EXPECT_TRUE(record.feasible);
+  EXPECT_DOUBLE_EQ(record.final_cost, solution->cross_cost);
+  EXPECT_EQ(record.grasp_starts, h.controller.options().grasp_starts);
+  EXPECT_GT(record.ilp_solves, 0);
+  EXPECT_GE(record.wall_ms, 0.0);
+}
+
+TEST(DecisionPolicyTest, DecisionSeedMakesControllerGraspReproducible) {
+  const CallGraph graph = LargeGraph();
+  ControllerOptions options = LargeGraphOptions();
+  options.decision_seed = 12345;
+
+  std::string signatures[2];
+  for (int i = 0; i < 2; ++i) {
+    Harness h(options);
+    Result<MergeSolution> solution = h.controller.Decide(graph);
+    ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+    signatures[i] = CanonicalSolutionSignature(*solution);
+    EXPECT_EQ(h.controller.metrics_store()->decisions().back().seed, 12345u);
+  }
+  EXPECT_EQ(signatures[0], signatures[1]);
+}
+
+TEST(DecisionPolicyTest, ExplicitSolverOverrideIsHonored) {
+  ControllerOptions options = LargeGraphOptions();
+  options.decision_solver = SolverChoice::kHeuristic;
+  Harness h(options);
+  Result<MergeSolution> solution = h.controller.Decide(LargeGraph());
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(h.controller.metrics_store()->decisions().back().solver, "dih-sweep");
+}
+
+TEST(DecisionPolicyTest, SmallGraphStillUsesExactSolver) {
+  Harness h;
+  CallGraph g;
+  const NodeId a = g.AddNode("A", 0.1, 10);
+  const NodeId b = g.AddNode("B", 0.1, 10);
+  ASSERT_TRUE(g.AddEdgeWithAlpha(a, b, 10, 1, CallType::kSync).ok());
+  Result<MergeSolution> solution = h.controller.Decide(g);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_DOUBLE_EQ(solution->cross_cost, 0.0);
+  const DecisionRecord& record = h.controller.metrics_store()->decisions().back();
+  EXPECT_EQ(record.solver, "optimal");
+  EXPECT_EQ(record.num_groups, 1);
+}
+
+TEST(DecisionPolicyTest, RepeatDecisionsHitTheSharedCache) {
+  Harness h(LargeGraphOptions());
+  const CallGraph graph = LargeGraph();
+  ASSERT_TRUE(h.controller.Decide(graph).ok());
+  ASSERT_TRUE(h.controller.Decide(graph).ok());
+  const auto& decisions = h.controller.metrics_store()->decisions();
+  ASSERT_EQ(decisions.size(), 2u);
+  // The re-decision answers its Phase-2 ILPs from the cache.
+  EXPECT_EQ(decisions[1].ilp_cache_hits, decisions[1].ilp_solves);
+  EXPECT_GT(decisions[1].ilp_cache_hits, 0);
+  // And produces the identical answer.
+  EXPECT_DOUBLE_EQ(decisions[0].final_cost, decisions[1].final_cost);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -40,9 +40,10 @@ TEST(GraspSolverTest, SolvesMediumRandomGraph) {
 
   DownstreamImpactScorer dih;
   GraspSolver solver(dih);
-  Rng rng(99);
-  GraspStats stats;
-  Result<MergeSolution> solution = solver.Solve(problem, rng, {}, &stats);
+  SolverOptions grasp_options = SolverOptions::GraspDefaults();
+  grasp_options.seed = 99;
+  SolverStats stats;
+  Result<MergeSolution> solution = solver.Solve(problem, grasp_options, &stats);
   ASSERT_TRUE(solution.ok()) << solution.status().ToString();
   EXPECT_TRUE(CheckSolution(problem, *solution).ok())
       << CheckSolution(problem, *solution).ToString();
@@ -68,15 +69,15 @@ TEST(GraspSolverTest, RefinementNeverWorsensCost) {
   // Run once with refinement disabled and once with it on: refinement can
   // only improve (or match) the stage-1 cost because removals require strict
   // improvement.
-  GraspOptions no_refine;
+  SolverOptions no_refine = SolverOptions::GraspDefaults();
+  no_refine.seed = 5;
   no_refine.max_refinement_rounds = 1;  // One pass, may find nothing.
-  Rng rng1(5);
-  Result<MergeSolution> coarse = solver.Solve(problem, rng1, no_refine);
+  Result<MergeSolution> coarse = solver.Solve(problem, no_refine);
   ASSERT_TRUE(coarse.ok());
 
-  GraspOptions full;
-  Rng rng2(5);
-  Result<MergeSolution> refined = solver.Solve(problem, rng2, full);
+  SolverOptions full = SolverOptions::GraspDefaults();
+  full.seed = 5;
+  Result<MergeSolution> refined = solver.Solve(problem, full);
   ASSERT_TRUE(refined.ok());
   EXPECT_LE(refined->cross_cost, coarse->cross_cost + 1e-9);
 }
@@ -94,11 +95,11 @@ TEST(GraspSolverTest, TightConstraintsGrowThePool) {
 
   DownstreamImpactScorer dih;
   GraspSolver solver(dih);
-  Rng rng(1);
-  GraspOptions grasp_options;
+  SolverOptions grasp_options = SolverOptions::GraspDefaults();
+  grasp_options.seed = 1;
   grasp_options.initial_pool_size = 1;
-  GraspStats stats;
-  Result<MergeSolution> solution = solver.Solve(problem, rng, grasp_options, &stats);
+  SolverStats stats;
+  Result<MergeSolution> solution = solver.Solve(problem, grasp_options, &stats);
   ASSERT_TRUE(solution.ok()) << solution.status().ToString();
   EXPECT_TRUE(CheckSolution(problem, *solution).ok());
   EXPECT_GT(stats.final_pool_size, 1);
@@ -116,10 +117,10 @@ TEST(GraspSolverTest, DeterministicGivenSeed) {
   MergeProblem problem{&g, 100.0, total_mem * 0.4};
   DownstreamImpactScorer dih;
   GraspSolver solver(dih);
-  Rng rng_a(123);
-  Rng rng_b(123);
-  Result<MergeSolution> a = solver.Solve(problem, rng_a);
-  Result<MergeSolution> b = solver.Solve(problem, rng_b);
+  SolverOptions grasp_options = SolverOptions::GraspDefaults();
+  grasp_options.seed = 123;
+  Result<MergeSolution> a = solver.Solve(problem, grasp_options);
+  Result<MergeSolution> b = solver.Solve(problem, grasp_options);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a->cross_cost, b->cross_cost);
@@ -142,16 +143,18 @@ TEST(GraspSolverTest, DifferentSeedStillProducesValidSolution) {
   DownstreamImpactScorer dih;
   GraspSolver solver(dih);
 
-  Rng rng_base(123);
-  Result<MergeSolution> base = solver.Solve(problem, rng_base);
+  SolverOptions base_options = SolverOptions::GraspDefaults();
+  base_options.seed = 123;
+  Result<MergeSolution> base = solver.Solve(problem, base_options);
   ASSERT_TRUE(base.ok());
 
   // Any other seed must still satisfy every solution invariant (coverage,
   // unique roots, rooted connectivity, resource limits), whatever roots the
   // randomized construction happens to pick.
   for (uint64_t seed : {7u, 777u, 31337u}) {
-    Rng rng(seed);
-    Result<MergeSolution> other = solver.Solve(problem, rng);
+    SolverOptions other_options = SolverOptions::GraspDefaults();
+    other_options.seed = seed;
+    Result<MergeSolution> other = solver.Solve(problem, other_options);
     ASSERT_TRUE(other.ok()) << "seed " << seed << ": " << other.status().ToString();
     EXPECT_TRUE(CheckSolution(problem, *other).ok())
         << "seed " << seed << ": " << CheckSolution(problem, *other).ToString();

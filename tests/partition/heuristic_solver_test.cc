@@ -82,7 +82,7 @@ TEST(HeuristicSolverTest, DihMatchesOptimalOnSmallRandomGraphs) {
     ASSERT_TRUE(opt.ok()) << "trial " << trial;
 
     HeuristicSolver heuristic(dih);
-    HeuristicSolverOptions h_options;
+    SolverOptions h_options;
     h_options.pool_size = 5;
     Result<MergeSolution> heur = heuristic.Solve(problem, h_options);
     ASSERT_TRUE(heur.ok()) << "trial " << trial;
@@ -111,7 +111,7 @@ TEST(HeuristicSolverTest, StatsArePopulated) {
   MergeProblem problem = ProblemFor(g, 2.0, 130.0);
   DownstreamImpactScorer dih;
   HeuristicSolver solver(dih);
-  HeuristicSolverStats stats;
+  SolverStats stats;
   Result<MergeSolution> solution = solver.Solve(problem, {}, &stats);
   ASSERT_TRUE(solution.ok());
   EXPECT_GT(stats.candidate_sets_tried, 0);

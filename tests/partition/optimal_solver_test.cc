@@ -34,7 +34,7 @@ TEST(OptimalSolverTest, PicksCheapestCut) {
   ASSERT_TRUE(g.AddEdgeWithAlpha(b, c, 99, 1, CallType::kSync).ok());
   MergeProblem problem{&g, 2.0, 130.0};
   OptimalSolver solver;
-  OptimalSolverStats stats;
+  SolverStats stats;
   Result<MergeSolution> solution = solver.Solve(problem, {}, &stats);
   ASSERT_TRUE(solution.ok());
   EXPECT_DOUBLE_EQ(solution->cross_cost, 10.0);
@@ -126,9 +126,9 @@ TEST(OptimalSolverTest, CandidateSetLimitStopsEarly) {
   CallGraph g = GenerateRandomRdag(options, rng);
   MergeProblem problem{&g, 100.0, 10000.0};
   OptimalSolver solver;
-  OptimalSolverOptions solver_options;
+  SolverOptions solver_options;
   solver_options.max_candidate_sets = 3;
-  OptimalSolverStats stats;
+  SolverStats stats;
   Result<MergeSolution> solution = solver.Solve(problem, solver_options, &stats);
   EXPECT_LE(stats.candidate_sets_tried, 3);
   // Everything fits here, so even k=1 finds the full merge.
