@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/strings.h"
+#include "src/tracing/chrome_trace_exporter.h"
 
 namespace quilt {
 
@@ -201,6 +202,32 @@ Result<CallGraph> QuiltController::BuildCallGraph(const std::string& root_handle
   tracer_.Flush();
   const std::vector<Span> spans = span_store_.Query(profile_window_start_, sim_->now() + 1);
   return BuildCallGraphFromTraces(spans, metrics_store_.Aggregate(), root_handle);
+}
+
+std::vector<Trace> QuiltController::CollectTraces() {
+  tracer_.Flush();
+  return AssembleTraces(span_store_.Query(profile_window_start_, sim_->now() + 1));
+}
+
+Result<WorkflowLatencySummary> QuiltController::SummarizeWorkflowLatency(
+    const std::string& root_handle) {
+  WorkflowLatencySummary summary =
+      quilt::SummarizeWorkflowLatency(root_handle, CollectTraces(), sim_->now());
+  if (summary.traces == 0) {
+    return FailedPreconditionError(StrCat("no complete traces of workflow '", root_handle,
+                                          "' in the profile window"));
+  }
+  metrics_store_.AddWorkflowLatency(summary);
+  return summary;
+}
+
+Result<std::string> QuiltController::ExportTraceChrome(int64_t trace_id) {
+  for (const Trace& trace : CollectTraces()) {
+    if (trace.trace_id == trace_id) {
+      return ExportChromeTrace(trace);
+    }
+  }
+  return NotFoundError(StrCat("no trace ", trace_id, " in the profile window"));
 }
 
 Result<MergeSolution> QuiltController::Decide(const CallGraph& graph) {

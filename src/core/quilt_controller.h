@@ -27,6 +27,7 @@
 #include "src/quiltc/compiler.h"
 #include "src/tracing/call_graph_builder.h"
 #include "src/tracing/resource_monitor.h"
+#include "src/tracing/trace_assembler.h"
 #include "src/tracing/tracer.h"
 
 namespace quilt {
@@ -86,6 +87,19 @@ class QuiltController {
   bool profiling() const { return platform_->profiling(); }
   Result<CallGraph> BuildCallGraph(const std::string& root_handle);
 
+  // --- Observability on the current profile window (§3).
+  // Assembles the window's spans into per-request trace trees. Flushes the
+  // exporter first, so the result is deterministic regardless of where the
+  // batch timer stood when the run ended.
+  std::vector<Trace> CollectTraces();
+  // Latency decomposition percentiles for one workflow over the window;
+  // the summary is also appended to the MetricsStore. Fails when the window
+  // holds no complete trace of the workflow.
+  Result<WorkflowLatencySummary> SummarizeWorkflowLatency(const std::string& root_handle);
+  // Chrome trace-event JSON (chrome://tracing-loadable) for one trace id
+  // from the window.
+  Result<std::string> ExportTraceChrome(int64_t trace_id);
+
   // --- Decision (§4).
   Result<MergeSolution> Decide(const CallGraph& graph);
 
@@ -136,7 +150,12 @@ class QuiltController {
 
   Platform* platform() { return platform_; }
   Tracer* tracer() { return &tracer_; }
-  SpanStore* span_store() { return &span_store_; }
+  // Store queries go through the exporter flush first: a span recorded
+  // within one batch interval of the query must not be invisible.
+  SpanStore* span_store() {
+    tracer_.Flush();
+    return &span_store_;
+  }
   MetricsStore* metrics_store() { return &metrics_store_; }
   DecisionEngine* decision_engine() { return &decision_engine_; }
   const ControllerOptions& options() const { return options_; }

@@ -153,18 +153,31 @@ int Platform::TotalContainers() const {
 void Platform::Invoke(const std::string& caller_handle, const std::string& callee_handle,
                       const Json& payload, bool async,
                       std::function<void(Result<Json>)> done) {
+  // Client entry: no inherited context, this call roots a new trace.
+  Invoke(TraceContext{}, caller_handle, callee_handle, payload, async, std::move(done));
+}
+
+void Platform::Invoke(const TraceContext& parent, const std::string& caller_handle,
+                      const std::string& callee_handle, const Json& payload, bool async,
+                      std::function<void(Result<Json>)> done) {
   // Request path: serialize -> network -> (ingress) -> gateway. Paid once
-  // per attempt; the span is recorded once per logical invocation.
+  // per attempt; the span is recorded once per logical invocation, when the
+  // response is delivered back to the caller.
   SimDuration request_path = config_.serialize_latency + config_.network_rtt / 2;
+  auto ctx = std::make_shared<CallContext>();
   if (config_.profiling_enabled && tracer_ != nullptr) {
     request_path += config_.ingress_overhead;
-    Span span;
-    span.trace_id = next_trace_id_++;
+    ctx->traced = true;
+    Span& span = ctx->span;
+    // Trace identity: nested invocations inherit the root request's trace
+    // id; only trace roots mint a new one.
+    span.trace_id = parent.valid() ? parent.trace_id : next_trace_id_++;
+    span.parent_span_id = parent.valid() ? parent.parent_span_id : 0;
+    span.span_id = next_span_id_++;
     span.caller = caller_handle;
     span.callee = callee_handle;
     span.async = async;
     span.timestamp = sim_->now();
-    tracer_->Record(std::move(span));
   }
   request_path += config_.gateway_overhead;
 
@@ -173,21 +186,66 @@ void Platform::Invoke(const std::string& caller_handle, const std::string& calle
       config_.gateway_overhead + config_.network_rtt / 2 + config_.serialize_latency;
   auto done_shared = std::make_shared<std::function<void(Result<Json>)>>(std::move(done));
 
-  auto ctx = std::make_shared<CallContext>();
   ctx->callee = callee_handle;
   ctx->payload = payload;
   ctx->async = async;
   ctx->request_path = request_path;
-  ctx->respond = [this, response_path, done_shared](Result<Json> result) {
-    sim_->Schedule(response_path, [done_shared, result = std::move(result)]() mutable {
+  // Request-leg segment costs; every retry attempt pays them again.
+  ctx->attempt_network = config_.serialize_latency + config_.network_rtt / 2;
+  ctx->attempt_gateway = request_path - ctx->attempt_network;
+  ctx->respond = [this, response_path, done_shared, ctx](Result<Json> result) {
+    if (ctx->traced) {
+      // Response leg: paid once, by whichever attempt settles the call.
+      ctx->span.network_ns += config_.network_rtt / 2 + config_.serialize_latency;
+      ctx->span.gateway_ns += config_.gateway_overhead;
+    }
+    sim_->Schedule(response_path, [this, done_shared, ctx,
+                                   result = std::move(result)]() mutable {
+      FinishSpan(*ctx, result.status());
       (*done_shared)(std::move(result));
     });
   };
   BeginAttempt(std::move(ctx));
 }
 
+void Platform::FinishSpan(CallContext& ctx, const Status& status) {
+  if (!ctx.traced || tracer_ == nullptr) {
+    return;
+  }
+  Span& span = ctx.span;
+  span.end_time = sim_->now();
+  span.attempts = ctx.attempt;
+  span.status = ClassifySpanStatus(ctx, status);
+  tracer_->Record(span);
+}
+
+SpanStatus Platform::ClassifySpanStatus(const CallContext& ctx, const Status& status) {
+  if (status.ok()) {
+    return SpanStatus::kOk;
+  }
+  if (ctx.retries_exhausted) {
+    return SpanStatus::kRetryExhausted;
+  }
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return SpanStatus::kTimeout;
+    case StatusCode::kResourceExhausted:
+      return SpanStatus::kOomKill;
+    case StatusCode::kAborted:
+      return SpanStatus::kContainerCrash;
+    case StatusCode::kUnavailable:
+      return ctx.gateway_fault ? SpanStatus::kGateway5xx : SpanStatus::kError;
+    default:
+      return SpanStatus::kError;
+  }
+}
+
 void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
   ctx->shed = false;
+  if (ctx->traced) {
+    ctx->span.network_ns += ctx->attempt_network;
+    ctx->span.gateway_ns += ctx->attempt_gateway;
+  }
   // Guarantees the attempt settles exactly once: the first of {timeout,
   // gateway rejection, execution result} wins, later arrivals are dropped.
   auto settled = std::make_shared<bool>(false);
@@ -240,24 +298,28 @@ void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
       }
       if (fault.gateway_error) {
         ++dep.stats.injected_faults;
+        ctx->gateway_fault = true;
         complete(UnavailableError("injected gateway 5xx"));
         return;
       }
       if (fault.extra_delay > 0) {
         ++dep.stats.injected_faults;
+        if (ctx->traced) {
+          ctx->span.network_ns += fault.extra_delay;
+        }
         sim_->Schedule(fault.extra_delay, [this, ctx, complete = std::move(complete)]() mutable {
           auto delayed_it = deployments_.find(ctx->callee);
           if (delayed_it == deployments_.end()) {
             complete(NotFoundError(StrCat("no function '", ctx->callee, "'")));
             return;
           }
-          RouteRequest(*delayed_it->second, ctx->payload, std::move(complete));
+          RouteRequest(*delayed_it->second, ctx, std::move(complete));
         });
         return;
       }
     }
 
-    RouteRequest(dep, ctx->payload, std::move(complete));
+    RouteRequest(dep, ctx, std::move(complete));
   });
 }
 
@@ -294,6 +356,7 @@ void Platform::OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<J
     if (dep != nullptr) {
       ++dep->stats.retries_exhausted;
     }
+    ctx->retries_exhausted = true;
     ctx->respond(std::move(result));
     return;
   }
@@ -310,8 +373,12 @@ void Platform::OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<J
     ++dep->stats.retries;
   }
   ++ctx->attempt;
-  sim_->Schedule(std::max<SimDuration>(0, static_cast<SimDuration>(backoff_ns)),
-                 [this, ctx] { BeginAttempt(ctx); });
+  const SimDuration backoff = std::max<SimDuration>(0, static_cast<SimDuration>(backoff_ns));
+  if (ctx->traced) {
+    // Retry backoff is time the request spends waiting, not moving: queueing.
+    ctx->span.queue_ns += backoff;
+  }
+  sim_->Schedule(backoff, [this, ctx] { BeginAttempt(ctx); });
 }
 
 bool Platform::BreakerRejects(Deployment& dep) {
@@ -451,7 +518,7 @@ void Platform::CreateContainer(Deployment& dep) {
   });
 }
 
-void Platform::RouteRequest(Deployment& dep, Json payload,
+void Platform::RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
                             std::function<void(Result<Json>)> respond) {
   // Router address-cache staleness penalty.
   SimDuration penalty = 0;
@@ -463,9 +530,13 @@ void Platform::RouteRequest(Deployment& dep, Json payload,
     ++dep.stats.stale_route_hits;
   }
   dep.last_routed = sim_->now();
+  if (ctx->traced) {
+    // The specialization path stalls the request inside the router: queueing.
+    ctx->span.queue_ns += penalty;
+  }
 
   const std::string handle = dep.spec.handle;
-  sim_->Schedule(penalty, [this, handle, payload = std::move(payload),
+  sim_->Schedule(penalty, [this, handle, ctx = std::move(ctx),
                            respond = std::move(respond)]() mutable {
     auto it = deployments_.find(handle);
     if (it == deployments_.end()) {
@@ -475,11 +546,11 @@ void Platform::RouteRequest(Deployment& dep, Json payload,
     Deployment& dep = *it->second;
     std::shared_ptr<Container> container = SelectContainer(dep);
     if (container != nullptr) {
-      Dispatch(dep, container, std::move(payload), std::move(respond));
+      Dispatch(dep, container, ctx, sim_->now(), std::move(respond));
       return;
     }
     // No capacity: scale out if allowed, otherwise queue.
-    dep.pending.push_back(PendingRequest{std::move(payload), std::move(respond)});
+    dep.pending.push_back(PendingRequest{std::move(ctx), sim_->now(), std::move(respond)});
     dep.stats.pending_peak =
         std::max(dep.stats.pending_peak, static_cast<int64_t>(dep.pending.size()));
     int live = 0;
@@ -497,13 +568,31 @@ void Platform::RouteRequest(Deployment& dep, Json payload,
 }
 
 void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& container,
-                        Json payload, std::function<void(Result<Json>)> respond) {
+                        const std::shared_ptr<CallContext>& ctx, SimTime enqueued_at,
+                        std::function<void(Result<Json>)> respond) {
   const std::string handle = dep.spec.handle;
+  if (ctx->traced) {
+    // Split the time since routing into cold-start wait (overlap with the
+    // serving container's cold-start window) and plain queueing.
+    const SimTime now = sim_->now();
+    const SimTime ready = container->ready_at() > 0 ? container->ready_at() : now;
+    const SimDuration cold = std::max<SimDuration>(
+        0, std::min(now, ready) - std::max(enqueued_at, container->created_at()));
+    ctx->span.cold_start_ns += cold;
+    ctx->span.queue_ns += (now - enqueued_at) - cold;
+    ctx->span.exec_start = now;
+    ctx->span.exec_end = 0;  // Reset in case an earlier attempt set it.
+  }
   ExecutionEnv env;
   env.sim = sim_;
   env.container = container;
   env.remote = this;
   env.costs = &config_.runtime;
+  if (ctx->traced) {
+    // Nested Invokes issued during execution join this request's trace as
+    // children of this invocation's span.
+    env.trace = TraceContext{ctx->span.trace_id, ctx->span.span_id};
+  }
   env.trigger_kill = [this, handle, container](KillReason reason) {
     auto it = deployments_.find(handle);
     if (it != deployments_.end()) {
@@ -520,8 +609,12 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
   // blast radius, as a real mid-request crash would produce).
   const bool injected_crash =
       injector_.enabled() && injector_.OnDispatch(handle, sim_->now());
-  ExecuteRequest(env, dep.spec.behavior, std::move(payload), /*remote_entry=*/true,
-                 [this, handle, container, respond = std::move(respond)](Result<Json> result) {
+  ExecuteRequest(env, dep.spec.behavior, ctx->payload, /*remote_entry=*/true,
+                 [this, handle, container, ctx,
+                  respond = std::move(respond)](Result<Json> result) {
+                   if (ctx->traced) {
+                     ctx->span.exec_end = sim_->now();
+                   }
                    auto it = deployments_.find(handle);
                    if (it != deployments_.end()) {
                      Deployment& dep = *it->second;
@@ -553,7 +646,7 @@ void Platform::DrainPending(Deployment& dep) {
     }
     PendingRequest request = std::move(dep.pending.front());
     dep.pending.pop_front();
-    Dispatch(dep, container, std::move(request.payload), std::move(request.respond));
+    Dispatch(dep, container, request.ctx, request.enqueued_at, std::move(request.respond));
   }
   dep.draining = false;
 }
@@ -563,9 +656,11 @@ void Platform::KillContainer(Deployment& dep, const std::shared_ptr<Container>& 
   if (container->state() == ContainerState::kKilled) {
     return;  // Already dead: a kill is charged to exactly one cause, once.
   }
+  ContainerKillCause cause = ContainerKillCause::kCrash;
   switch (reason) {
     case KillReason::kOom:
       ++dep.stats.oom_kills;
+      cause = ContainerKillCause::kOom;
       break;
     case KillReason::kCrash:
     case KillReason::kInjectedCrash:
@@ -575,7 +670,7 @@ void Platform::KillContainer(Deployment& dep, const std::shared_ptr<Container>& 
   dep.containers.erase(std::remove(dep.containers.begin(), dep.containers.end(), container),
                        dep.containers.end());
   dep.container_versions.erase(container->id());
-  container->Kill();
+  container->Kill(cause);
   dep.stats.AssertNonNegative();
 }
 

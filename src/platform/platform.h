@@ -172,9 +172,15 @@ class Platform : public Invoker {
   void SetProfiling(bool enabled);
   bool profiling() const { return config_.profiling_enabled; }
 
-  // Invoker: the full client/function -> gateway -> container path.
+  // Invoker: the full client/function -> gateway -> container path. The
+  // 4-arg form starts a new trace (client entry); the TraceContext form is
+  // what nested function-to-function calls use, so their spans join the
+  // root request's trace.
   void Invoke(const std::string& caller_handle, const std::string& callee_handle,
               const Json& payload, bool async,
+              std::function<void(Result<Json>)> done) override;
+  void Invoke(const TraceContext& parent, const std::string& caller_handle,
+              const std::string& callee_handle, const Json& payload, bool async,
               std::function<void(Result<Json>)> done) override;
 
   const DeploymentStats* StatsFor(const std::string& handle) const;
@@ -198,8 +204,31 @@ class Platform : public Invoker {
   Simulation* sim() { return sim_; }
 
  private:
-  struct PendingRequest {
+  // One logical invocation, possibly spanning several attempts. Carries the
+  // invocation's span: segment counters accumulate across attempts, and the
+  // span is recorded once, when the response is delivered to the caller.
+  struct CallContext {
+    std::string callee;
     Json payload;
+    bool async = false;
+    int attempt = 1;
+    bool shed = false;  // Current attempt was rejected by the circuit breaker.
+    SimDuration request_path = 0;  // Gateway-path latency each attempt pays.
+    std::function<void(Result<Json>)> respond;  // Schedules the response path.
+
+    // --- Tracing (only populated when the ingress path is active).
+    bool traced = false;
+    Span span;
+    // Request-leg segment costs, re-paid by every attempt.
+    SimDuration attempt_network = 0;
+    SimDuration attempt_gateway = 0;
+    bool gateway_fault = false;      // An injected gateway 5xx hit this call.
+    bool retries_exhausted = false;  // Failed after the retry policy's last attempt.
+  };
+
+  struct PendingRequest {
+    std::shared_ptr<CallContext> ctx;
+    SimTime enqueued_at = 0;
     std::function<void(Result<Json>)> respond;
   };
 
@@ -222,22 +251,13 @@ class Platform : public Invoker {
     SimTime breaker_open_until = 0;
   };
 
-  // One logical invocation, possibly spanning several attempts.
-  struct CallContext {
-    std::string callee;
-    Json payload;
-    bool async = false;
-    int attempt = 1;
-    bool shed = false;  // Current attempt was rejected by the circuit breaker.
-    SimDuration request_path = 0;  // Gateway-path latency each attempt pays.
-    std::function<void(Result<Json>)> respond;  // Schedules the response path.
-  };
-
   SimDuration ColdStartDelay(const Deployment& dep) const;
   std::shared_ptr<Container> SelectContainer(Deployment& dep) const;
   void CreateContainer(Deployment& dep);
-  void RouteRequest(Deployment& dep, Json payload, std::function<void(Result<Json>)> respond);
-  void Dispatch(Deployment& dep, const std::shared_ptr<Container>& container, Json payload,
+  void RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
+                    std::function<void(Result<Json>)> respond);
+  void Dispatch(Deployment& dep, const std::shared_ptr<Container>& container,
+                const std::shared_ptr<CallContext>& ctx, SimTime enqueued_at,
                 std::function<void(Result<Json>)> respond);
   void DrainPending(Deployment& dep);
   void KillContainer(Deployment& dep, const std::shared_ptr<Container>& container,
@@ -252,6 +272,10 @@ class Platform : public Invoker {
   void RecordAttemptOutcome(Deployment& dep, const Status& status);
   void OpenBreaker(Deployment& dep);
 
+  // Finalizes and records the invocation's span at response delivery.
+  void FinishSpan(CallContext& ctx, const Status& status);
+  static SpanStatus ClassifySpanStatus(const CallContext& ctx, const Status& status);
+
   Simulation* sim_;
   PlatformConfig config_;
   Tracer* tracer_ = nullptr;
@@ -260,7 +284,8 @@ class Platform : public Invoker {
   std::map<std::string, std::unique_ptr<Deployment>> deployments_;
   std::map<std::string, double> billing_;  // function handle -> vCPU-seconds.
   int64_t next_container_id_ = 1;
-  int64_t next_trace_id_ = 1;
+  int64_t next_trace_id_ = 1;  // Minted only for trace roots (client entries).
+  int64_t next_span_id_ = 1;
 };
 
 }  // namespace quilt

@@ -48,10 +48,17 @@ class FunctionRun : public std::enable_shared_from_this<FunctionRun> {
     auto self = shared_from_this();
     if (top_level_) {
       request_token_ = env_.container->BeginRequest([self] {
-        // Container died (OOM kill): fail the request immediately.
+        // Container died mid-request: fail it immediately, distinguishing an
+        // OOM kill (resource exhaustion) from a crash so the failure
+        // taxonomy -- and the span status -- reflect the real cause.
         if (!self->finished_) {
           self->finished_ = true;
-          self->done_(Status(StatusCode::kAborted, "container killed mid-request"));
+          if (self->env_.container->kill_cause() == ContainerKillCause::kOom) {
+            self->done_(Status(StatusCode::kResourceExhausted,
+                               "container OOM-killed mid-request"));
+          } else {
+            self->done_(Status(StatusCode::kAborted, "container killed mid-request"));
+          }
         }
       });
     }
@@ -335,8 +342,8 @@ class FunctionRun : public std::enable_shared_from_this<FunctionRun> {
             return;
           }
           self->Bill(self->env_.costs->invoke_cpu_ms);
-          self->env_.remote->Invoke(self->behavior_->handle, callee, self->payload_, async,
-                                    std::move(cb));
+          self->env_.remote->Invoke(self->env_.trace, self->behavior_->handle, callee,
+                                    self->payload_, async, std::move(cb));
         });
   }
 

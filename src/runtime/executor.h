@@ -12,6 +12,7 @@
 #include "src/runtime/behavior.h"
 #include "src/sim/container.h"
 #include "src/sim/simulation.h"
+#include "src/tracing/span.h"
 
 namespace quilt {
 
@@ -23,6 +24,17 @@ class Invoker {
   virtual void Invoke(const std::string& caller_handle, const std::string& callee_handle,
                       const Json& payload, bool async,
                       std::function<void(Result<Json>)> done) = 0;
+
+  // Trace-propagating variant: `parent` is the caller's trace context, so
+  // the callee's span joins the caller's trace instead of starting a new
+  // one. The default drops the context -- invokers that don't trace (test
+  // fakes) behave identically through either entry point.
+  virtual void Invoke(const TraceContext& parent, const std::string& caller_handle,
+                      const std::string& callee_handle, const Json& payload, bool async,
+                      std::function<void(Result<Json>)> done) {
+    (void)parent;
+    Invoke(caller_handle, callee_handle, payload, async, std::move(done));
+  }
 };
 
 // Per-call CPU/latency costs of the serverless runtime itself.
@@ -60,6 +72,10 @@ struct ExecutionEnv {
   std::shared_ptr<Container> container;
   Invoker* remote = nullptr;
   const RuntimeCosts* costs = nullptr;
+  // Trace context of the request being executed (invalid when the request
+  // was not traced). Nested remote Invokes propagate it so their spans
+  // become children of this request's span.
+  TraceContext trace;
   // Installed by the platform: kill this container, charging the failure to
   // the given cause (OOM kill vs. crash).
   std::function<void(KillReason)> trigger_kill;

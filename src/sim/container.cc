@@ -14,9 +14,18 @@ Container::Container(Simulation* sim, std::string deployment_handle, int64_t id,
       deployment_handle_(std::move(deployment_handle)),
       id_(id),
       config_(config),
+      created_at_(sim->now()),
       cpu_(sim, config.cpu_limit, config.throttle_penalty),
       memory_in_use_mb_(config.base_memory_mb),
       peak_memory_mb_(config.base_memory_mb) {}
+
+void Container::set_state(ContainerState state) {
+  if (state == ContainerState::kReady && state_ == ContainerState::kColdStarting &&
+      ready_at_ == 0) {
+    ready_at_ = sim_->now();
+  }
+  state_ = state;
+}
 
 Status Container::ReserveMemory(double mb) {
   if (state_ == ContainerState::kKilled) {
@@ -64,11 +73,12 @@ void Container::EndRequest(int64_t request_token) {
   abort_handlers_.erase(request_token);
 }
 
-void Container::Kill() {
+void Container::Kill(ContainerKillCause cause) {
   if (state_ == ContainerState::kKilled) {
     return;
   }
   AccumulateBusy();
+  kill_cause_ = cause;
   state_ = ContainerState::kKilled;
   cpu_.CancelAll();
   // Fire abort handlers; they may call EndRequest, so detach first.

@@ -29,6 +29,10 @@ struct ContainerConfig {
 
 enum class ContainerState { kColdStarting, kReady, kKilled };
 
+// Why the container died, as observed by in-flight requests (their abort
+// handlers read it to report OOM kills distinctly from crashes).
+enum class ContainerKillCause { kNone, kOom, kCrash };
+
 class Container {
  public:
   Container(Simulation* sim, std::string deployment_handle, int64_t id, ContainerConfig config);
@@ -37,7 +41,13 @@ class Container {
   const std::string& deployment_handle() const { return deployment_handle_; }
   const ContainerConfig& config() const { return config_; }
   ContainerState state() const { return state_; }
-  void set_state(ContainerState state) { state_ = state; }
+  void set_state(ContainerState state);
+
+  // Cold-start window: [created_at, ready_at). ready_at is 0 until the
+  // container finishes cold-starting; the platform uses the window to split
+  // a queued request's wait into cold-start vs. queueing time.
+  SimTime created_at() const { return created_at_; }
+  SimTime ready_at() const { return ready_at_; }
 
   CpuShare& cpu() { return cpu_; }
   const CpuShare& cpu() const { return cpu_; }
@@ -56,7 +66,9 @@ class Container {
   int active_requests() const { return static_cast<int>(abort_handlers_.size()); }
 
   // Kills the container: cancels all CPU work and fires all abort handlers.
-  void Kill();
+  // `cause` is what those handlers (and their requests' status) observe.
+  void Kill(ContainerKillCause cause = ContainerKillCause::kNone);
+  ContainerKillCause kill_cause() const { return kill_cause_; }
 
   // Wall-clock seconds during which >= 1 request was in flight. This is
   // what cAdvisor-style "busy" means to the profiler: avg CPU = cpu_seconds
@@ -75,6 +87,9 @@ class Container {
   int64_t id_;
   ContainerConfig config_;
   ContainerState state_ = ContainerState::kColdStarting;
+  ContainerKillCause kill_cause_ = ContainerKillCause::kNone;
+  SimTime created_at_ = 0;
+  SimTime ready_at_ = 0;
   CpuShare cpu_;
   double memory_in_use_mb_;
   double peak_memory_mb_;

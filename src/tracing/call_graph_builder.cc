@@ -12,26 +12,20 @@ Result<CallGraph> BuildCallGraphFromTraces(
     const std::vector<Span>& spans,
     const std::map<std::string, MetricsStore::FunctionUsage>& usage,
     const std::string& root_handle, const CallGraphBuilderOptions& options) {
-  // Count workflow invocations and per-edge occurrences.
+  // Pass 1: which traces belong to this workflow? A trace is a member iff
+  // its root span (parent_span_id == 0) is a client invocation of
+  // root_handle. Traces rooted elsewhere -- including other workflows that
+  // happen to share functions with this one -- contribute nothing.
+  std::set<int64_t> member_traces;
   int64_t workflow_invocations = 0;
-  struct EdgeAgg {
-    double weight = 0.0;
-    int64_t async_count = 0;
-    int64_t total = 0;
-  };
-  std::map<std::pair<std::string, std::string>, EdgeAgg> edges;
   for (const Span& span : spans) {
-    if (span.caller == kClientCaller) {
-      if (span.callee == root_handle) {
-        ++workflow_invocations;
-      }
-      continue;  // Client entries are not call-graph edges.
+    if (span.caller != kClientCaller || span.callee != root_handle) {
+      continue;
     }
-    EdgeAgg& agg = edges[{span.caller, span.callee}];
-    agg.weight += 1.0;
-    agg.total += 1;
-    if (span.async) {
-      ++agg.async_count;
+    if (span.trace_id == 0) {
+      ++workflow_invocations;  // Legacy span without trace identity.
+    } else if (span.parent_span_id == 0 && member_traces.insert(span.trace_id).second) {
+      ++workflow_invocations;
     }
   }
   if (workflow_invocations == 0) {
@@ -40,9 +34,33 @@ Result<CallGraph> BuildCallGraphFromTraces(
                "' in the profile window"));
   }
 
-  // The span store holds traces from every profiled workflow; keep only the
-  // component reachable from this workflow's root (Quilt queries Tempo per
-  // workflow).
+  // Pass 2: per-edge occurrences, restricted to member traces. Spans with
+  // no trace id keep the old caller-side aggregation (the reachability
+  // filter below is then their only cross-workflow guard).
+  struct EdgeAgg {
+    double weight = 0.0;
+    int64_t async_count = 0;
+    int64_t total = 0;
+  };
+  std::map<std::pair<std::string, std::string>, EdgeAgg> edges;
+  for (const Span& span : spans) {
+    if (span.caller == kClientCaller) {
+      continue;  // Client entries are not call-graph edges.
+    }
+    if (span.trace_id != 0 && member_traces.count(span.trace_id) == 0) {
+      continue;
+    }
+    EdgeAgg& agg = edges[{span.caller, span.callee}];
+    agg.weight += 1.0;
+    agg.total += 1;
+    if (span.async) {
+      ++agg.async_count;
+    }
+  }
+
+  // Keep only the component reachable from this workflow's root. With trace
+  // grouping this is mostly a no-op; it still prunes legacy (id-less) spans
+  // and mid-trace orphans whose caller never appears below the root.
   std::map<std::string, std::vector<std::string>> adjacency;
   for (const auto& [key, agg] : edges) {
     adjacency[key.first].push_back(key.second);
@@ -52,14 +70,18 @@ Result<CallGraph> BuildCallGraphFromTraces(
   while (!queue.empty()) {
     const std::string handle = queue.front();
     queue.pop_front();
-    for (const std::string& next : adjacency[handle]) {
+    auto adj_it = adjacency.find(handle);
+    if (adj_it == adjacency.end()) {
+      continue;  // Leaf: no outgoing edges (and no operator[] insertion).
+    }
+    for (const std::string& next : adj_it->second) {
       if (reachable.insert(next).second) {
         queue.push_back(next);
       }
     }
   }
   for (auto it = edges.begin(); it != edges.end();) {
-    if (reachable.count(it->first.first) == 0) {
+    if (reachable.count(it->first.first) == 0 || reachable.count(it->first.second) == 0) {
       it = edges.erase(it);
     } else {
       ++it;
@@ -87,7 +109,7 @@ Result<CallGraph> BuildCallGraphFromTraces(
     const NodeId from = node_of(key.first);
     const NodeId to = node_of(key.second);
     const CallType type =
-        agg.async_count * 2 >= agg.total ? CallType::kAsync : CallType::kSync;
+        MajorityAsync(agg.async_count, agg.total) ? CallType::kAsync : CallType::kSync;
     QUILT_RETURN_IF_ERROR(graph.AddEdge(from, to, agg.weight, type));
   }
 

@@ -43,6 +43,35 @@ struct FailureSample {
   SimDuration breaker_open_ns_cum = 0;
 };
 
+// Per-workflow latency decomposition summary (§2's invocation-overhead
+// motivation, measured): percentiles over the assembled traces of one
+// profile window, per segment. Produced by SummarizeWorkflowLatency in
+// src/tracing/trace_assembler.h and stored here so the decision loop can
+// watch overhead share over time.
+struct SegmentPercentiles {
+  SimDuration p50 = 0;
+  SimDuration p95 = 0;
+  SimDuration p99 = 0;
+  double mean = 0.0;   // Mean ns per trace.
+  double share = 0.0;  // mean / mean end-to-end (1.0 for end_to_end itself).
+};
+
+struct WorkflowLatencySummary {
+  std::string workflow;  // Root handle of the workflow.
+  SimTime timestamp = 0;
+  int64_t traces = 0;     // Complete traces the summary aggregates.
+  int64_t ok_traces = 0;  // Subset whose root span finished kOk.
+  SegmentPercentiles end_to_end;
+  SegmentPercentiles network;
+  SegmentPercentiles gateway;
+  SegmentPercentiles queueing;
+  SegmentPercentiles cold_start;
+  SegmentPercentiles compute;
+  // Mean fraction of end-to-end latency spent outside compute -- the
+  // number merging exists to shrink.
+  double overhead_share = 0.0;
+};
+
 // Time-series storage ("InfluxDB").
 class MetricsStore {
  public:
@@ -58,10 +87,18 @@ class MetricsStore {
   // Decision telemetry (§4): one record per Decide/ReconsiderWorkflow run.
   void AddDecision(DecisionRecord record) { decisions_.push_back(std::move(record)); }
   const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+  // Latency decomposition (§3): one record per summarized profile window.
+  void AddWorkflowLatency(WorkflowLatencySummary summary) {
+    workflow_latency_.push_back(std::move(summary));
+  }
+  const std::vector<WorkflowLatencySummary>& workflow_latency() const {
+    return workflow_latency_;
+  }
   void Clear() {
     samples_.clear();
     failure_samples_.clear();
     decisions_.clear();
+    workflow_latency_.clear();
   }
 
   // Aggregates the latest sample of each container, per function handle.
@@ -74,6 +111,7 @@ class MetricsStore {
   std::vector<ResourceSample> samples_;
   std::vector<FailureSample> failure_samples_;
   std::vector<DecisionRecord> decisions_;
+  std::vector<WorkflowLatencySummary> workflow_latency_;
 };
 
 // Periodic sampler ("cAdvisor"). The source callback snapshots all live

@@ -1,8 +1,12 @@
 // Distributed-tracing span (§3).
 //
-// The nginx-ingress hop records one span per function invocation: who called
-// whom, when, and whether the invocation was asynchronous. External client
-// requests carry the reserved caller name "client".
+// The nginx-ingress hop records one span per function invocation. Spans are
+// causal: every span carries the trace id of the client request that
+// ultimately caused it, its own span id, and the span id of the invocation
+// that issued it, so one client request assembles into one trace tree --
+// through retries, fan-outs and conditional (merged) invocations alike.
+// External client requests carry the reserved caller name "client" and a
+// zero parent span id.
 #ifndef SRC_TRACING_SPAN_H_
 #define SRC_TRACING_SPAN_H_
 
@@ -15,12 +19,77 @@ namespace quilt {
 
 inline constexpr const char* kClientCaller = "client";
 
-struct Span {
+// Terminal status of one logical invocation (across all its attempts).
+enum class SpanStatus {
+  kOk = 0,
+  kTimeout,          // Attempt deadline fired (kDeadlineExceeded).
+  kRetryExhausted,   // Still failing after the retry policy's last attempt.
+  kGateway5xx,       // Injected gateway-side 5xx (kUnavailable at the hop).
+  kContainerCrash,   // Container died mid-request (crash / injected crash).
+  kOomKill,          // Container exceeded its memory limit mid-request.
+  kError,            // Any other failure (breaker shed, not-found, ...).
+};
+
+inline const char* SpanStatusName(SpanStatus status) {
+  switch (status) {
+    case SpanStatus::kOk:
+      return "ok";
+    case SpanStatus::kTimeout:
+      return "timeout";
+    case SpanStatus::kRetryExhausted:
+      return "retry_exhausted";
+    case SpanStatus::kGateway5xx:
+      return "gateway_5xx";
+    case SpanStatus::kContainerCrash:
+      return "container_crash";
+    case SpanStatus::kOomKill:
+      return "oom_kill";
+    case SpanStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// The trace context a caller hands to the platform when it invokes a callee.
+// An invalid (zero) context marks a trace root: the platform mints a fresh
+// trace id for it. This is the W3C traceparent of the simulator.
+struct TraceContext {
   int64_t trace_id = 0;
+  int64_t parent_span_id = 0;  // Span id of the invocation carrying the call.
+
+  bool valid() const { return trace_id != 0; }
+};
+
+struct Span {
+  // --- Identity and causality.
+  int64_t trace_id = 0;
+  int64_t span_id = 0;
+  int64_t parent_span_id = 0;  // 0 = trace root (a client request).
   std::string caller;
   std::string callee;
   bool async = false;
+
+  // --- Timing. `timestamp` is the caller-side start (the name predates the
+  // causal model; every aggregation keys on it). `end_time` is when the
+  // response was delivered back to the caller. The exec window is the final
+  // attempt's residence in a container; 0/0 = never dispatched.
   SimTime timestamp = 0;
+  SimTime end_time = 0;
+  SimTime exec_start = 0;
+  SimTime exec_end = 0;
+
+  // --- Latency-segment counters, accumulated across attempts (§2's
+  // invocation-overhead taxonomy). Everything outside these and the exec
+  // window is unattributed caller-side time.
+  SimDuration network_ns = 0;     // Serialize + wire time, both directions.
+  SimDuration gateway_ns = 0;     // Gateway + profiling-ingress overhead.
+  SimDuration queue_ns = 0;       // Router penalty, pending queue, backoff.
+  SimDuration cold_start_ns = 0;  // Waiting on a cold-starting container.
+
+  int attempts = 1;
+  SpanStatus status = SpanStatus::kOk;
+
+  SimDuration duration() const { return end_time - timestamp; }
 };
 
 }  // namespace quilt

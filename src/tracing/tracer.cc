@@ -1,19 +1,54 @@
 #include "src/tracing/tracer.h"
 
+#include <algorithm>
+
 namespace quilt {
 
-std::vector<Span> SpanStore::Query(SimTime from, SimTime to) const {
-  std::vector<Span> result;
-  for (const Span& span : spans_) {
-    if (span.timestamp >= from && span.timestamp < to) {
-      result.push_back(span);
-    }
+namespace {
+
+// Heterogeneous comparator for binary searches over the sorted span vector.
+struct StartsBefore {
+  bool operator()(const Span& span, SimTime t) const { return span.timestamp < t; }
+  bool operator()(SimTime t, const Span& span) const { return t < span.timestamp; }
+};
+
+}  // namespace
+
+void SpanStore::Add(Span span) {
+  latest_start_ = std::max(latest_start_, span.timestamp);
+  if (spans_.empty() || spans_.back().timestamp <= span.timestamp) {
+    // The common case under virtual time: append. Equal timestamps keep
+    // arrival order, so platform tests can index spans deterministically.
+    spans_.push_back(std::move(span));
+  } else {
+    auto at = std::upper_bound(spans_.begin(), spans_.end(), span.timestamp, StartsBefore{});
+    spans_.insert(at, std::move(span));
   }
-  return result;
+  if (retention_ > 0 && latest_start_ - retention_ > spans_.front().timestamp) {
+    const SimTime horizon = latest_start_ - retention_;
+    auto keep = std::lower_bound(spans_.begin(), spans_.end(), horizon, StartsBefore{});
+    evicted_ += keep - spans_.begin();
+    spans_.erase(spans_.begin(), keep);
+  }
+}
+
+std::vector<Span> SpanStore::Query(SimTime from, SimTime to) const {
+  if (from >= to) {
+    return {};
+  }
+  auto first = std::lower_bound(spans_.begin(), spans_.end(), from, StartsBefore{});
+  auto last = std::lower_bound(first, spans_.end(), to, StartsBefore{});
+  return std::vector<Span>(first, last);
 }
 
 Tracer::Tracer(Simulation* sim, SpanStore* store, SimDuration batch_interval)
     : sim_(sim), store_(store), batch_interval_(batch_interval) {}
+
+Tracer::~Tracer() {
+  // Deterministic teardown: the final partial batch must not be lost just
+  // because the simulation ended inside a batch interval.
+  Flush();
+}
 
 void Tracer::Record(Span span) {
   ++recorded_;

@@ -11,30 +11,51 @@
 
 namespace quilt {
 
-// Queryable span storage ("Tempo").
+// Queryable span storage ("Tempo"). Kept ordered by start timestamp (spans
+// within a flush batch arrive in nondecreasing virtual-time order; Add
+// tolerates out-of-order inserts from hand-built tests), so range queries
+// are binary searches instead of full scans.
 class SpanStore {
  public:
-  void Add(Span span) { spans_.push_back(std::move(span)); }
+  void Add(Span span);
   const std::vector<Span>& spans() const { return spans_; }
+  // Spans with start timestamp in [from, to).
   std::vector<Span> Query(SimTime from, SimTime to) const;
   void Clear() { spans_.clear(); }
   int64_t size() const { return static_cast<int64_t>(spans_.size()); }
 
+  // Optional retention horizon: on Add, spans whose start timestamp has
+  // fallen more than `horizon` behind the newest start seen are evicted
+  // (Tempo's block retention). 0 = keep everything.
+  void set_retention_window(SimDuration horizon) { retention_ = horizon; }
+  SimDuration retention_window() const { return retention_; }
+  int64_t evicted() const { return evicted_; }
+
  private:
   std::vector<Span> spans_;
+  SimDuration retention_ = 0;
+  SimTime latest_start_ = 0;
+  int64_t evicted_ = 0;
 };
 
 // Batching exporter ("otel-collector"): spans buffer locally and flush to
-// the store on a timer, like the paper's periodic batched export.
+// the store on a timer, like the paper's periodic batched export. The
+// destructor flushes, so run teardown never strands the final batch in the
+// buffer.
 class Tracer {
  public:
   Tracer(Simulation* sim, SpanStore* store, SimDuration batch_interval = Seconds(1));
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   void Record(Span span);
   // Force-export everything buffered (used before querying mid-run).
   void Flush();
 
   int64_t recorded() const { return recorded_; }
+  SimDuration batch_interval() const { return batch_interval_; }
 
  private:
   void ScheduleFlush();

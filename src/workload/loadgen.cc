@@ -57,6 +57,7 @@ LoadResult ClosedLoopGenerator::Run(Simulation* sim, Invoker* invoker,
     if (sent_at >= state->measure_end) {
       return;  // Connection closes.
     }
+    // Context-free entry point: each client request roots a fresh trace.
     invoker->Invoke(kClientCaller, target, options.payload, /*async=*/false,
                     [sim, options, state, weak_send, sent_at](Result<Json> result) {
                       RecordResponse(*state, sent_at, sim->now(), result.status());
@@ -99,6 +100,7 @@ LoadResult OpenLoopGenerator::Run(Simulation* sim, Invoker* invoker, const std::
       return;
     }
     Json payload = options.payload_fn ? options.payload_fn(*rng) : options.payload;
+    // Context-free entry point: each client request roots a fresh trace.
     invoker->Invoke(kClientCaller, target, std::move(payload), /*async=*/false,
                     [sim, state, sent_at](Result<Json> result) {
                       RecordResponse(*state, sent_at, sim->now(), result.status());

@@ -7,6 +7,7 @@
 namespace quilt {
 namespace {
 
+// Legacy (pre-trace-identity) span: trace_id stays 0.
 Span MakeSpan(const std::string& caller, const std::string& callee, bool async = false,
               SimTime t = 0) {
   Span span;
@@ -14,6 +15,16 @@ Span MakeSpan(const std::string& caller, const std::string& callee, bool async =
   span.callee = callee;
   span.async = async;
   span.timestamp = t;
+  return span;
+}
+
+// Span carrying full trace identity, as the platform records them now.
+Span TracedSpan(int64_t trace_id, int64_t span_id, int64_t parent, const std::string& caller,
+                const std::string& callee, bool async = false) {
+  Span span = MakeSpan(caller, callee, async);
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.parent_span_id = parent;
   return span;
 }
 
@@ -38,6 +49,19 @@ TEST(TracerTest, ManualFlush) {
   EXPECT_EQ(store.size(), 1);
 }
 
+TEST(TracerTest, DestructorFlushesFinalBatch) {
+  Simulation sim;
+  SpanStore store;
+  {
+    Tracer tracer(&sim, &store, Seconds(1));
+    tracer.Record(MakeSpan("client", "a"));
+    tracer.Record(MakeSpan("a", "b"));
+    EXPECT_EQ(store.size(), 0);  // Run "ended" inside a batch interval.
+  }
+  // Teardown must not strand the buffered spans.
+  EXPECT_EQ(store.size(), 2);
+}
+
 TEST(SpanStoreTest, QueryByWindow) {
   SpanStore store;
   store.Add(MakeSpan("client", "a", false, Seconds(1)));
@@ -47,6 +71,47 @@ TEST(SpanStoreTest, QueryByWindow) {
   EXPECT_EQ(store.Query(0, Seconds(100)).size(), 3u);
   store.Clear();
   EXPECT_EQ(store.size(), 0);
+}
+
+TEST(SpanStoreTest, KeepsSortedOrderUnderOutOfOrderAdds) {
+  SpanStore store;
+  store.Add(MakeSpan("client", "a", false, Seconds(5)));
+  store.Add(MakeSpan("client", "b", false, Seconds(1)));  // Before the back: inserted.
+  store.Add(MakeSpan("client", "c", false, Seconds(9)));
+  store.Add(MakeSpan("client", "d", false, Seconds(5)));  // Equal: keeps arrival order.
+  ASSERT_EQ(store.size(), 4);
+  EXPECT_EQ(store.spans()[0].callee, "b");
+  EXPECT_EQ(store.spans()[1].callee, "a");
+  EXPECT_EQ(store.spans()[2].callee, "d");
+  EXPECT_EQ(store.spans()[3].callee, "c");
+
+  // The binary-searched range lookup sees the sorted view: [from, to).
+  const std::vector<Span> mid = store.Query(Seconds(5), Seconds(9));
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0].callee, "a");
+  EXPECT_EQ(mid[1].callee, "d");
+  EXPECT_EQ(store.Query(Seconds(9), Seconds(9)).size(), 0u);  // Empty window.
+  EXPECT_EQ(store.Query(Seconds(6), Seconds(5)).size(), 0u);  // Inverted window.
+}
+
+TEST(SpanStoreTest, RetentionWindowEvictsStaleSpans) {
+  SpanStore store;
+  store.set_retention_window(Seconds(5));
+  store.Add(MakeSpan("client", "a", false, Seconds(1)));
+  store.Add(MakeSpan("client", "b", false, Seconds(4)));
+  EXPECT_EQ(store.size(), 2);  // Nothing older than 5s behind the newest yet.
+  store.Add(MakeSpan("client", "c", false, Seconds(9)));
+  // Newest start is 9s: the 1s span has fallen beyond the horizon.
+  EXPECT_EQ(store.size(), 2);
+  EXPECT_EQ(store.evicted(), 1);
+  EXPECT_EQ(store.spans()[0].callee, "b");
+  EXPECT_EQ(store.Query(0, Seconds(100)).size(), 2u);
+
+  SpanStore unbounded;  // Default: keep everything.
+  unbounded.Add(MakeSpan("client", "a", false, Seconds(1)));
+  unbounded.Add(MakeSpan("client", "b", false, Seconds(1000)));
+  EXPECT_EQ(unbounded.size(), 2);
+  EXPECT_EQ(unbounded.evicted(), 0);
 }
 
 TEST(ResourceMonitorTest, SamplesPeriodically) {
@@ -96,13 +161,14 @@ TEST(MetricsStoreTest, AggregatesPerHandle) {
 
 TEST(CallGraphBuilderTest, BuildsGraphWithAlpha) {
   std::vector<Span> spans;
-  // 10 workflow invocations.
+  // 10 workflow invocations, each a proper trace tree.
   for (int i = 0; i < 10; ++i) {
-    spans.push_back(MakeSpan(kClientCaller, "root"));
-    spans.push_back(MakeSpan("root", "mid"));
+    const int64_t trace = i + 1;
+    spans.push_back(TracedSpan(trace, 1, 0, kClientCaller, "root"));
+    spans.push_back(TracedSpan(trace, 2, 1, "root", "mid"));
     // mid calls leaf 3x per request.
     for (int j = 0; j < 3; ++j) {
-      spans.push_back(MakeSpan("mid", "leaf", /*async=*/true));
+      spans.push_back(TracedSpan(trace, 3 + j, 2, "mid", "leaf", /*async=*/true));
     }
   }
   std::map<std::string, MetricsStore::FunctionUsage> usage;
@@ -134,6 +200,54 @@ TEST(CallGraphBuilderTest, BuildsGraphWithAlpha) {
 TEST(CallGraphBuilderTest, RequiresWorkflowInvocations) {
   std::vector<Span> spans = {MakeSpan("a", "b")};
   EXPECT_FALSE(BuildCallGraphFromTraces(spans, {}, "root").ok());
+}
+
+TEST(CallGraphBuilderTest, ForeignTracesThroughSharedFunctionsDoNotBleed) {
+  // Trace 1 is this workflow: root -> shared. Trace 2 belongs to another
+  // workflow that reaches the *same* shared function and fans further out to
+  // "extra". Without trace grouping, shared->extra aggregates into both
+  // workflows' graphs (it is reachable from root via shared).
+  std::vector<Span> spans;
+  spans.push_back(TracedSpan(1, 1, 0, kClientCaller, "root"));
+  spans.push_back(TracedSpan(1, 2, 1, "root", "shared"));
+  spans.push_back(TracedSpan(2, 1, 0, kClientCaller, "other-root"));
+  spans.push_back(TracedSpan(2, 2, 1, "other-root", "shared"));
+  spans.push_back(TracedSpan(2, 3, 2, "shared", "extra"));
+
+  Result<CallGraph> graph = BuildCallGraphFromTraces(spans, {}, "root");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_nodes(), 2);
+  EXPECT_NE(graph->FindNode("shared"), -1);
+  EXPECT_EQ(graph->FindNode("extra"), -1) << "foreign trace bled into this workflow";
+  EXPECT_EQ(graph->FindNode("other-root"), -1);
+
+  // The other workflow still sees its own full tree.
+  Result<CallGraph> other = BuildCallGraphFromTraces(spans, {}, "other-root");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->num_nodes(), 3);
+  EXPECT_NE(other->FindNode("extra"), -1);
+}
+
+TEST(CallGraphBuilderTest, MajorityAsyncTieBreaksToAsync) {
+  // The edge type is decided by majority vote over occurrences; an exact
+  // 50/50 split counts as async (an edge that is ever async must be joined).
+  EXPECT_FALSE(MajorityAsync(0, 1));
+  EXPECT_FALSE(MajorityAsync(1, 3));
+  EXPECT_TRUE(MajorityAsync(1, 2));  // Tie -> async.
+  EXPECT_TRUE(MajorityAsync(2, 3));
+  EXPECT_TRUE(MajorityAsync(3, 3));
+
+  // End to end: one async + one sync occurrence of the same edge -> kAsync.
+  std::vector<Span> spans;
+  spans.push_back(TracedSpan(1, 1, 0, kClientCaller, "root"));
+  spans.push_back(TracedSpan(1, 2, 1, "root", "leaf", /*async=*/true));
+  spans.push_back(TracedSpan(2, 1, 0, kClientCaller, "root"));
+  spans.push_back(TracedSpan(2, 2, 1, "root", "leaf", /*async=*/false));
+  Result<CallGraph> graph = BuildCallGraphFromTraces(spans, {}, "root");
+  ASSERT_TRUE(graph.ok());
+  const EdgeId edge = graph->FindEdge(graph->FindNode("root"), graph->FindNode("leaf"));
+  ASSERT_NE(edge, -1);
+  EXPECT_EQ(graph->edge(edge).type, CallType::kAsync);
 }
 
 TEST(CallGraphBuilderTest, AlphaIsCeilOfAverage) {

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file emitted by the tracing exporter.
+
+Usage: validate_chrome_trace.py <trace.json>
+
+Checks that the file parses as JSON, holds a non-empty traceEvents array,
+and that every event carries the fields chrome://tracing needs to render it
+(ph/name/ts, plus dur for complete events). Exits non-zero on any violation,
+so CI can gate on it.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <trace.json>", file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        print(f"{path}: top level is not an object", file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"{path}: traceEvents missing or empty", file=sys.stderr)
+        return 1
+
+    for i, event in enumerate(events):
+        for field in ("ph", "name", "ts"):
+            if field not in event:
+                print(f"{path}: event {i} missing '{field}': {event}", file=sys.stderr)
+                return 1
+        if event["ph"] == "X" and "dur" not in event:
+            print(f"{path}: complete event {i} missing 'dur'", file=sys.stderr)
+            return 1
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            print(f"{path}: event {i} has invalid ts {event['ts']}", file=sys.stderr)
+            return 1
+
+    invocations = sum(1 for e in events if e.get("cat") == "invocation")
+    print(f"{path}: ok ({len(events)} events, {invocations} invocation spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
