@@ -64,6 +64,49 @@ inline Status DeployQuiltFullMerge(Env& env, const WorkflowApp& app) {
   return env.controller.DeploySolutionDirect(app, FullMergeSolution(*graph));
 }
 
+// Machine-readable result emitter backing the shared `--json <path>` flag:
+// the bench records its name, configuration and metric rows, and WriteTo
+// dumps one JSON document ({"benchmark", "config", "rows"}) that CI uploads
+// as a BENCH_*.json artifact and downstream tooling can diff across runs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : doc_(Json::MakeObject()) {
+    doc_["benchmark"] = std::move(name);
+    doc_["config"] = Json::MakeObject();
+    doc_["rows"] = Json::MakeArray();
+  }
+
+  void SetConfig(const std::string& key, Json value) {
+    doc_["config"][key] = std::move(value);
+  }
+
+  // One metric row: a flat object, e.g. {"series": "...", "p99_ms": 1.25}.
+  void AddRow(Json row) { doc_["rows"].Append(std::move(row)); }
+
+  // Writes the document. A no-op (Ok) when `path` is empty, so benches can
+  // call it unconditionally.
+  Status WriteTo(const std::string& path) const {
+    if (path.empty()) {
+      return Status::Ok();
+    }
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      return UnavailableError(StrCat("cannot open '", path, "' for writing"));
+    }
+    const std::string text = doc_.Dump();
+    const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    if (written != text.size()) {
+      return UnavailableError(StrCat("short write to '", path, "'"));
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), text.size());
+    return Status::Ok();
+  }
+
+ private:
+  Json doc_;
+};
+
 inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());

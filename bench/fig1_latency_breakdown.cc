@@ -10,6 +10,7 @@
 //   --smoke           short runs (CI); same pipeline, fewer requests.
 //   --export <path>   write one baseline trace as Chrome trace-event JSON
 //                     (chrome://tracing- or Perfetto-loadable).
+//   --json <path>     write machine-readable results (name, config, rows).
 #include <cstring>
 #include <string>
 #include <vector>
@@ -81,7 +82,27 @@ void PrintSegmentRow(const char* name, const SegmentPercentiles& base,
               100.0 * base.share, quilt.mean / 1e6, 100.0 * quilt.share);
 }
 
-bool RunWorkflow(const WorkflowApp& app, bool smoke, const std::string& export_path) {
+Json SummaryRow(const std::string& app, const std::string& series,
+                const WorkflowLatencySummary& s, int64_t exact_traces) {
+  Json row = Json::MakeObject();
+  row["app"] = app;
+  row["series"] = series;
+  row["traces"] = s.traces;
+  row["exact_sum_traces"] = exact_traces;
+  row["e2e_mean_ms"] = s.end_to_end.mean / 1e6;
+  row["e2e_p50_ms"] = static_cast<double>(s.end_to_end.p50) / 1e6;
+  row["e2e_p99_ms"] = static_cast<double>(s.end_to_end.p99) / 1e6;
+  row["network_share"] = s.network.share;
+  row["gateway_share"] = s.gateway.share;
+  row["queueing_share"] = s.queueing.share;
+  row["cold_start_share"] = s.cold_start.share;
+  row["compute_share"] = s.compute.share;
+  row["overhead_share"] = s.overhead_share;
+  return row;
+}
+
+bool RunWorkflow(const WorkflowApp& app, bool smoke, const std::string& export_path,
+                 BenchJson& json) {
   const SimDuration duration = smoke ? Seconds(3) : Seconds(20);
   const SimDuration warmup = smoke ? Seconds(1) : Seconds(5);
 
@@ -128,6 +149,9 @@ bool RunWorkflow(const WorkflowApp& app, bool smoke, const std::string& export_p
   std::printf("  invocation-overhead share: %.1f%% -> %.1f%%\n", 100.0 * b.overhead_share,
               100.0 * q.overhead_share);
 
+  json.AddRow(SummaryRow(app.name, "baseline", b, baseline.exact));
+  json.AddRow(SummaryRow(app.name, "quilt", q, merged.exact));
+
   const bool sums_exact = baseline.traces > 0 && baseline.exact == baseline.traces &&
                           merged.traces > 0 && merged.exact == merged.traces;
   const bool overhead_shrank = q.overhead_share < b.overhead_share;
@@ -150,11 +174,14 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string export_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
       export_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
 
@@ -169,11 +196,20 @@ int main(int argc, char** argv) {
     apps.push_back(SearchHandler());
   }
 
+  BenchJson json("fig1_latency_breakdown");
+  json.SetConfig("smoke", smoke);
+  json.SetConfig("apps", static_cast<int64_t>(apps.size()));
+
   bool ok = true;
   bool first = true;
   for (const WorkflowApp& app : apps) {
-    ok = RunWorkflow(app, smoke, first ? export_path : "") && ok;
+    ok = RunWorkflow(app, smoke, first ? export_path : "", json) && ok;
     first = false;
+  }
+  const Status written = json.WriteTo(json_path);
+  if (!written.ok()) {
+    std::printf("!! --json: %s\n", written.ToString().c_str());
+    ok = false;
   }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,394 @@
+#include "src/autopilot/autopilot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+const char* WorkflowStateName(WorkflowState state) {
+  switch (state) {
+    case WorkflowState::kRegistered:
+      return "registered";
+    case WorkflowState::kProfiling:
+      return "profiling";
+    case WorkflowState::kOptimized:
+      return "optimized";
+    case WorkflowState::kCanarying:
+      return "canarying";
+    case WorkflowState::kMonitoring:
+      return "monitoring";
+    case WorkflowState::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+Autopilot::Autopilot(Simulation* sim, QuiltController* controller, AutopilotOptions options)
+    : sim_(sim), controller_(controller), options_(options) {}
+
+std::vector<Autopilot::DetectorRuntime> Autopilot::BuildDetectors() const {
+  // Fixed order: the safety trip first, then the reoptimize detectors. The
+  // first detector that trips on a tick wins it.
+  std::vector<DetectorRuntime> detectors;
+  detectors.push_back({std::make_unique<OomKillDetector>(options_.oom_kill_threshold), 0, 0});
+  detectors.push_back(
+      {std::make_unique<P99RegressionDetector>(options_.p99_regression_pct), 0, 0});
+  detectors.push_back(
+      {std::make_unique<AlphaDriftDetector>(options_.alpha_drift_threshold), 0, 0});
+  detectors.push_back(
+      {std::make_unique<ColdStartSurgeDetector>(options_.cold_start_share_threshold), 0, 0});
+  return detectors;
+}
+
+void Autopilot::ResetDetectors(Pilot& pilot) {
+  for (DetectorRuntime& rt : pilot.detectors) {
+    rt.consecutive = 0;
+    rt.cooldown_until = 0;
+  }
+}
+
+Status Autopilot::Enroll(const std::string& root_handle) {
+  if (!controller_->HasFunction(root_handle)) {
+    return NotFoundError(StrCat("workflow root '", root_handle, "' not registered"));
+  }
+  if (pilots_.count(root_handle) > 0) {
+    return AlreadyExistsError(StrCat("workflow '", root_handle, "' already enrolled"));
+  }
+  Pilot pilot;
+  pilot.detectors = BuildDetectors();
+  pilots_[root_handle] = std::move(pilot);
+  AdaptationRecord record = MakeRecord(root_handle, WorkflowState::kRegistered,
+                                       WorkflowState::kRegistered, "register");
+  record.reason = "enrolled under autopilot control";
+  Emit(std::move(record));
+  return Status::Ok();
+}
+
+void Autopilot::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  controller_->StartProfiling();
+  sim_->Schedule(options_.tick_interval, [this] { Tick(); });
+}
+
+Result<WorkflowState> Autopilot::StateOf(const std::string& root_handle) const {
+  auto it = pilots_.find(root_handle);
+  if (it == pilots_.end()) {
+    return NotFoundError(StrCat("workflow '", root_handle, "' not enrolled"));
+  }
+  return it->second.state;
+}
+
+AdaptationRecord Autopilot::MakeRecord(const std::string& root, WorkflowState from,
+                                       WorkflowState to, std::string action) const {
+  AdaptationRecord record;
+  record.workflow = root;
+  record.tick = tick_;
+  record.virtual_time = sim_->now();
+  record.from_state = WorkflowStateName(from);
+  record.to_state = WorkflowStateName(to);
+  record.action = std::move(action);
+  return record;
+}
+
+void Autopilot::Emit(AdaptationRecord record) {
+  controller_->metrics_store()->AddAdaptation(std::move(record));
+}
+
+void Autopilot::Tick() {
+  if (!running_) {
+    return;
+  }
+  ++tick_;
+  // One collection serves every workflow: the window that just closed.
+  const std::vector<Trace> traces = controller_->CollectTraces();
+  for (auto& [root, pilot] : pilots_) {
+    Step(root, pilot, traces);
+  }
+  // Roll a fresh profile window for the next tick (Start is idempotent on
+  // the monitor, so this only resets the window origin).
+  controller_->StartProfiling();
+  sim_->Schedule(options_.tick_interval, [this] { Tick(); });
+}
+
+void Autopilot::Step(const std::string& root, Pilot& pilot,
+                     const std::vector<Trace>& traces) {
+  switch (pilot.state) {
+    case WorkflowState::kRegistered: {
+      AdaptationRecord record =
+          MakeRecord(root, WorkflowState::kRegistered, WorkflowState::kProfiling, "profile");
+      record.reason = "profiling started";
+      Emit(std::move(record));
+      pilot.state = WorkflowState::kProfiling;
+      break;
+    }
+    case WorkflowState::kRolledBack: {
+      ResetDetectors(pilot);
+      pilot.baseline_p99 = 0;
+      AdaptationRecord record =
+          MakeRecord(root, WorkflowState::kRolledBack, WorkflowState::kProfiling, "profile");
+      record.reason = "re-profiling after rollback";
+      Emit(std::move(record));
+      pilot.state = WorkflowState::kProfiling;
+      break;
+    }
+    case WorkflowState::kProfiling:
+      StepProfiling(root, pilot, traces);
+      break;
+    case WorkflowState::kCanarying:
+      StepCanarying(root, pilot, traces);
+      break;
+    case WorkflowState::kMonitoring:
+      StepMonitoring(root, pilot, traces);
+      break;
+    case WorkflowState::kOptimized:
+      // Transient within a tick; never persists across ticks.
+      pilot.state = WorkflowState::kProfiling;
+      break;
+  }
+}
+
+void Autopilot::StepProfiling(const std::string& root, Pilot& pilot,
+                              const std::vector<Trace>& traces) {
+  const WorkflowLatencySummary window =
+      SummarizeWorkflowLatency(root, traces, sim_->now(), TraceVersionFilter::kAll);
+  if (window.traces < options_.min_window_traces) {
+    return;  // Quiet window: wait for traffic, never alarm.
+  }
+  AdoptPlan(root, pilot, /*detector=*/"", DetectorVerdict{}, window.traces);
+}
+
+void Autopilot::AdoptPlan(const std::string& root, Pilot& pilot, const std::string& detector,
+                          const DetectorVerdict& verdict, int64_t window_traces) {
+  const WorkflowState from = pilot.state;
+  Result<QuiltController::ProposedPlan> plan = controller_->ProposePlan(root);
+  if (!plan.ok()) {
+    return;  // Transient (e.g. the window went quiet mid-probe): hold.
+  }
+  if (!plan->changed) {
+    if (!detector.empty()) {
+      // A detector tripped but the re-decision stands by the live plan:
+      // record the hold so the trip is visible, then let the cooldown damp it.
+      AdaptationRecord record = MakeRecord(root, from, from, "hold");
+      record.detector = detector;
+      record.metric = verdict.metric;
+      record.threshold = verdict.threshold;
+      record.window_traces = window_traces;
+      record.reason = "re-decision confirms the live plan";
+      Emit(std::move(record));
+    }
+    return;
+  }
+  if (plan->merged_groups == 0) {
+    // The optimum for the new profile is the unmerged baseline: a canary
+    // cannot express "merge nothing", so revert directly.
+    if (!controller_->RollbackDeployment(root).ok()) {
+      return;
+    }
+    AdaptationRecord record = MakeRecord(root, from, WorkflowState::kRolledBack, "rollback");
+    record.detector = detector;
+    record.metric = verdict.metric;
+    record.threshold = verdict.threshold;
+    record.window_traces = window_traces;
+    record.reason = detector.empty() ? "re-decision prefers the unmerged baseline"
+                                     : StrCat(verdict.reason, "; baseline is optimal");
+    Emit(std::move(record));
+    pilot.state = WorkflowState::kRolledBack;
+    return;
+  }
+  if (!controller_->StageCanaryPlan(root, *plan, options_.canary_fraction).ok()) {
+    return;
+  }
+  AdaptationRecord decided = MakeRecord(root, from, WorkflowState::kOptimized, "decide");
+  decided.detector = detector;
+  decided.metric = verdict.metric;
+  decided.threshold = verdict.threshold;
+  decided.window_traces = window_traces;
+  decided.reason = detector.empty()
+                       ? StrCat("profile window complete (", window_traces, " traces)")
+                       : verdict.reason;
+  Emit(std::move(decided));
+  AdaptationRecord staged =
+      MakeRecord(root, WorkflowState::kOptimized, WorkflowState::kCanarying, "stage-canary");
+  staged.detector = detector;
+  staged.window_traces = window_traces;
+  staged.reason = StrCat(plan->merged_groups, " merged group(s) staged at ",
+                         FormatDouble(100.0 * options_.canary_fraction, 0), "% traffic");
+  Emit(std::move(staged));
+  pilot.state = WorkflowState::kCanarying;
+  pilot.canary_ticks = 0;
+}
+
+void Autopilot::StepCanarying(const std::string& root, Pilot& pilot,
+                              const std::vector<Trace>& traces) {
+  ++pilot.canary_ticks;
+  const WorkflowLatencySummary control =
+      SummarizeWorkflowLatency(root, traces, sim_->now(), TraceVersionFilter::kControl);
+  const WorkflowLatencySummary canary =
+      SummarizeWorkflowLatency(root, traces, sim_->now(), TraceVersionFilter::kCanary);
+
+  // A canary container exceeding its memory limit is an immediate fail: the
+  // plan's memory model is wrong, more traffic will not fix it.
+  int64_t canary_ooms = 0;
+  for (const std::string& handle : controller_->StagedCanaryRoots(root)) {
+    const DeploymentStats* stats = controller_->platform()->CanaryStats(handle);
+    if (stats != nullptr) {
+      canary_ooms += stats->oom_kills;
+    }
+  }
+
+  bool promote = false;
+  AdaptationRecord record;
+  if (canary_ooms > 0) {
+    record.metric = static_cast<double>(canary_ooms);
+    record.threshold = 0.0;
+    record.reason = StrCat("canary containers OOM-killed ", canary_ooms, " time(s)");
+  } else if (control.traces >= options_.canary_min_traces &&
+             canary.traces >= options_.canary_min_traces) {
+    const double p99_ratio = control.end_to_end.p99 > 0
+                                 ? static_cast<double>(canary.end_to_end.p99) /
+                                       static_cast<double>(control.end_to_end.p99)
+                                 : 1.0;
+    const double control_failures =
+        static_cast<double>(control.traces - control.ok_traces) /
+        static_cast<double>(control.traces);
+    const double canary_failures =
+        static_cast<double>(canary.traces - canary.ok_traces) /
+        static_cast<double>(canary.traces);
+    record.metric = p99_ratio;
+    record.threshold = 1.0 + options_.canary_p99_tolerance;
+    promote = p99_ratio <= 1.0 + options_.canary_p99_tolerance &&
+              canary_failures <= control_failures + options_.canary_failure_tolerance;
+    record.reason = StrCat("canary p99/control p99 = ", FormatDouble(p99_ratio, 3),
+                           ", failure rates ", FormatDouble(canary_failures, 3), " vs ",
+                           FormatDouble(control_failures, 3), " over ", canary.traces, "/",
+                           control.traces, " traces");
+  } else if (pilot.canary_ticks >= options_.canary_max_ticks) {
+    record.metric = static_cast<double>(std::min(control.traces, canary.traces));
+    record.threshold = static_cast<double>(options_.canary_min_traces);
+    record.reason = StrCat("guard window expired with ", canary.traces, " canary / ",
+                           control.traces, " control traces");
+  } else {
+    return;  // Extend the guard window: not enough evidence either way yet.
+  }
+
+  record.workflow = root;
+  record.tick = tick_;
+  record.virtual_time = sim_->now();
+  record.from_state = WorkflowStateName(WorkflowState::kCanarying);
+  record.detector = "canary-analyzer";
+  record.window_traces = control.traces + canary.traces;
+  if (promote && controller_->PromoteCanaryPlan(root).ok()) {
+    pilot.baseline_p99 = canary.end_to_end.p99;
+    ResetDetectors(pilot);
+    record.to_state = WorkflowStateName(WorkflowState::kMonitoring);
+    record.action = "promote";
+    Emit(std::move(record));
+    pilot.state = WorkflowState::kMonitoring;
+    return;
+  }
+  (void)controller_->AbortCanaryPlan(root);
+  // With a previous merge still live the workflow returns to monitoring it;
+  // otherwise the baseline keeps serving and profiling resumes.
+  const WorkflowState next = controller_->HasMergedDeployment(root)
+                                 ? WorkflowState::kMonitoring
+                                 : WorkflowState::kProfiling;
+  record.to_state = WorkflowStateName(next);
+  record.action = "abort-canary";
+  Emit(std::move(record));
+  pilot.state = next;
+}
+
+void Autopilot::StepMonitoring(const std::string& root, Pilot& pilot,
+                               const std::vector<Trace>& traces) {
+  const WorkflowLatencySummary window =
+      SummarizeWorkflowLatency(root, traces, sim_->now(), TraceVersionFilter::kAll);
+  DetectorSignals signals;
+  // Quiet windows blind the trace-based detectors (they hold); the OOM
+  // counter is platform state and stays authoritative regardless.
+  signals.window = window.traces >= options_.min_window_traces ? &window : nullptr;
+  signals.baseline_p99 = pilot.baseline_p99;
+  signals.oom_kills_since_deploy = controller_->OomKillsSinceDeploy(root);
+  signals.alpha_drift =
+      signals.window != nullptr ? ComputeAlphaDrift(root, traces) : 0.0;
+
+  for (DetectorRuntime& rt : pilot.detectors) {
+    const DetectorVerdict verdict = rt.detector->Evaluate(signals);
+    if (rt.detector->action() == AdaptationAction::kRollback) {
+      // Safety trip: no hysteresis, no cooldown -- act on first fire.
+      if (!verdict.fired || !controller_->RollbackDeployment(root).ok()) {
+        continue;
+      }
+      AdaptationRecord record =
+          MakeRecord(root, WorkflowState::kMonitoring, WorkflowState::kRolledBack, "rollback");
+      record.detector = rt.detector->name();
+      record.metric = verdict.metric;
+      record.threshold = verdict.threshold;
+      record.window_traces = window.traces;
+      record.reason = verdict.reason;
+      Emit(std::move(record));
+      pilot.state = WorkflowState::kRolledBack;
+      return;
+    }
+    if (tick_ < rt.cooldown_until) {
+      continue;  // Recently tripped: stay quiet while the fix settles.
+    }
+    if (!verdict.fired) {
+      rt.consecutive = 0;
+      continue;
+    }
+    if (++rt.consecutive < options_.hysteresis_windows) {
+      continue;  // Hysteresis: one noisy window must not flap the deployment.
+    }
+    rt.consecutive = 0;
+    rt.cooldown_until = tick_ + options_.detector_cooldown_ticks;
+    AdoptPlan(root, pilot, rt.detector->name(), verdict, window.traces);
+    return;  // At most one adaptation per workflow per tick.
+  }
+}
+
+double Autopilot::ComputeAlphaDrift(const std::string& root,
+                                    const std::vector<Trace>& traces) const {
+  const std::vector<QuiltController::InternalEdge> edges =
+      controller_->DeployedInternalEdges(root);
+  if (edges.empty()) {
+    return 0.0;
+  }
+  int64_t requests = 0;
+  std::map<std::pair<std::string, std::string>, int64_t> observed;
+  for (const Trace& trace : traces) {
+    if (!trace.complete() || trace.workflow() != root) {
+      continue;
+    }
+    ++requests;
+    for (const Span& span : trace.spans) {
+      if (span.caller == kClientCaller) {
+        continue;
+      }
+      ++observed[{span.caller, span.callee}];
+    }
+  }
+  if (requests == 0) {
+    return 0.0;
+  }
+  double max_ratio = 0.0;
+  for (const QuiltController::InternalEdge& edge : edges) {
+    // With conditional invocations, calls within the budget run locally and
+    // are invisible to the ingress: any observed caller->callee span on a
+    // localized edge is an over-budget fallback.
+    auto it = observed.find({edge.caller, edge.callee});
+    if (it == observed.end()) {
+      continue;
+    }
+    const double fallback_alpha =
+        static_cast<double>(it->second) / static_cast<double>(requests);
+    max_ratio = std::max(max_ratio, fallback_alpha / std::max(1, edge.budget));
+  }
+  return max_ratio;
+}
+
+}  // namespace quilt

@@ -1,0 +1,142 @@
+// Autopilot: the closed-loop adaptation control plane (§4.9).
+//
+// Runs on the simulation clock next to the QuiltController and owns each
+// enrolled workflow's lifecycle end to end: it rolls profile windows,
+// decides when enough evidence has accumulated to merge, stages every new
+// plan as a weighted canary instead of an atomic swap, promotes or aborts
+// the canary from a per-version SLO comparison, and keeps watching the
+// promoted plan with pluggable drift/SLO detectors -- rolling back with no
+// operator in the loop when a merge misbehaves.
+//
+//   Registered -> Profiling -> Optimized -> Canarying -> Monitoring
+//                     ^                         |            |
+//                     +------- RolledBack <-----+------------+
+//
+// The controller owns every mechanism (ProposePlan / StageCanaryPlan /
+// PromoteCanaryPlan / AbortCanaryPlan / RollbackDeployment); the autopilot
+// is pure policy, so every action it takes is also available manually.
+// Every decision, promotion and rollback is recorded as an AdaptationRecord
+// in the MetricsStore. Records carry no wall-clock fields: the serialized
+// record sequence of a run is byte-identical across repeats at the same
+// seed and across decision-thread counts.
+#ifndef SRC_AUTOPILOT_AUTOPILOT_H_
+#define SRC_AUTOPILOT_AUTOPILOT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/autopilot/detectors.h"
+#include "src/common/adaptation_record.h"
+#include "src/core/quilt_controller.h"
+
+namespace quilt {
+
+// Lifecycle state of one workflow under autopilot control.
+enum class WorkflowState {
+  kRegistered = 0,  // Enrolled; the first control tick starts profiling.
+  kProfiling,       // Accumulating profile windows until one has enough traces.
+  kOptimized,       // Transient: a changed plan was decided this tick.
+  kCanarying,       // Two-version guard window running at the group roots.
+  kMonitoring,      // Plan promoted; detectors watch for drift/regression.
+  kRolledBack,      // Reverted to baseline; re-profiles on the next tick.
+};
+
+const char* WorkflowStateName(WorkflowState state);
+
+struct AutopilotOptions {
+  // Control tick = profile window length. Every tick closes the current
+  // window, evaluates each enrolled workflow against it, then rolls a fresh
+  // window.
+  SimDuration tick_interval = Seconds(5);
+  // Windows with fewer complete traces are "quiet": trace-based detectors
+  // hold (the typed kUnavailable summary status, not an alarm) and no merge
+  // decision is attempted.
+  int64_t min_window_traces = 20;
+
+  // --- Canary guard window.
+  double canary_fraction = 0.2;       // Traffic share the staged version gets.
+  int64_t canary_min_traces = 20;     // Per arm before the verdict is called.
+  int64_t canary_max_ticks = 4;       // Guard bound; abort when still starved.
+  double canary_p99_tolerance = 0.10;     // Canary p99 may exceed control by this.
+  double canary_failure_tolerance = 0.02; // Allowed canary failure-rate excess.
+
+  // --- Detector thresholds (§4.9). Reoptimize detectors carry hysteresis:
+  // they must fire on `hysteresis_windows` consecutive windows to trip, and
+  // a tripped detector stays quiet for `detector_cooldown_ticks`. The OOM
+  // detector is a safety trip: it rolls back on first fire, no hysteresis.
+  int hysteresis_windows = 2;
+  int64_t detector_cooldown_ticks = 2;
+  int64_t oom_kill_threshold = 1;     // OOM kills since deploy that trip.
+  double p99_regression_pct = 0.5;    // Window p99 vs promote-time baseline.
+  double alpha_drift_threshold = 0.25;  // Fallback/budget ratio on local edges.
+  double cold_start_share_threshold = 0.5;  // Cold-start share of e2e.
+};
+
+class Autopilot {
+ public:
+  Autopilot(Simulation* sim, QuiltController* controller, AutopilotOptions options = {});
+
+  // Enrolls a registered workflow root under autopilot control.
+  Status Enroll(const std::string& root_handle);
+
+  // Starts the control loop: profiling on, ticks scheduled. Idempotent.
+  void Start();
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+  int64_t ticks() const { return tick_; }
+
+  Result<WorkflowState> StateOf(const std::string& root_handle) const;
+  const AutopilotOptions& options() const { return options_; }
+
+ private:
+  // A detector plus its hysteresis/cooldown state for one workflow.
+  struct DetectorRuntime {
+    std::unique_ptr<Detector> detector;
+    int consecutive = 0;          // Consecutive windows the detector fired.
+    int64_t cooldown_until = 0;   // Tick before which it may not trip again.
+  };
+  struct Pilot {
+    WorkflowState state = WorkflowState::kRegistered;
+    std::vector<DetectorRuntime> detectors;
+    SimDuration baseline_p99 = 0;  // Promoted plan's p99 at promote time.
+    int64_t canary_ticks = 0;      // Ticks the current guard window has run.
+  };
+
+  void Tick();
+  void Step(const std::string& root, Pilot& pilot, const std::vector<Trace>& traces);
+  void StepProfiling(const std::string& root, Pilot& pilot, const std::vector<Trace>& traces);
+  void StepCanarying(const std::string& root, Pilot& pilot, const std::vector<Trace>& traces);
+  void StepMonitoring(const std::string& root, Pilot& pilot, const std::vector<Trace>& traces);
+
+  // Proposes a plan for the current window and either stages it as a canary
+  // (-> kCanarying), rolls back when the decision prefers the unmerged
+  // baseline (-> kRolledBack), or holds. `detector`/`verdict` tag the
+  // records when a detector trip drove the re-decision.
+  void AdoptPlan(const std::string& root, Pilot& pilot, const std::string& detector,
+                 const DetectorVerdict& verdict, int64_t window_traces);
+
+  // Max observed fallback-to-budget ratio across the live merge's localized
+  // edges in this window's traces.
+  double ComputeAlphaDrift(const std::string& root, const std::vector<Trace>& traces) const;
+
+  void ResetDetectors(Pilot& pilot);
+  std::vector<DetectorRuntime> BuildDetectors() const;
+
+  AdaptationRecord MakeRecord(const std::string& root, WorkflowState from, WorkflowState to,
+                              std::string action) const;
+  void Emit(AdaptationRecord record);
+
+  Simulation* sim_;
+  QuiltController* controller_;
+  AutopilotOptions options_;
+  bool running_ = false;
+  int64_t tick_ = 0;
+  // Keyed by root handle: map order is the deterministic evaluation order.
+  std::map<std::string, Pilot> pilots_;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_AUTOPILOT_AUTOPILOT_H_

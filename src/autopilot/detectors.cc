@@ -1,0 +1,79 @@
+#include "src/autopilot/detectors.h"
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+const char* AdaptationActionName(AdaptationAction action) {
+  switch (action) {
+    case AdaptationAction::kReoptimize:
+      return "reoptimize";
+    case AdaptationAction::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
+DetectorVerdict OomKillDetector::Evaluate(const DetectorSignals& signals) const {
+  DetectorVerdict verdict;
+  verdict.metric = static_cast<double>(signals.oom_kills_since_deploy);
+  verdict.threshold = static_cast<double>(threshold_);
+  if (signals.oom_kills_since_deploy >= threshold_) {
+    verdict.fired = true;
+    verdict.reason = StrCat("merged containers OOM-killed ", signals.oom_kills_since_deploy,
+                            " time(s) since deploy");
+  }
+  return verdict;
+}
+
+DetectorVerdict P99RegressionDetector::Evaluate(const DetectorSignals& signals) const {
+  DetectorVerdict verdict;
+  verdict.threshold = regression_pct_;
+  if (signals.window == nullptr || signals.baseline_p99 <= 0 ||
+      signals.window->end_to_end.p99 <= 0) {
+    return verdict;  // No data: hold.
+  }
+  verdict.metric = static_cast<double>(signals.window->end_to_end.p99) /
+                       static_cast<double>(signals.baseline_p99) -
+                   1.0;
+  if (verdict.metric > regression_pct_) {
+    verdict.fired = true;
+    verdict.reason = StrCat("window p99 ", signals.window->end_to_end.p99, "ns is ",
+                            FormatDouble(100.0 * verdict.metric, 1),
+                            "% over the deploy-time baseline ", signals.baseline_p99, "ns");
+  }
+  return verdict;
+}
+
+DetectorVerdict AlphaDriftDetector::Evaluate(const DetectorSignals& signals) const {
+  DetectorVerdict verdict;
+  verdict.metric = signals.alpha_drift;
+  verdict.threshold = ratio_threshold_;
+  if (signals.window == nullptr) {
+    return verdict;  // Fallback counts come from traces: hold on quiet windows.
+  }
+  if (signals.alpha_drift >= ratio_threshold_) {
+    verdict.fired = true;
+    verdict.reason = StrCat("observed fallback invocations reach ",
+                            FormatDouble(100.0 * signals.alpha_drift, 1),
+                            "% of a localized edge's budget");
+  }
+  return verdict;
+}
+
+DetectorVerdict ColdStartSurgeDetector::Evaluate(const DetectorSignals& signals) const {
+  DetectorVerdict verdict;
+  verdict.threshold = share_threshold_;
+  if (signals.window == nullptr) {
+    return verdict;
+  }
+  verdict.metric = signals.window->cold_start.share;
+  if (verdict.metric > share_threshold_) {
+    verdict.fired = true;
+    verdict.reason = StrCat("cold starts take ", FormatDouble(100.0 * verdict.metric, 1),
+                            "% of end-to-end latency this window");
+  }
+  return verdict;
+}
+
+}  // namespace quilt

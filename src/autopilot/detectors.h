@@ -1,0 +1,112 @@
+// Drift and SLO detectors for the autopilot control loop (§4.9).
+//
+// A detector looks at one profile window's signals for one workflow and
+// votes: is the live deployment still the right one? Detectors are pure --
+// hysteresis (N consecutive firing windows) and cooldowns live in the
+// autopilot, so a detector can be unit-tested from a hand-built snapshot.
+#ifndef SRC_AUTOPILOT_DETECTORS_H_
+#define SRC_AUTOPILOT_DETECTORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tracing/resource_monitor.h"
+
+namespace quilt {
+
+// What a tripped detector asks the autopilot to do.
+enum class AdaptationAction {
+  kReoptimize,  // Re-run the decision; canary the new plan if it changed.
+  kRollback,    // Safety trip: revert to the unmerged baseline now.
+};
+
+const char* AdaptationActionName(AdaptationAction action);
+
+// The signals one control tick hands every detector, all derived from the
+// window that just closed. Everything here is a deterministic function of
+// the simulated run.
+struct DetectorSignals {
+  // Latency summary of the window (nullptr when the window held no complete
+  // trace -- trace-based detectors must hold, not alarm).
+  const WorkflowLatencySummary* window = nullptr;
+  // p99 end-to-end of the deployed version, recorded when it was promoted
+  // (0 when nothing was promoted yet).
+  SimDuration baseline_p99 = 0;
+  // OOM kills across the live merge's group roots since deployment.
+  int64_t oom_kills_since_deploy = 0;
+  // Max observed fallback-to-budget ratio across the live merge's localized
+  // edges this window (0 when no merge is live or no fallback was seen).
+  double alpha_drift = 0.0;
+};
+
+struct DetectorVerdict {
+  bool fired = false;
+  double metric = 0.0;     // The value the detector measured.
+  double threshold = 0.0;  // What it was compared against.
+  std::string reason;      // Filled when fired.
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual const char* name() const = 0;
+  virtual AdaptationAction action() const = 0;
+  virtual DetectorVerdict Evaluate(const DetectorSignals& signals) const = 0;
+};
+
+// Merged containers getting OOM-killed: the profile under-estimated memory.
+// This is the one detector that trips a direct rollback (§8) -- a canary of
+// a new plan would keep the misbehaving version serving meanwhile.
+class OomKillDetector : public Detector {
+ public:
+  explicit OomKillDetector(int64_t threshold) : threshold_(threshold) {}
+  const char* name() const override { return "oom-kill"; }
+  AdaptationAction action() const override { return AdaptationAction::kRollback; }
+  DetectorVerdict Evaluate(const DetectorSignals& signals) const override;
+
+ private:
+  int64_t threshold_;  // Kills since deploy that trip.
+};
+
+// Window p99 regressed against the promoted plan's deploy-time baseline.
+class P99RegressionDetector : public Detector {
+ public:
+  explicit P99RegressionDetector(double regression_pct) : regression_pct_(regression_pct) {}
+  const char* name() const override { return "p99-regression"; }
+  AdaptationAction action() const override { return AdaptationAction::kReoptimize; }
+  DetectorVerdict Evaluate(const DetectorSignals& signals) const override;
+
+ private:
+  double regression_pct_;  // Fire when p99 > baseline * (1 + pct).
+};
+
+// Observed conditional-invocation fallbacks exceed the deployed budgets:
+// the workload's call frequencies drifted from the profiled alphas.
+class AlphaDriftDetector : public Detector {
+ public:
+  explicit AlphaDriftDetector(double ratio_threshold) : ratio_threshold_(ratio_threshold) {}
+  const char* name() const override { return "alpha-drift"; }
+  AdaptationAction action() const override { return AdaptationAction::kReoptimize; }
+  DetectorVerdict Evaluate(const DetectorSignals& signals) const override;
+
+ private:
+  double ratio_threshold_;  // Fire when fallback/budget reaches this.
+};
+
+// Cold starts dominating the window: scale or grouping no longer matches
+// the arrival pattern.
+class ColdStartSurgeDetector : public Detector {
+ public:
+  explicit ColdStartSurgeDetector(double share_threshold) : share_threshold_(share_threshold) {}
+  const char* name() const override { return "cold-start-surge"; }
+  AdaptationAction action() const override { return AdaptationAction::kReoptimize; }
+  DetectorVerdict Evaluate(const DetectorSignals& signals) const override;
+
+ private:
+  double share_threshold_;  // Fire when cold-start share of e2e exceeds this.
+};
+
+}  // namespace quilt
+
+#endif  // SRC_AUTOPILOT_DETECTORS_H_

@@ -1,0 +1,48 @@
+// Telemetry for one autopilot adaptation event (§4.9): a state transition,
+// canary verdict, redeploy or rollback the control loop performed for a
+// workflow. Shared vocabulary between the autopilot (policy layer), the
+// controller (mechanism layer) and the metrics store (tracing layer) — a
+// flat struct, like DecisionRecord, so every layer can speak it.
+//
+// Determinism contract: records carry NO wall-clock fields. Everything in a
+// record is a pure function of (workloads, seeds, plan), so the serialized
+// record sequence of a run is byte-identical across repeats and across
+// decision-thread counts — the property fig_autopilot_adaptation asserts.
+#ifndef SRC_COMMON_ADAPTATION_RECORD_H_
+#define SRC_COMMON_ADAPTATION_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+struct AdaptationRecord {
+  std::string workflow;      // Workflow root handle.
+  int64_t tick = 0;          // Autopilot control tick the event fired on.
+  int64_t virtual_time = 0;  // SimTime at emission (virtual ns, not wall).
+  std::string from_state;    // Lifecycle state before the event.
+  std::string to_state;      // ... and after.
+  // What the autopilot did: "register" | "profile" | "decide" |
+  // "stage-canary" | "promote" | "abort-canary" | "rollback" | "hold".
+  std::string action;
+  std::string detector;  // Detector that triggered it ("" = lifecycle step).
+  std::string reason;    // Human-readable cause.
+  double metric = 0.0;     // Detector metric value at the trigger.
+  double threshold = 0.0;  // The configured threshold it was compared to.
+  int64_t window_traces = 0;  // Complete traces in the evaluated window.
+};
+
+// Canonical one-line serialization, used for determinism comparison and the
+// bench's --json emitter. Field order and float precision are fixed.
+inline std::string AdaptationRecordLine(const AdaptationRecord& r) {
+  return StrCat(r.workflow, " tick=", r.tick, " t=", r.virtual_time, " ", r.from_state, "->",
+                r.to_state, " action=", r.action, " detector=", r.detector.empty() ? "-" : r.detector,
+                " metric=", FormatDouble(r.metric, 4), " threshold=", FormatDouble(r.threshold, 4),
+                " traces=", r.window_traces, " reason=", r.reason);
+}
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_ADAPTATION_RECORD_H_

@@ -210,12 +210,18 @@ std::vector<Trace> QuiltController::CollectTraces() {
 }
 
 Result<WorkflowLatencySummary> QuiltController::SummarizeWorkflowLatency(
-    const std::string& root_handle) {
+    const std::string& root_handle, TraceVersionFilter filter) {
+  if (app_of_handle_.count(root_handle) == 0) {
+    return NotFoundError(StrCat("workflow root '", root_handle, "' not registered"));
+  }
   WorkflowLatencySummary summary =
-      quilt::SummarizeWorkflowLatency(root_handle, CollectTraces(), sim_->now());
+      quilt::SummarizeWorkflowLatency(root_handle, CollectTraces(), sim_->now(), filter);
   if (summary.traces == 0) {
-    return FailedPreconditionError(StrCat("no complete traces of workflow '", root_handle,
-                                          "' in the profile window"));
+    // Typed as transient: an empty window means "wait for traffic", not an
+    // operator error. The autopilot holds instead of alarming on this.
+    return UnavailableError(StrCat("no complete ", TraceVersionFilterName(filter),
+                                   " traces of workflow '", root_handle,
+                                   "' in the profile window"));
   }
   metrics_store_.AddWorkflowLatency(summary);
   return summary;
@@ -285,6 +291,12 @@ Status QuiltController::DeployMerged(const CallGraph& graph, const MergeSolution
   }
 
   // Record what is live so the merge monitor can detect drift/misbehavior.
+  RecordDeployed(graph, solution, workflow_root);
+  return Status::Ok();
+}
+
+void QuiltController::RecordDeployed(const CallGraph& graph, const MergeSolution& solution,
+                                     const std::string& workflow_root) {
   DeployedState state;
   state.signature = SolutionSignature(graph, solution);
   state.graph = graph;
@@ -298,7 +310,6 @@ Status QuiltController::DeployMerged(const CallGraph& graph, const MergeSolution
     state.oom_baseline[group_root] = stats != nullptr ? stats->oom_kills : 0;
   }
   deployed_[workflow_root] = std::move(state);
-  return Status::Ok();
 }
 
 Result<MergeSolution> QuiltController::OptimizeWorkflow(const std::string& root_handle) {
@@ -363,6 +374,13 @@ Result<QuiltController::ReconsiderReport> QuiltController::ReconsiderWorkflow(
     return FailedPreconditionError(
         StrCat("workflow '", root_handle, "' has no merged deployment to reconsider"));
   }
+  if (pending_canary_.count(root_handle) > 0) {
+    // A guard window is running: the autopilot will promote or abort the
+    // staged plan; re-deciding underneath it would race both versions.
+    return FailedPreconditionError(
+        StrCat("workflow '", root_handle, "' has a canary in flight; reconsider after the "
+               "guard window resolves"));
+  }
   ReconsiderReport report;
 
   // 1. Misbehavior: merged containers being OOM-killed means the profile
@@ -387,6 +405,12 @@ Result<QuiltController::ReconsiderReport> QuiltController::ReconsiderWorkflow(
   //    and conditional-invocation fallbacks), then re-run the decision.
   Result<CallGraph> graph = UpdatedGraphFromObservations(deployed_it->second, root_handle);
   if (!graph.ok()) {
+    if (graph.status().code() == StatusCode::kUnavailable) {
+      // An empty profile window is not drift (and not misbehavior): there is
+      // nothing fresh to learn from, so the deployed merge stands.
+      report.reason = "profile window holds no fresh traces; keeping the current merge";
+      return report;
+    }
     return graph.status();
   }
   Result<MergeSolution> solution = DecideWithTrigger(*graph, "reconsider");
@@ -466,6 +490,217 @@ Result<CallGraph> QuiltController::UpdatedGraphFromObservations(
   return updated;
 }
 
+Result<QuiltController::ProposedPlan> QuiltController::ProposePlan(
+    const std::string& root_handle) {
+  if (app_of_handle_.count(root_handle) == 0) {
+    return NotFoundError(StrCat("workflow root '", root_handle, "' not registered"));
+  }
+  auto deployed_it = deployed_.find(root_handle);
+  Result<CallGraph> graph =
+      deployed_it != deployed_.end()
+          ? UpdatedGraphFromObservations(deployed_it->second, root_handle)
+          : BuildCallGraph(root_handle);
+  if (!graph.ok()) {
+    return graph.status();
+  }
+  Result<MergeSolution> solution = DecideWithTrigger(*graph, "autopilot");
+  if (!solution.ok()) {
+    return solution.status();
+  }
+
+  ProposedPlan plan;
+  plan.graph = std::move(graph).value();
+  plan.solution = std::move(solution).value();
+  plan.signature = SolutionSignature(plan.graph, plan.solution);
+  for (const MergeGroup& group : plan.solution.groups) {
+    if (group.members.size() >= 2) {
+      ++plan.merged_groups;
+    }
+  }
+  // A plan "changes" the deployment when its signature differs from the live
+  // merge -- or, with nothing merged yet, when it merges anything at all.
+  plan.changed = deployed_it != deployed_.end()
+                     ? plan.signature != deployed_it->second.signature
+                     : plan.merged_groups > 0;
+  if (plan.changed && plan.merged_groups > 0) {
+    Result<std::vector<MergedArtifact>> artifacts =
+        Merge(plan.graph, plan.solution, root_handle);
+    if (!artifacts.ok()) {
+      return artifacts.status();
+    }
+    plan.artifacts = std::move(artifacts).value();
+  }
+  return plan;
+}
+
+Status QuiltController::StageCanaryPlan(const std::string& root_handle,
+                                        const ProposedPlan& plan, double fraction) {
+  const WorkflowApp* app = AppForHandle(root_handle);
+  if (app == nullptr) {
+    return NotFoundError(StrCat("workflow root '", root_handle, "' not registered"));
+  }
+  if (pending_canary_.count(root_handle) > 0) {
+    return AlreadyExistsError(
+        StrCat("workflow '", root_handle, "' already has a canary in flight"));
+  }
+  if (!plan.changed) {
+    return FailedPreconditionError("plan does not change the deployment; nothing to stage");
+  }
+  if (plan.merged_groups == 0) {
+    return FailedPreconditionError(
+        "plan has no merged groups; promote would be a rollback (use RollbackDeployment)");
+  }
+  if (plan.artifacts.size() != plan.solution.groups.size()) {
+    return InvalidArgumentError("plan artifact count does not match group count");
+  }
+
+  PendingCanary pending;
+  pending.plan = plan;
+  for (size_t i = 0; i < plan.artifacts.size(); ++i) {
+    const MergedArtifact& artifact = plan.artifacts[i];
+    if (artifact.IsSingleFunction()) {
+      continue;  // Unmerged group: the live deployment already serves it.
+    }
+    Result<DeploymentSpec> spec =
+        MergedSpec(*app, plan.graph, plan.solution.groups[i], artifact);
+    if (!spec.ok()) {
+      // Unwind canaries staged so far: staging is all-or-nothing.
+      for (const std::string& staged : pending.staged_roots) {
+        (void)platform_->AbortCanary(staged);
+      }
+      return spec.status();
+    }
+    // One warm container so the canary's first requests measure the new
+    // version, not its cold start.
+    spec->warm_containers = std::max(spec->warm_containers, 1);
+    const std::string handle = spec->handle;
+    Status staged = platform_->StageCanary(std::move(spec).value(), fraction);
+    if (!staged.ok()) {
+      for (const std::string& prior : pending.staged_roots) {
+        (void)platform_->AbortCanary(prior);
+      }
+      return staged;
+    }
+    pending.staged_roots.push_back(handle);
+  }
+  pending_canary_[root_handle] = std::move(pending);
+  return Status::Ok();
+}
+
+Status QuiltController::PromoteCanaryPlan(const std::string& root_handle) {
+  auto it = pending_canary_.find(root_handle);
+  if (it == pending_canary_.end()) {
+    return FailedPreconditionError(
+        StrCat("workflow '", root_handle, "' has no canary in flight"));
+  }
+  const WorkflowApp* app = AppForHandle(root_handle);
+  if (app == nullptr) {
+    return NotFoundError(StrCat("workflow root '", root_handle, "' not registered"));
+  }
+  for (const std::string& staged : it->second.staged_roots) {
+    QUILT_RETURN_IF_ERROR(platform_->PromoteCanary(staged));
+  }
+  // Formerly-merged group roots the new plan no longer merges revert to
+  // their original single-function image.
+  auto deployed_it = deployed_.find(root_handle);
+  if (deployed_it != deployed_.end()) {
+    for (const auto& [group_root, baseline] : deployed_it->second.oom_baseline) {
+      if (std::find(it->second.staged_roots.begin(), it->second.staged_roots.end(),
+                    group_root) != it->second.staged_roots.end()) {
+        continue;
+      }
+      Result<DeploymentSpec> spec = BaselineSpec(*app, group_root);
+      if (!spec.ok()) {
+        return spec.status();
+      }
+      QUILT_RETURN_IF_ERROR(platform_->UpdateFunction(std::move(spec).value()));
+    }
+  }
+  RecordDeployed(it->second.plan.graph, it->second.plan.solution, root_handle);
+  pending_canary_.erase(it);
+  return Status::Ok();
+}
+
+Status QuiltController::AbortCanaryPlan(const std::string& root_handle) {
+  auto it = pending_canary_.find(root_handle);
+  if (it == pending_canary_.end()) {
+    return FailedPreconditionError(
+        StrCat("workflow '", root_handle, "' has no canary in flight"));
+  }
+  for (const std::string& staged : it->second.staged_roots) {
+    // A root whose canary already died with its deployment is fine to skip.
+    if (platform_->HasCanary(staged)) {
+      QUILT_RETURN_IF_ERROR(platform_->AbortCanary(staged));
+    }
+  }
+  pending_canary_.erase(it);
+  // Canary OOM kills were charged to the deployment's overall counters too:
+  // refresh the live plan's baselines so the aborted canary's misbehavior is
+  // not held against the version that keeps serving.
+  auto deployed_it = deployed_.find(root_handle);
+  if (deployed_it != deployed_.end()) {
+    for (auto& [group_root, baseline] : deployed_it->second.oom_baseline) {
+      const DeploymentStats* stats = platform_->StatsFor(group_root);
+      if (stats != nullptr) {
+        baseline = stats->oom_kills;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> QuiltController::StagedCanaryRoots(
+    const std::string& root_handle) const {
+  auto it = pending_canary_.find(root_handle);
+  return it != pending_canary_.end() ? it->second.staged_roots : std::vector<std::string>{};
+}
+
+std::vector<QuiltController::InternalEdge> QuiltController::DeployedInternalEdges(
+    const std::string& root_handle) const {
+  std::vector<InternalEdge> edges;
+  auto it = deployed_.find(root_handle);
+  if (it == deployed_.end()) {
+    return edges;
+  }
+  const CallGraph& graph = it->second.graph;
+  for (const MergeGroup& group : it->second.solution.groups) {
+    if (group.members.size() < 2) {
+      continue;
+    }
+    for (EdgeId eid = 0; eid < graph.num_edges(); ++eid) {
+      const CallEdge& e = graph.edge(eid);
+      if (group.Contains(e.from) && group.Contains(e.to)) {
+        edges.push_back({graph.node(e.from).name, graph.node(e.to).name, e.alpha});
+      }
+    }
+  }
+  return edges;
+}
+
+int64_t QuiltController::OomKillsSinceDeploy(const std::string& root_handle) const {
+  auto it = deployed_.find(root_handle);
+  if (it == deployed_.end()) {
+    return 0;
+  }
+  int64_t kills = 0;
+  for (const auto& [group_root, baseline] : it->second.oom_baseline) {
+    const DeploymentStats* stats = platform_->StatsFor(group_root);
+    if (stats != nullptr && stats->oom_kills > baseline) {
+      kills += stats->oom_kills - baseline;
+    }
+  }
+  return kills;
+}
+
+Status QuiltController::RollbackDeployment(const std::string& root_handle) {
+  if (pending_canary_.count(root_handle) > 0) {
+    QUILT_RETURN_IF_ERROR(AbortCanaryPlan(root_handle));
+  }
+  QUILT_RETURN_IF_ERROR(Rollback(root_handle));
+  deployed_.erase(root_handle);
+  return Status::Ok();
+}
+
 Status QuiltController::RevokeMergePermission(const std::string& handle) {
   auto it = app_of_handle_.find(handle);
   if (it == app_of_handle_.end()) {
@@ -476,6 +711,10 @@ Status QuiltController::RevokeMergePermission(const std::string& handle) {
     if (fn.handle == handle) {
       fn.mergeable = false;
     }
+  }
+  // Any staged canary plan may contain the function too: drop it first.
+  if (pending_canary_.count(app.root_handle) > 0) {
+    QUILT_RETURN_IF_ERROR(AbortCanaryPlan(app.root_handle));
   }
   // Any live merge containing the function reverts to the originals.
   if (deployed_.count(app.root_handle) > 0) {
@@ -498,6 +737,10 @@ Status QuiltController::UpdateFunctionSource(const std::string& handle,
       fn.user_code_bytes = source.user_code_bytes;
       fn.mergeable = source.mergeable;
     }
+  }
+  // A staged canary plan was built from the old sources: it is stale too.
+  if (pending_canary_.count(app.root_handle) > 0) {
+    QUILT_RETURN_IF_ERROR(AbortCanaryPlan(app.root_handle));
   }
   if (deployed_.count(app.root_handle) > 0) {
     // Merged binaries containing the old code are stale (§1.1): revert; the

@@ -80,6 +80,9 @@ class QuiltController {
   // --- Developer-facing: upload a workflow's functions. Deploys every
   // function as its own (baseline) container image.
   Status RegisterWorkflow(const WorkflowApp& app);
+  bool HasFunction(const std::string& handle) const {
+    return app_of_handle_.count(handle) > 0;
+  }
 
   // --- Profiling (§3).
   void StartProfiling();
@@ -93,9 +96,15 @@ class QuiltController {
   // batch timer stood when the run ended.
   std::vector<Trace> CollectTraces();
   // Latency decomposition percentiles for one workflow over the window;
-  // the summary is also appended to the MetricsStore. Fails when the window
-  // holds no complete trace of the workflow.
-  Result<WorkflowLatencySummary> SummarizeWorkflowLatency(const std::string& root_handle);
+  // the summary is also appended to the MetricsStore. Status is typed so
+  // callers can distinguish operator error from a quiet window:
+  //   kNotFound     -- root_handle is not a registered function.
+  //   kUnavailable  -- window holds no complete trace (transient: the right
+  //                    reaction is "wait for traffic", not "alarm").
+  // `filter` restricts the summary to control- or canary-served traces
+  // during a two-version guard window.
+  Result<WorkflowLatencySummary> SummarizeWorkflowLatency(
+      const std::string& root_handle, TraceVersionFilter filter = TraceVersionFilter::kAll);
   // Chrome trace-event JSON (chrome://tracing-loadable) for one trace id
   // from the window.
   Result<std::string> ExportTraceChrome(int64_t trace_id);
@@ -135,6 +144,63 @@ class QuiltController {
   // traffic first.
   Result<ReconsiderReport> ReconsiderWorkflow(const std::string& root_handle);
 
+  // --- Canary-guarded adaptation mechanisms (§4.9). The autopilot owns the
+  // policy (when to re-decide, promote, roll back); the controller owns the
+  // mechanisms: propose a plan for the current window, stage it as a
+  // weighted canary next to the live version, then promote or abort it.
+  struct ProposedPlan {
+    CallGraph graph;
+    MergeSolution solution;
+    std::string signature;
+    std::vector<MergedArtifact> artifacts;  // Built only when `changed`.
+    bool changed = false;  // Differs from what is currently deployed.
+    int merged_groups = 0;  // Groups with >= 2 members.
+  };
+  // Re-runs the merge decision against the current profile window -- on top
+  // of the deployed graph + observations when a merge is live (localized
+  // calls are ingress-invisible), else on a fresh call graph. Deploys
+  // nothing. Decision telemetry is tagged trigger="autopilot".
+  Result<ProposedPlan> ProposePlan(const std::string& root_handle);
+  // Stages every >=2-member group of `plan` as a canary at its group root:
+  // the root keeps serving (1 - fraction) of its traffic from the live
+  // version while the canary serves `fraction`. Fails if the plan has no
+  // merged group (promote would equal a rollback: use RollbackDeployment)
+  // or a canary is already in flight for the workflow.
+  Status StageCanaryPlan(const std::string& root_handle, const ProposedPlan& plan,
+                         double fraction);
+  // The canary won: flip the staged roots to the new version, revert
+  // formerly-merged roots the new plan no longer merges, and refresh the
+  // deployment ledger (signature, graph, OOM baselines).
+  Status PromoteCanaryPlan(const std::string& root_handle);
+  // The canary lost (or the guard expired): drop the staged versions; the
+  // live deployment keeps serving as if nothing happened.
+  Status AbortCanaryPlan(const std::string& root_handle);
+  bool HasStagedCanary(const std::string& root_handle) const {
+    return pending_canary_.count(root_handle) > 0;
+  }
+  // Group-root handles with a staged platform canary for the workflow
+  // (empty when no canary is in flight).
+  std::vector<std::string> StagedCanaryRoots(const std::string& root_handle) const;
+  // Localized (group-internal) edges of the live merge with their deployed
+  // conditional-invocation budgets. Empty when no merge is live. The drift
+  // detector compares these budgets against the fallback invocations the
+  // ingress observes.
+  struct InternalEdge {
+    std::string caller;
+    std::string callee;
+    int budget = 0;
+  };
+  std::vector<InternalEdge> DeployedInternalEdges(const std::string& root_handle) const;
+  bool HasMergedDeployment(const std::string& root_handle) const {
+    return deployed_.count(root_handle) > 0;
+  }
+  // OOM kills across the workflow's merged group roots since DeployMerged
+  // recorded their baselines (0 when no merge is live).
+  int64_t OomKillsSinceDeploy(const std::string& root_handle) const;
+  // Full revert to the unmerged baseline: aborts any staged canary, restores
+  // every function's original image and drops the deployment ledger entry.
+  Status RollbackDeployment(const std::string& root_handle);
+
   // Developer revokes a function's merge permission: any merged deployment
   // containing it reverts to the unmerged originals.
   Status RevokeMergePermission(const std::string& handle);
@@ -157,6 +223,7 @@ class QuiltController {
     return &span_store_;
   }
   MetricsStore* metrics_store() { return &metrics_store_; }
+  const MetricsStore* metrics_store() const { return &metrics_store_; }
   DecisionEngine* decision_engine() { return &decision_engine_; }
   const ControllerOptions& options() const { return options_; }
 
@@ -202,6 +269,18 @@ class QuiltController {
     MergeSolution solution;
   };
   std::map<std::string, DeployedState> deployed_;  // workflow root -> state.
+
+  // Canary in flight for a workflow: the proposed plan plus the group-root
+  // handles that have a staged platform canary.
+  struct PendingCanary {
+    ProposedPlan plan;
+    std::vector<std::string> staged_roots;
+  };
+  std::map<std::string, PendingCanary> pending_canary_;
+
+  // Writes the deployment ledger entry for a live (graph, solution).
+  void RecordDeployed(const CallGraph& graph, const MergeSolution& solution,
+                      const std::string& workflow_root);
 
   std::string SolutionSignature(const CallGraph& graph, const MergeSolution& solution) const;
   // Applies the current window's observations on top of the deployed graph.

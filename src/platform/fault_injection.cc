@@ -12,6 +12,8 @@ const char* FaultKindName(FaultKind kind) {
       return "gateway_error";
     case FaultKind::kContainerCrash:
       return "container_crash";
+    case FaultKind::kOomKill:
+      return "oom_kill";
   }
   return "unknown";
 }
@@ -45,7 +47,8 @@ FaultInjector::GatewayFault FaultInjector::OnGatewayHop(const std::string& deplo
   // event order).
   for (size_t i = 0; i < plan_.rules.size(); ++i) {
     const FaultRule& rule = plan_.rules[i];
-    if (rule.kind == FaultKind::kContainerCrash || !RuleActive(i, deployment, now)) {
+    if (rule.kind == FaultKind::kContainerCrash || rule.kind == FaultKind::kOomKill ||
+        !RuleActive(i, deployment, now)) {
       continue;
     }
     if (!rng_.Bernoulli(rule.probability)) {
@@ -72,28 +75,40 @@ FaultInjector::GatewayFault FaultInjector::OnGatewayHop(const std::string& deplo
         ++stats_.network_delays;
         break;
       case FaultKind::kContainerCrash:
+      case FaultKind::kOomKill:
         break;
     }
   }
   return fault;
 }
 
-bool FaultInjector::OnDispatch(const std::string& deployment, SimTime now) {
-  bool crash = false;
+FaultInjector::DispatchFault FaultInjector::OnDispatch(const std::string& deployment,
+                                                       SimTime now) {
+  DispatchFault fault;
   for (size_t i = 0; i < plan_.rules.size(); ++i) {
     const FaultRule& rule = plan_.rules[i];
-    if (rule.kind != FaultKind::kContainerCrash || !RuleActive(i, deployment, now)) {
+    if ((rule.kind != FaultKind::kContainerCrash && rule.kind != FaultKind::kOomKill) ||
+        !RuleActive(i, deployment, now)) {
       continue;
     }
-    if (rng_.Bernoulli(rule.probability)) {
+    if (!rng_.Bernoulli(rule.probability)) {
+      continue;
+    }
+    if (rule.kind == FaultKind::kContainerCrash) {
       ++fired_[i];
-      if (!crash) {
-        crash = true;
+      if (!fault.any()) {
+        fault.crash = true;
         ++stats_.container_crashes;
+      }
+    } else {
+      ++fired_[i];
+      if (!fault.any()) {
+        fault.oom = true;
+        ++stats_.oom_kills;
       }
     }
   }
-  return crash;
+  return fault;
 }
 
 }  // namespace quilt

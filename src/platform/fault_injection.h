@@ -40,6 +40,9 @@ enum class FaultKind {
   kNetworkDelay,    // Extra one-way latency at the gateway hop.
   kGatewayError,    // Gateway answers 5xx without reaching a container.
   kContainerCrash,  // The dispatched-to container dies (spurious crash).
+  kOomKill,         // The dispatched-to container is OOM-killed: same blast
+                    // radius as a crash but charged as a memory kill, so the
+                    // rollback machinery (which watches oom_kills) reacts.
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -82,9 +85,10 @@ struct FaultStats {
   int64_t network_delays = 0;
   int64_t gateway_errors = 0;
   int64_t container_crashes = 0;  // Probabilistic + scheduled.
+  int64_t oom_kills = 0;          // Injected memory kills.
 
   int64_t total() const {
-    return network_drops + network_delays + gateway_errors + container_crashes;
+    return network_drops + network_delays + gateway_errors + container_crashes + oom_kills;
   }
 };
 
@@ -109,8 +113,16 @@ class FaultInjector {
   };
   GatewayFault OnGatewayHop(const std::string& deployment, SimTime now);
 
-  // True if the container a request was just dispatched to should crash.
-  bool OnDispatch(const std::string& deployment, SimTime now);
+  // The faults hitting one container dispatch toward `deployment` at `now`.
+  // At most one of crash/oom fires per dispatch (crash wins; both end the
+  // container, they differ only in the kill cause charged).
+  struct DispatchFault {
+    bool crash = false;
+    bool oom = false;
+
+    bool any() const { return crash || oom; }
+  };
+  DispatchFault OnDispatch(const std::string& deployment, SimTime now);
 
   // Bookkeeping hook for scheduled CrashEvents (the platform executes them;
   // the injector only counts them so stats().total() covers all faults).

@@ -59,7 +59,7 @@ Status Platform::Deploy(DeploymentSpec spec) {
   Deployment* raw = dep.get();
   deployments_.emplace(raw->spec.handle, std::move(dep));
   for (int i = 0; i < raw->spec.warm_containers && i < raw->spec.max_scale; ++i) {
-    CreateContainer(*raw);
+    CreateContainer(*raw, raw->version);
   }
   return Status::Ok();
 }
@@ -73,10 +73,111 @@ Status Platform::UpdateFunction(DeploymentSpec spec) {
     return InvalidArgumentError("updated deployment must have exactly one behavior");
   }
   Deployment& dep = *it->second;
+  if (dep.canary != nullptr) {
+    // A full update supersedes any canary experiment in flight.
+    QUILT_RETURN_IF_ERROR(AbortCanary(spec.handle));
+  }
   dep.spec = std::move(spec);
-  ++dep.version;
+  dep.version = ++dep.version_counter;
   RetireStaleContainers(dep);
   return Status::Ok();
+}
+
+Status Platform::StageCanary(DeploymentSpec spec, double fraction) {
+  auto it = deployments_.find(spec.handle);
+  if (it == deployments_.end()) {
+    return NotFoundError(StrCat("function '", spec.handle, "' not deployed"));
+  }
+  if (!spec.behavior.valid()) {
+    return InvalidArgumentError("canary deployment must have exactly one behavior");
+  }
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return InvalidArgumentError(StrCat("canary fraction must be in (0, 1], got ",
+                                       FormatDouble(fraction, 3)));
+  }
+  Deployment& dep = *it->second;
+  if (dep.canary != nullptr) {
+    return AlreadyExistsError(StrCat("function '", spec.handle, "' already has a canary"));
+  }
+  auto canary = std::make_unique<CanaryTrack>();
+  canary->spec = std::move(spec);
+  canary->version = ++dep.version_counter;
+  canary->fraction = fraction;
+  dep.canary = std::move(canary);
+  // Pre-warm so the canary's first guard-window requests measure the new
+  // version, not its cold start.
+  for (int i = 0; i < dep.canary->spec.warm_containers && i < dep.canary->spec.max_scale; ++i) {
+    CreateContainer(dep, dep.canary->version);
+  }
+  return Status::Ok();
+}
+
+Status Platform::PromoteCanary(const std::string& handle) {
+  auto it = deployments_.find(handle);
+  if (it == deployments_.end()) {
+    return NotFoundError(StrCat("function '", handle, "' not deployed"));
+  }
+  Deployment& dep = *it->second;
+  if (dep.canary == nullptr) {
+    return FailedPreconditionError(StrCat("function '", handle, "' has no staged canary"));
+  }
+  dep.spec = std::move(dep.canary->spec);
+  dep.version = dep.canary->version;
+  dep.canary.reset();
+  // Queued control requests drain onto the promoted version; the experiment
+  // is over, so they are no longer canary-tagged.
+  for (PendingRequest& request : dep.pending) {
+    request.ctx->version = dep.version;
+    request.ctx->span.canary = false;
+  }
+  RetireStaleContainers(dep);
+  DrainPending(dep);
+  return Status::Ok();
+}
+
+Status Platform::AbortCanary(const std::string& handle) {
+  auto it = deployments_.find(handle);
+  if (it == deployments_.end()) {
+    return NotFoundError(StrCat("function '", handle, "' not deployed"));
+  }
+  Deployment& dep = *it->second;
+  if (dep.canary == nullptr) {
+    return FailedPreconditionError(StrCat("function '", handle, "' has no staged canary"));
+  }
+  const int64_t canary_version = dep.canary->version;
+  dep.canary.reset();
+  // Re-queue the canary's pending requests onto the control version; its
+  // containers (now stale) retire as their in-flight work finishes.
+  for (PendingRequest& request : dep.pending) {
+    if (request.ctx->version == canary_version) {
+      request.ctx->version = dep.version;
+      request.ctx->span.canary = false;
+    }
+  }
+  RetireStaleContainers(dep);
+  DrainPending(dep);
+  return Status::Ok();
+}
+
+bool Platform::HasCanary(const std::string& handle) const {
+  auto it = deployments_.find(handle);
+  return it != deployments_.end() && it->second->canary != nullptr;
+}
+
+const DeploymentStats* Platform::CanaryStats(const std::string& handle) const {
+  auto it = deployments_.find(handle);
+  if (it == deployments_.end() || it->second->canary == nullptr) {
+    return nullptr;
+  }
+  return &it->second->canary->stats;
+}
+
+const DeploymentStats* Platform::CanaryControlStats(const std::string& handle) const {
+  auto it = deployments_.find(handle);
+  if (it == deployments_.end() || it->second->canary == nullptr) {
+    return nullptr;
+  }
+  return &it->second->canary->control_stats;
 }
 
 Status Platform::RemoveFunction(const std::string& handle) {
@@ -193,7 +294,17 @@ void Platform::Invoke(const TraceContext& parent, const std::string& caller_hand
   // Request-leg segment costs; every retry attempt pays them again.
   ctx->attempt_network = config_.serialize_latency + config_.network_rtt / 2;
   ctx->attempt_gateway = request_path - ctx->attempt_network;
-  ctx->respond = [this, response_path, done_shared, ctx](Result<Json> result) {
+  // `respond` lives inside the context it closes over, so it must hold the
+  // context weakly: a strong capture would be a shared_ptr cycle that keeps
+  // every call's context (and, transitively, its caller's FunctionRun and
+  // container) alive forever. The scheduled response event takes the strong
+  // reference instead — the event queue owns the context until delivery.
+  std::weak_ptr<CallContext> weak_ctx = ctx;
+  ctx->respond = [this, response_path, done_shared, weak_ctx](Result<Json> result) {
+    std::shared_ptr<CallContext> ctx = weak_ctx.lock();
+    if (ctx == nullptr) {
+      return;  // Unreachable: respond is only ever invoked through the context.
+    }
     if (ctx->traced) {
       // Response leg: paid once, by whichever attempt settles the call.
       ctx->span.network_ns += config_.network_rtt / 2 + config_.serialize_latency;
@@ -457,26 +568,35 @@ std::vector<FailureSample> Platform::SampleFailures() const {
   return samples;
 }
 
-SimDuration Platform::ColdStartDelay(const Deployment& dep) const {
-  const double image_mb =
-      static_cast<double>(dep.spec.container.image_size_bytes) / (1024.0 * 1024.0);
-  return config_.cold_start_base + Milliseconds(image_mb * config_.image_fetch_ms_per_mb) +
-         config_.eager_lib_load_per_lib * dep.spec.container.eager_libs;
+const DeploymentSpec& Platform::SpecForVersion(const Deployment& dep, int64_t version) const {
+  if (dep.canary != nullptr && version == dep.canary->version) {
+    return dep.canary->spec;
+  }
+  return dep.spec;
 }
 
-std::shared_ptr<Container> Platform::SelectContainer(Deployment& dep) const {
+SimDuration Platform::ColdStartDelay(const Deployment& dep, int64_t version) const {
+  const DeploymentSpec& spec = SpecForVersion(dep, version);
+  const double image_mb =
+      static_cast<double>(spec.container.image_size_bytes) / (1024.0 * 1024.0);
+  return config_.cold_start_base + Milliseconds(image_mb * config_.image_fetch_ms_per_mb) +
+         config_.eager_lib_load_per_lib * spec.container.eager_libs;
+}
+
+std::shared_ptr<Container> Platform::SelectContainer(Deployment& dep, int64_t version) const {
+  const DeploymentSpec& spec = SpecForVersion(dep, version);
   std::shared_ptr<Container> best;
   for (const auto& container : dep.containers) {
     if (container->state() != ContainerState::kReady) {
       continue;
     }
     auto version_it = dep.container_versions.find(container->id());
-    if (version_it == dep.container_versions.end() || version_it->second != dep.version) {
-      continue;  // Retiring container from a previous function version.
+    if (version_it == dep.container_versions.end() || version_it->second != version) {
+      continue;  // Retiring container, or one serving the other version.
     }
     int inflight_cap = config_.max_requests_per_container;
-    if (dep.spec.max_concurrent_requests > 0) {
-      inflight_cap = std::min(inflight_cap, dep.spec.max_concurrent_requests);
+    if (spec.max_concurrent_requests > 0) {
+      inflight_cap = std::min(inflight_cap, spec.max_concurrent_requests);
     }
     if (container->active_requests() >= inflight_cap) {
       continue;
@@ -498,15 +618,22 @@ std::shared_ptr<Container> Platform::SelectContainer(Deployment& dep) const {
   return best;
 }
 
-void Platform::CreateContainer(Deployment& dep) {
+void Platform::CreateContainer(Deployment& dep, int64_t version) {
+  const DeploymentSpec& spec = SpecForVersion(dep, version);
   auto container = std::make_shared<Container>(sim_, dep.spec.handle, next_container_id_++,
-                                               dep.spec.container);
+                                               spec.container);
   dep.containers.push_back(container);
-  dep.container_versions[container->id()] = dep.version;
+  dep.container_versions[container->id()] = version;
   ++dep.stats.containers_created;
   ++dep.stats.cold_starts;
+  if (dep.canary != nullptr) {
+    DeploymentStats& vs =
+        version == dep.canary->version ? dep.canary->stats : dep.canary->control_stats;
+    ++vs.containers_created;
+    ++vs.cold_starts;
+  }
   const std::string handle = dep.spec.handle;
-  sim_->Schedule(ColdStartDelay(dep), [this, handle, container] {
+  sim_->Schedule(ColdStartDelay(dep, version), [this, handle, container] {
     if (container->state() == ContainerState::kKilled) {
       return;
     }
@@ -516,6 +643,21 @@ void Platform::CreateContainer(Deployment& dep) {
       DrainPending(*it->second);
     }
   });
+}
+
+int64_t Platform::AssignVersion(Deployment& dep) {
+  if (dep.canary == nullptr) {
+    return dep.version;
+  }
+  // Deterministic weighted round-robin: the canary accrues `fraction` credit
+  // per routing decision and serves a request whenever a full credit is
+  // banked. Exact traffic split, no RNG draw.
+  dep.canary->credit += dep.canary->fraction;
+  if (dep.canary->credit >= 1.0 - 1e-9) {
+    dep.canary->credit -= 1.0;
+    return dep.canary->version;
+  }
+  return dep.version;
 }
 
 void Platform::RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
@@ -544,12 +686,27 @@ void Platform::RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
       return;
     }
     Deployment& dep = *it->second;
-    std::shared_ptr<Container> container = SelectContainer(dep);
+    // Version assignment: a fresh call draws from the weighted round-robin;
+    // retries keep their first assignment (one logical call measures one
+    // version) unless that version died (canary promoted/aborted), in which
+    // case they fall back to the control.
+    const bool canary_live =
+        dep.canary != nullptr && ctx->version == dep.canary->version;
+    if (ctx->version == 0) {
+      ctx->version = AssignVersion(dep);
+    } else if (ctx->version != dep.version && !canary_live) {
+      ctx->version = dep.version;
+    }
+    if (ctx->traced) {
+      ctx->span.canary = dep.canary != nullptr && ctx->version == dep.canary->version;
+    }
+    std::shared_ptr<Container> container = SelectContainer(dep, ctx->version);
     if (container != nullptr) {
       Dispatch(dep, container, ctx, sim_->now(), std::move(respond));
       return;
     }
     // No capacity: scale out if allowed, otherwise queue.
+    const int64_t version = ctx->version;
     dep.pending.push_back(PendingRequest{std::move(ctx), sim_->now(), std::move(respond)});
     dep.stats.pending_peak =
         std::max(dep.stats.pending_peak, static_cast<int64_t>(dep.pending.size()));
@@ -557,12 +714,12 @@ void Platform::RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
     for (const auto& c : dep.containers) {
       auto version_it = dep.container_versions.find(c->id());
       if (c->state() != ContainerState::kKilled && version_it != dep.container_versions.end() &&
-          version_it->second == dep.version) {
+          version_it->second == version) {
         ++live;
       }
     }
-    if (live < dep.spec.max_scale) {
-      CreateContainer(dep);
+    if (live < SpecForVersion(dep, version).max_scale) {
+      CreateContainer(dep, version);
     }
   });
 }
@@ -604,12 +761,14 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
   env.bill_cpu = [this](const std::string& fn, double cpu_ms) {
     billing_[fn] += cpu_ms / 1000.0;
   };
-  // Spurious-crash injection: decide before execution starts, apply after,
-  // so the new request is registered and dies with the container (widest
-  // blast radius, as a real mid-request crash would produce).
-  const bool injected_crash =
-      injector_.enabled() && injector_.OnDispatch(handle, sim_->now());
-  ExecuteRequest(env, dep.spec.behavior, ctx->payload, /*remote_entry=*/true,
+  // Spurious-crash/OOM injection: decide before execution starts, apply
+  // after, so the new request is registered and dies with the container
+  // (widest blast radius, as a real mid-request fault would produce).
+  const FaultInjector::DispatchFault injected =
+      injector_.enabled() ? injector_.OnDispatch(handle, sim_->now())
+                          : FaultInjector::DispatchFault{};
+  ExecuteRequest(env, SpecForVersion(dep, ctx->version).behavior, ctx->payload,
+                 /*remote_entry=*/true,
                  [this, handle, container, ctx,
                   respond = std::move(respond)](Result<Json> result) {
                    if (ctx->traced) {
@@ -623,14 +782,25 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
                      } else {
                        ++dep.stats.failed;
                      }
+                     if (dep.canary != nullptr) {
+                       DeploymentStats& vs = ctx->version == dep.canary->version
+                                                 ? dep.canary->stats
+                                                 : dep.canary->control_stats;
+                       if (result.ok()) {
+                         ++vs.completed;
+                       } else {
+                         ++vs.failed;
+                       }
+                     }
                      RetireStaleContainers(dep);
                      DrainPending(dep);
                    }
                    respond(std::move(result));
                  });
-  if (injected_crash) {
+  if (injected.any()) {
     ++dep.stats.injected_faults;
-    KillContainer(dep, container, KillReason::kInjectedCrash);
+    KillContainer(dep, container,
+                  injected.oom ? KillReason::kOom : KillReason::kInjectedCrash);
   }
 }
 
@@ -639,15 +809,20 @@ void Platform::DrainPending(Deployment& dep) {
     return;
   }
   dep.draining = true;
+  // Per-version FIFO: a request only drains onto a container of its assigned
+  // version, but a starved version must not head-of-line-block the other.
+  std::deque<PendingRequest> still_waiting;
   while (!dep.pending.empty()) {
-    std::shared_ptr<Container> container = SelectContainer(dep);
-    if (container == nullptr) {
-      break;
-    }
     PendingRequest request = std::move(dep.pending.front());
     dep.pending.pop_front();
+    std::shared_ptr<Container> container = SelectContainer(dep, request.ctx->version);
+    if (container == nullptr) {
+      still_waiting.push_back(std::move(request));
+      continue;
+    }
     Dispatch(dep, container, request.ctx, request.enqueued_at, std::move(request.respond));
   }
+  dep.pending = std::move(still_waiting);
   dep.draining = false;
 }
 
@@ -656,15 +831,30 @@ void Platform::KillContainer(Deployment& dep, const std::shared_ptr<Container>& 
   if (container->state() == ContainerState::kKilled) {
     return;  // Already dead: a kill is charged to exactly one cause, once.
   }
+  // Attribute the kill to the version the container served, while the id is
+  // still in the ledger.
+  DeploymentStats* version_stats = nullptr;
+  if (dep.canary != nullptr) {
+    auto version_it = dep.container_versions.find(container->id());
+    const bool is_canary =
+        version_it != dep.container_versions.end() && version_it->second == dep.canary->version;
+    version_stats = is_canary ? &dep.canary->stats : &dep.canary->control_stats;
+  }
   ContainerKillCause cause = ContainerKillCause::kCrash;
   switch (reason) {
     case KillReason::kOom:
       ++dep.stats.oom_kills;
+      if (version_stats != nullptr) {
+        ++version_stats->oom_kills;
+      }
       cause = ContainerKillCause::kOom;
       break;
     case KillReason::kCrash:
     case KillReason::kInjectedCrash:
       ++dep.stats.crashes;
+      if (version_stats != nullptr) {
+        ++version_stats->crashes;
+      }
       break;
   }
   dep.containers.erase(std::remove(dep.containers.begin(), dep.containers.end(), container),
@@ -678,9 +868,11 @@ void Platform::RetireStaleContainers(Deployment& dep) {
   for (auto it = dep.containers.begin(); it != dep.containers.end();) {
     const std::shared_ptr<Container>& container = *it;
     auto version_it = dep.container_versions.find(container->id());
-    const bool stale =
-        version_it == dep.container_versions.end() || version_it->second != dep.version;
-    if (stale && container->active_requests() == 0) {
+    const bool live_version =
+        version_it != dep.container_versions.end() &&
+        (version_it->second == dep.version ||
+         (dep.canary != nullptr && version_it->second == dep.canary->version));
+    if (!live_version && container->active_requests() == 0) {
       dep.container_versions.erase(container->id());
       container->Kill();
       it = dep.containers.erase(it);

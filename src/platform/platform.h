@@ -164,10 +164,26 @@ class Platform : public Invoker {
   Status Deploy(DeploymentSpec spec);
   // Replaces an existing function with a new image/behavior; in-flight
   // requests finish on the old containers, new requests go to the new
-  // version (§5.5). Also how merges are rolled back (§8).
+  // version (§5.5). Also how merges are rolled back (§8). A staged canary
+  // (if any) is aborted first: an explicit full update supersedes it.
   Status UpdateFunction(DeploymentSpec spec);
   Status RemoveFunction(const std::string& handle);
   bool HasDeployment(const std::string& handle) const;
+
+  // --- Weighted two-version routing. A staged canary serves `fraction` of
+  // the handle's traffic (deterministic weighted round-robin, no RNG) while
+  // the current version keeps the rest; per-version counters accumulate so a
+  // guard-window analyzer can compare the two. Promote makes the canary the
+  // live version (old containers retire in-flight-safe, §5.5); abort drops
+  // it and re-queues its pending requests onto the control version.
+  Status StageCanary(DeploymentSpec spec, double fraction);
+  Status PromoteCanary(const std::string& handle);
+  Status AbortCanary(const std::string& handle);
+  bool HasCanary(const std::string& handle) const;
+  // Counters for requests the canary (resp. the control, since staging)
+  // served; nullptr when no canary is staged.
+  const DeploymentStats* CanaryStats(const std::string& handle) const;
+  const DeploymentStats* CanaryControlStats(const std::string& handle) const;
 
   void SetProfiling(bool enabled);
   bool profiling() const { return config_.profiling_enabled; }
@@ -213,6 +229,11 @@ class Platform : public Invoker {
     bool async = false;
     int attempt = 1;
     bool shed = false;  // Current attempt was rejected by the circuit breaker.
+    // Deployment version this call was routed to (0 = not yet routed). With
+    // a staged canary, the weighted round-robin assigns either the control
+    // or the canary version; queued requests only drain onto containers of
+    // their assigned version.
+    int64_t version = 0;
     SimDuration request_path = 0;  // Gateway-path latency each attempt pays.
     std::function<void(Result<Json>)> respond;  // Schedules the response path.
 
@@ -234,9 +255,25 @@ class Platform : public Invoker {
 
   enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
+  // A staged second version of a deployment plus its traffic split and the
+  // per-version counters of the guard window.
+  struct CanaryTrack {
+    DeploymentSpec spec;
+    int64_t version = 0;
+    double fraction = 0.0;
+    double credit = 0.0;  // Weighted round-robin accumulator.
+    DeploymentStats stats;          // Requests the canary version served.
+    DeploymentStats control_stats;  // Requests the control served since staging.
+  };
+
   struct Deployment {
     DeploymentSpec spec;
     int64_t version = 1;
+    // Monotone version-id source: updates and canaries each take a fresh id,
+    // so an aborted canary's containers can never collide with a later
+    // version and resurrect.
+    int64_t version_counter = 1;
+    std::unique_ptr<CanaryTrack> canary;
     std::vector<std::shared_ptr<Container>> containers;
     std::map<int64_t, int64_t> container_versions;  // container id -> version.
     std::deque<PendingRequest> pending;
@@ -251,9 +288,13 @@ class Platform : public Invoker {
     SimTime breaker_open_until = 0;
   };
 
-  SimDuration ColdStartDelay(const Deployment& dep) const;
-  std::shared_ptr<Container> SelectContainer(Deployment& dep) const;
-  void CreateContainer(Deployment& dep);
+  // The spec a given version id runs (the control's or the staged canary's).
+  const DeploymentSpec& SpecForVersion(const Deployment& dep, int64_t version) const;
+  SimDuration ColdStartDelay(const Deployment& dep, int64_t version) const;
+  std::shared_ptr<Container> SelectContainer(Deployment& dep, int64_t version) const;
+  void CreateContainer(Deployment& dep, int64_t version);
+  // Weighted round-robin version assignment for one routing decision.
+  int64_t AssignVersion(Deployment& dep);
   void RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
                     std::function<void(Result<Json>)> respond);
   void Dispatch(Deployment& dep, const std::shared_ptr<Container>& container,

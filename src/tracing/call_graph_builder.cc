@@ -29,7 +29,9 @@ Result<CallGraph> BuildCallGraphFromTraces(
     }
   }
   if (workflow_invocations == 0) {
-    return FailedPreconditionError(
+    // Typed as transient: an empty window means "wait for traffic", not that
+    // the workflow is misconfigured (callers poll this every control tick).
+    return UnavailableError(
         StrCat("no client invocations of workflow root '", root_handle,
                "' in the profile window"));
   }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/adaptation_record.h"
 #include "src/common/decision_record.h"
 #include "src/sim/simulation.h"
 
@@ -58,6 +59,9 @@ struct SegmentPercentiles {
 
 struct WorkflowLatencySummary {
   std::string workflow;  // Root handle of the workflow.
+  // Which deployment version's traces the summary covers: "all" (default),
+  // "control" or "canary" (two-version routing during a canary guard window).
+  std::string version = "all";
   SimTime timestamp = 0;
   int64_t traces = 0;     // Complete traces the summary aggregates.
   int64_t ok_traces = 0;  // Subset whose root span finished kOk.
@@ -94,11 +98,16 @@ class MetricsStore {
   const std::vector<WorkflowLatencySummary>& workflow_latency() const {
     return workflow_latency_;
   }
+  // Autopilot telemetry (§4.9): one record per adaptation event (state
+  // transition, canary verdict, redeploy, rollback).
+  void AddAdaptation(AdaptationRecord record) { adaptations_.push_back(std::move(record)); }
+  const std::vector<AdaptationRecord>& adaptations() const { return adaptations_; }
   void Clear() {
     samples_.clear();
     failure_samples_.clear();
     decisions_.clear();
     workflow_latency_.clear();
+    adaptations_.clear();
   }
 
   // Aggregates the latest sample of each container, per function handle.
@@ -112,6 +121,7 @@ class MetricsStore {
   std::vector<FailureSample> failure_samples_;
   std::vector<DecisionRecord> decisions_;
   std::vector<WorkflowLatencySummary> workflow_latency_;
+  std::vector<AdaptationRecord> adaptations_;
 };
 
 // Periodic sampler ("cAdvisor"). The source callback snapshots all live

@@ -88,6 +88,9 @@ struct Span {
 
   int attempts = 1;
   SpanStatus status = SpanStatus::kOk;
+  // True when the invocation was served by a staged canary version of the
+  // callee (weighted two-version routing during an autopilot guard window).
+  bool canary = false;
 
   SimDuration duration() const { return end_time - timestamp; }
 };

@@ -191,17 +191,34 @@ Result<LatencyBreakdown> DecomposeTrace(const Trace& trace) {
   return out;
 }
 
+const char* TraceVersionFilterName(TraceVersionFilter filter) {
+  switch (filter) {
+    case TraceVersionFilter::kAll:
+      return "all";
+    case TraceVersionFilter::kControl:
+      return "control";
+    case TraceVersionFilter::kCanary:
+      return "canary";
+  }
+  return "unknown";
+}
+
 WorkflowLatencySummary SummarizeWorkflowLatency(const std::string& workflow,
                                                 const std::vector<Trace>& traces,
-                                                SimTime timestamp) {
+                                                SimTime timestamp, TraceVersionFilter filter) {
   WorkflowLatencySummary summary;
   summary.workflow = workflow;
   summary.timestamp = timestamp;
+  summary.version = TraceVersionFilterName(filter);
 
   LatencyHistogram e2e, network, gateway, queueing, cold_start, compute;
   double overhead_share_sum = 0.0;
   for (const Trace& trace : traces) {
     if (!trace.complete() || trace.workflow() != workflow) {
+      continue;
+    }
+    if ((filter == TraceVersionFilter::kControl && trace.root().canary) ||
+        (filter == TraceVersionFilter::kCanary && !trace.root().canary)) {
       continue;
     }
     Result<LatencyBreakdown> decomposed = DecomposeTrace(trace);

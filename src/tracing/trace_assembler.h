@@ -63,11 +63,19 @@ std::vector<Trace> AssembleTraces(const std::vector<Span>& spans);
 // whose root never finished (end_time == 0).
 Result<LatencyBreakdown> DecomposeTrace(const Trace& trace);
 
+// Which deployment version's traces a summary aggregates: all of them, only
+// those the control (current) version served, or only those a staged canary
+// served. The root span's canary flag decides (the client-visible entry hop
+// is where two-version routing splits the traffic).
+enum class TraceVersionFilter { kAll, kControl, kCanary };
+
+const char* TraceVersionFilterName(TraceVersionFilter filter);
+
 // Percentile summary over every complete, decomposable trace of `workflow`
 // in `traces`. `timestamp` stamps the record (pass sim->now()).
-WorkflowLatencySummary SummarizeWorkflowLatency(const std::string& workflow,
-                                                const std::vector<Trace>& traces,
-                                                SimTime timestamp);
+WorkflowLatencySummary SummarizeWorkflowLatency(
+    const std::string& workflow, const std::vector<Trace>& traces, SimTime timestamp,
+    TraceVersionFilter filter = TraceVersionFilter::kAll);
 
 }  // namespace quilt
 

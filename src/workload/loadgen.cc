@@ -119,4 +119,86 @@ LoadResult OpenLoopGenerator::Run(Simulation* sim, Invoker* invoker, const std::
   return state->result;
 }
 
+std::vector<PhaseResult> OpenLoopGenerator::RunPhased(Simulation* sim, Invoker* invoker,
+                                                      const std::string& target,
+                                                      const PhasedOptions& options) {
+  if (options.phases.empty()) {
+    return {};
+  }
+  // One RunState per phase; responses are attributed to the phase whose
+  // window covers their send time.
+  auto states = std::make_shared<std::vector<std::shared_ptr<RunState>>>();
+  auto rows = std::make_shared<std::vector<PhaseResult>>();
+  SimTime cursor = sim->now() + options.warmup;
+  for (const LoadPhase& phase : options.phases) {
+    PhaseResult row;
+    row.name = phase.name;
+    row.start = cursor;
+    row.end = cursor + phase.duration;
+    cursor = row.end;
+    auto state = std::make_shared<RunState>();
+    state->measure_start = row.start;
+    state->measure_end = row.end;
+    state->result.measured_duration = phase.duration;
+    state->result.offered_rps = phase.rps;
+    states->push_back(std::move(state));
+    rows->push_back(std::move(row));
+  }
+  const SimTime run_end = cursor;
+
+  // During warmup arrivals use the first phase's rate and payload; the index
+  // then tracks the phase covering "now". Weak self-capture as in Run above.
+  auto phase_at = [rows](SimTime when) {
+    size_t index = 0;
+    for (size_t i = 0; i < rows->size(); ++i) {
+      if (when >= (*rows)[i].start) {
+        index = i;
+      }
+    }
+    return index;
+  };
+
+  auto rng = std::make_shared<Rng>(options.seed);
+  auto arrive = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_arrive = arrive;
+  *arrive = [sim, invoker, target, options, states, rows, rng, weak_arrive, run_end,
+             phase_at] {
+    const SimTime sent_at = sim->now();
+    if (sent_at >= run_end) {
+      return;
+    }
+    const size_t index = phase_at(sent_at);
+    const LoadPhase& phase = options.phases[index];
+    if (phase.rps <= 0.0) {
+      // Idle phase: sleep to its end instead of busy-looping at one instant.
+      sim->Schedule((*rows)[index].end - sent_at, [weak_arrive] {
+        if (auto next = weak_arrive.lock()) {
+          (*next)();
+        }
+      });
+      return;
+    }
+    Json payload = phase.payload_fn ? phase.payload_fn(*rng) : phase.payload;
+    // Context-free entry point: each client request roots a fresh trace.
+    invoker->Invoke(kClientCaller, target, std::move(payload), /*async=*/false,
+                    [sim, states, sent_at, index](Result<Json> result) {
+                      RecordResponse(*(*states)[index], sent_at, sim->now(), result.status());
+                    });
+    const double interval_s = 1.0 / phase.rps;
+    const double next_s = options.poisson ? rng->Exponential(interval_s) : interval_s;
+    sim->Schedule(Seconds(next_s), [weak_arrive] {
+      if (auto next = weak_arrive.lock()) {
+        (*next)();
+      }
+    });
+  };
+  sim->Schedule(0, [arrive] { (*arrive)(); });
+
+  sim->RunUntil(run_end + options.drain_grace);
+  for (size_t i = 0; i < rows->size(); ++i) {
+    (*rows)[i].result = std::move((*states)[i]->result);
+  }
+  return std::move(*rows);
+}
+
 }  // namespace quilt

@@ -7,6 +7,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/json.h"
@@ -55,6 +56,30 @@ class ClosedLoopGenerator {
                  const Options& options);
 };
 
+// One segment of a phased open-loop run: its own arrival rate and payload
+// shape for a bounded duration. Phases run back to back in one simulation
+// run, so a workload shift (rate spike, payload drift) happens mid-run with
+// all platform state (warm containers, deployed merges) carried across the
+// boundary -- what an adaptation control loop has to react to.
+struct LoadPhase {
+  std::string name;
+  double rps = 100.0;
+  SimDuration duration = Seconds(30);
+  Json payload = Json::MakeObject();
+  // Optional per-request payload customization (overrides `payload`).
+  std::function<Json(Rng&)> payload_fn;
+};
+
+// Result row for one phase. Responses are attributed to the phase whose
+// window covers their *send* time, and only count if they also complete
+// within that window (the same symmetric-drain rule as a plain run).
+struct PhaseResult {
+  std::string name;
+  SimTime start = 0;  // Phase window in sim time.
+  SimTime end = 0;
+  LoadResult result;
+};
+
 class OpenLoopGenerator {
  public:
   struct Options {
@@ -71,6 +96,20 @@ class OpenLoopGenerator {
 
   LoadResult Run(Simulation* sim, Invoker* invoker, const std::string& target,
                  const Options& options);
+
+  struct PhasedOptions {
+    SimDuration warmup = Seconds(5);  // Before the first phase; unmeasured,
+                                      // sent at the first phase's rate/payload.
+    bool poisson = false;
+    uint64_t seed = 1;
+    SimDuration drain_grace = Seconds(10);
+    std::vector<LoadPhase> phases;
+  };
+
+  // Runs every phase back to back in one simulation run and returns one
+  // LoadResult row per phase.
+  std::vector<PhaseResult> RunPhased(Simulation* sim, Invoker* invoker,
+                                     const std::string& target, const PhasedOptions& options);
 };
 
 }  // namespace quilt

@@ -20,7 +20,7 @@ TEST(FaultInjectorTest, DefaultPlanIsDisabled) {
   EXPECT_FALSE(injector.enabled());
   const FaultInjector::GatewayFault fault = injector.OnGatewayHop("any", Seconds(1));
   EXPECT_FALSE(fault.any());
-  EXPECT_FALSE(injector.OnDispatch("any", Seconds(1)));
+  EXPECT_FALSE(injector.OnDispatch("any", Seconds(1)).any());
   EXPECT_EQ(injector.stats().total(), 0);
 }
 
@@ -42,7 +42,7 @@ TEST(FaultInjectorTest, SamePlanSameSeedSameFaultSequence) {
       const FaultInjector::GatewayFault f = injector.OnGatewayHop(dep, now);
       decisions.push_back(std::string(f.drop ? "D" : "-") + (f.gateway_error ? "E" : "-") +
                           (f.extra_delay > 0 ? "L" : "-") +
-                          (injector.OnDispatch(dep, now) ? "C" : "-"));
+                          (injector.OnDispatch(dep, now).crash ? "C" : "-"));
     }
     return std::make_pair(decisions, injector.stats());
   };

@@ -193,6 +193,101 @@ TEST(OpenLoopTest, ClientTimeoutsBrokenOutInFailureTaxonomy) {
   EXPECT_EQ(result.failures_by_cause.at("DEADLINE_EXCEEDED"), result.failed);
 }
 
+// A fake service that records each request's payload and answers instantly.
+class PayloadRecordingService : public Invoker {
+ public:
+  explicit PayloadRecordingService(Simulation* sim) : sim_(sim) {}
+
+  void Invoke(const std::string& caller, const std::string& callee, const Json& payload,
+              bool async, std::function<void(Result<Json>)> done) override {
+    nums.push_back(payload.Has("num") ? payload.Get("num").AsInt() : -1);
+    sim_->Schedule(Milliseconds(1), [done] { done(Json::MakeObject()); });
+  }
+
+  std::vector<int64_t> nums;
+
+ private:
+  Simulation* sim_;
+};
+
+TEST(PhasedLoadTest, PerPhaseRowsAndPayloadShift) {
+  Simulation sim;
+  PayloadRecordingService service(&sim);
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::PhasedOptions options;
+  options.warmup = Seconds(1);
+  LoadPhase steady;
+  steady.name = "steady";
+  steady.rps = 50.0;
+  steady.duration = Seconds(10);
+  steady.payload = Json::MakeObject();
+  steady.payload["num"] = 2;
+  LoadPhase shifted;
+  shifted.name = "shifted";
+  shifted.rps = 100.0;
+  shifted.duration = Seconds(5);
+  shifted.payload = Json::MakeObject();
+  shifted.payload["num"] = 6;
+  options.phases = {steady, shifted};
+
+  const std::vector<PhaseResult> rows = generator.RunPhased(&sim, &service, "svc", options);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "steady");
+  EXPECT_EQ(rows[1].name, "shifted");
+  // Phase windows are contiguous: the shift happens mid-run, in one sim run.
+  EXPECT_EQ(rows[0].end, rows[1].start);
+  EXPECT_EQ(rows[1].end - rows[1].start, Seconds(5));
+  // Each row counts only its own phase's sends (1ms service, no spill).
+  EXPECT_NEAR(static_cast<double>(rows[0].result.completed), 500.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(rows[1].result.completed), 500.0, 10.0);
+  EXPECT_DOUBLE_EQ(rows[0].result.offered_rps, 50.0);
+  EXPECT_DOUBLE_EQ(rows[1].result.offered_rps, 100.0);
+  EXPECT_EQ(rows[0].result.failed, 0);
+  EXPECT_EQ(rows[1].result.failed, 0);
+  // The payload drift lands exactly at the boundary: a prefix of num=2
+  // requests (warmup + steady) followed only by num=6.
+  ASSERT_FALSE(service.nums.empty());
+  size_t first_shifted = service.nums.size();
+  for (size_t i = 0; i < service.nums.size(); ++i) {
+    if (service.nums[i] == 6) {
+      first_shifted = i;
+      break;
+    }
+  }
+  ASSERT_LT(first_shifted, service.nums.size());
+  for (size_t i = 0; i < service.nums.size(); ++i) {
+    EXPECT_EQ(service.nums[i], i < first_shifted ? 2 : 6) << "request " << i;
+  }
+}
+
+TEST(PhasedLoadTest, IdlePhaseSendsNothing) {
+  Simulation sim;
+  PayloadRecordingService service(&sim);
+  OpenLoopGenerator generator;
+  OpenLoopGenerator::PhasedOptions options;
+  options.warmup = 0;
+  LoadPhase on;
+  on.name = "on";
+  on.rps = 20.0;
+  on.duration = Seconds(5);
+  LoadPhase idle;
+  idle.name = "idle";
+  idle.rps = 0.0;  // A traffic gap, not a divide-by-zero or a busy loop.
+  idle.duration = Seconds(5);
+  LoadPhase resume;
+  resume.name = "resume";
+  resume.rps = 20.0;
+  resume.duration = Seconds(5);
+  options.phases = {on, idle, resume};
+
+  const std::vector<PhaseResult> rows = generator.RunPhased(&sim, &service, "svc", options);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(rows[0].result.completed), 100.0, 5.0);
+  EXPECT_EQ(rows[1].result.completed, 0);
+  EXPECT_EQ(rows[1].result.failed, 0);
+  EXPECT_NEAR(static_cast<double>(rows[2].result.completed), 100.0, 5.0);
+}
+
 TEST(LoadResultTest, FailureRate) {
   LoadResult result;
   result.completed = 8;
