@@ -12,6 +12,15 @@
 // latency but OOM-kills at high load with 128 MB (the 256 MB variant
 // extends it); Quilt improves latency the most and achieves several times
 // the baseline's throughput without OOM.
+// High-rps mode (--high-rps): pushes the same compose-post setups to multi-
+// thousand offered rps, where the simulator's own event loop is the
+// bottleneck being exercised (millions of events per point). Reports
+// simulated-event throughput next to the workload metrics; --smoke shrinks
+// it to one point per system for CI, and --json emits a BENCH_*.json
+// artifact in either mode.
+#include <chrono>
+#include <cstring>
+
 #include "bench/bench_util.h"
 #include "src/apps/deathstarbench.h"
 
@@ -25,6 +34,8 @@ struct Point {
   int64_t median = 0;
   double failure_rate = 0.0;
   int64_t oom_kills = 0;
+  int64_t sim_events = 0;
+  double wall_seconds = 0.0;
 };
 
 enum class System { kBaseline, kCm128, kCm256, kQuilt };
@@ -43,7 +54,8 @@ const char* SystemName(System system) {
   return "?";
 }
 
-Point RunPoint(const WorkflowApp& app, System system, double rps) {
+Point RunPoint(const WorkflowApp& app, System system, double rps,
+               SimDuration duration = Seconds(10), SimDuration warmup = Seconds(3)) {
   Env env;
   Status status = env.controller.RegisterWorkflow(app);
   if (!status.ok()) {
@@ -74,7 +86,9 @@ Point RunPoint(const WorkflowApp& app, System system, double rps) {
     return {};
   }
 
-  const LoadResult load = RunOpenLoop(env, app.root_handle, rps, Seconds(10), Seconds(3));
+  const auto start = std::chrono::steady_clock::now();
+  const LoadResult load = RunOpenLoop(env, app.root_handle, rps, duration, warmup);
+  const auto stop = std::chrono::steady_clock::now();
   Point point;
   point.offered = rps;
   point.achieved = load.AchievedRps();
@@ -82,6 +96,8 @@ Point RunPoint(const WorkflowApp& app, System system, double rps) {
   point.failure_rate = load.FailureRate();
   const DeploymentStats* stats = env.platform.StatsFor(app.root_handle);
   point.oom_kills = stats != nullptr ? stats->oom_kills : 0;
+  point.sim_events = env.sim.events_processed();
+  point.wall_seconds = std::chrono::duration<double>(stop - start).count();
   return point;
 }
 
@@ -107,11 +123,83 @@ void RunVariant(bool async_fanout) {
   }
 }
 
+// --high-rps: offered load in the thousands, where each point runs millions
+// of simulated events and the event core's throughput dominates wall time.
+// Baseline and Quilt full-merge only (the CM variants add nothing at this
+// load -- they OOM long before).
+int RunHighRps(bool smoke, const std::string& json_path) {
+  const WorkflowApp app = ComposePost(/*async_fanout=*/false);
+  PrintHeader(StrCat("Figure 7 high-rps mode (", smoke ? "smoke" : "full",
+                     "): compose-post at multi-thousand offered rps"));
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{2000} : std::vector<double>{2000, 8000, 32000};
+  const SimDuration duration = smoke ? Seconds(5) : Seconds(10);
+  const SimDuration warmup = smoke ? Seconds(2) : Seconds(3);
+
+  BenchJson json("fig7_high_rps");
+  json.SetConfig("smoke", smoke);
+  json.SetConfig("duration_s", ToSeconds(duration));
+
+  bool ok = true;
+  for (System system : {System::kBaseline, System::kQuilt}) {
+    std::printf("\n-- %s --\n", SystemName(system));
+    std::printf("%10s %10s %12s %8s %14s %12s\n", "offered", "achieved", "median", "fail%",
+                "sim events", "Mevents/s");
+    for (double rps : rates) {
+      const Point point = RunPoint(app, system, rps, duration, warmup);
+      const double events_per_sec =
+          point.wall_seconds > 0.0 ? static_cast<double>(point.sim_events) / point.wall_seconds
+                                   : 0.0;
+      std::printf("%10.0f %10.1f %12s %7.2f%% %14lld %12.2f\n", point.offered, point.achieved,
+                  FormatDuration(point.median).c_str(), 100.0 * point.failure_rate,
+                  static_cast<long long>(point.sim_events), events_per_sec / 1e6);
+      if (point.sim_events == 0) {
+        std::printf("!! no events processed at %s rps=%.0f\n", SystemName(system), rps);
+        ok = false;
+      }
+      Json row = Json::MakeObject();
+      row["system"] = SystemName(system);
+      row["offered_rps"] = point.offered;
+      row["achieved_rps"] = point.achieved;
+      row["median_ns"] = point.median;
+      row["failure_rate"] = point.failure_rate;
+      row["sim_events"] = point.sim_events;
+      row["sim_events_per_sec"] = events_per_sec;
+      json.AddRow(std::move(row));
+    }
+  }
+  const Status written = json.WriteTo(json_path);
+  if (!written.ok()) {
+    std::printf("!! --json: %s\n", written.ToString().c_str());
+    ok = false;
+  }
+  std::printf("\n%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace quilt
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool high_rps = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--high-rps") == 0) {
+      high_rps = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--high-rps] [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (high_rps) {
+    return quilt::bench::RunHighRps(smoke, json_path);
+  }
   quilt::bench::RunVariant(/*async_fanout=*/false);
   quilt::bench::RunVariant(/*async_fanout=*/true);
   std::printf(

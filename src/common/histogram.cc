@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 namespace quilt {
@@ -121,7 +122,15 @@ int64_t LatencyHistogram::Quantile(double q) const {
   if (q >= 1.0) {
     return max_;
   }
-  const int64_t rank = std::max<int64_t>(1, static_cast<int64_t>(q * static_cast<double>(count_)));
+  // Nearest-rank convention: the q-quantile is the value whose 1-based rank
+  // is ceil(q * N) — the smallest value with at least a q fraction of the
+  // samples at or below it. (A plain truncation here understated small-count
+  // tails: p99 of 10 samples truncated to rank 9 instead of 10.) The 1e-9
+  // slack absorbs binary-float noise like 0.99 * 100 = 99.0000...1, which
+  // would otherwise ceil one rank too high.
+  const double scaled = q * static_cast<double>(count_);
+  const int64_t rank =
+      std::clamp<int64_t>(static_cast<int64_t>(std::ceil(scaled - 1e-9)), 1, count_);
   int64_t seen = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];

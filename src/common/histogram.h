@@ -32,6 +32,10 @@ class LatencyHistogram {
 
   // Value at quantile q in [0, 1]; e.g. Quantile(0.5) is the median,
   // Quantile(0.99) the 99th percentile. Returns 0 for an empty histogram.
+  // Convention: nearest-rank (1-based rank ceil(q * count)), so on small
+  // counts the quantile is always an actually-recorded sample's bucket —
+  // p99 of 10 samples is the largest one, not the second-largest. Locked in
+  // by exact-value unit tests; bench_util reporting shares it.
   int64_t Quantile(double q) const;
 
   int64_t Median() const { return Quantile(0.5); }

@@ -1,0 +1,28 @@
+#include "src/common/interner.h"
+
+#include <cassert>
+
+namespace quilt {
+
+HandleId StringInterner::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const HandleId id = static_cast<HandleId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+HandleId StringInterner::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it != index_.end() ? it->second : kInvalidHandle;
+}
+
+const std::string& StringInterner::NameOf(HandleId id) const {
+  assert(id >= 0 && id < static_cast<HandleId>(names_.size()));
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace quilt

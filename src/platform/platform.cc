@@ -18,15 +18,14 @@ Platform::Platform(Simulation* sim, PlatformConfig config)
   // Scheduled deterministic crash events (blast-radius experiments): at the
   // planned instant, the oldest live container of the target deployment dies.
   for (const CrashEvent& crash : config_.fault_plan.crashes) {
-    const std::string handle = crash.deployment;
-    sim_->Schedule(std::max<SimDuration>(0, crash.at - sim_->now()), [this, handle] {
-      auto it = deployments_.find(handle);
-      if (it == deployments_.end()) {
+    const HandleId id = InternHandle(crash.deployment);
+    sim_->Schedule(std::max<SimDuration>(0, crash.at - sim_->now()), [this, id] {
+      Deployment* dep = DeploymentAt(id);
+      if (dep == nullptr) {
         return;
       }
-      Deployment& dep = *it->second;
       std::shared_ptr<Container> victim;
-      for (const auto& container : dep.containers) {
+      for (const auto& container : dep->containers) {
         if (container->state() != ContainerState::kKilled) {
           victim = container;
           break;
@@ -34,14 +33,33 @@ Platform::Platform(Simulation* sim, PlatformConfig config)
       }
       if (victim != nullptr) {
         injector_.CountScheduledCrash();
-        ++dep.stats.injected_faults;
-        KillContainer(dep, victim, KillReason::kInjectedCrash);
+        ++dep->stats.injected_faults;
+        KillContainer(*dep, victim, KillReason::kInjectedCrash);
       }
     });
   }
 }
 
 Platform::~Platform() = default;
+
+Platform::Deployment* Platform::DeploymentAt(HandleId id) const {
+  if (id < 0 || id >= static_cast<HandleId>(deployments_.size())) {
+    return nullptr;
+  }
+  return deployments_[static_cast<size_t>(id)].get();
+}
+
+Platform::Deployment* Platform::FindDeployment(std::string_view handle) const {
+  return DeploymentAt(handles_.Find(handle));
+}
+
+HandleId Platform::InternHandle(std::string_view handle) {
+  const HandleId id = handles_.Intern(handle);
+  if (id >= static_cast<HandleId>(deployments_.size())) {
+    deployments_.resize(static_cast<size_t>(id) + 1);
+  }
+  return id;
+}
 
 Status Platform::Deploy(DeploymentSpec spec) {
   if (spec.handle.empty()) {
@@ -51,13 +69,15 @@ Status Platform::Deploy(DeploymentSpec spec) {
     return InvalidArgumentError(StrCat("deployment '", spec.handle,
                                        "' must have exactly one behavior"));
   }
-  if (deployments_.count(spec.handle) > 0) {
+  const HandleId id = InternHandle(spec.handle);
+  if (deployments_[static_cast<size_t>(id)] != nullptr) {
     return AlreadyExistsError(StrCat("function '", spec.handle, "' already deployed"));
   }
   auto dep = std::make_unique<Deployment>();
+  dep->id = id;
   dep->spec = std::move(spec);
   Deployment* raw = dep.get();
-  deployments_.emplace(raw->spec.handle, std::move(dep));
+  deployments_[static_cast<size_t>(id)] = std::move(dep);
   for (int i = 0; i < raw->spec.warm_containers && i < raw->spec.max_scale; ++i) {
     CreateContainer(*raw, raw->version);
   }
@@ -65,27 +85,26 @@ Status Platform::Deploy(DeploymentSpec spec) {
 }
 
 Status Platform::UpdateFunction(DeploymentSpec spec) {
-  auto it = deployments_.find(spec.handle);
-  if (it == deployments_.end()) {
+  Deployment* dep = FindDeployment(spec.handle);
+  if (dep == nullptr) {
     return NotFoundError(StrCat("function '", spec.handle, "' not deployed"));
   }
   if (!spec.behavior.valid()) {
     return InvalidArgumentError("updated deployment must have exactly one behavior");
   }
-  Deployment& dep = *it->second;
-  if (dep.canary != nullptr) {
+  if (dep->canary != nullptr) {
     // A full update supersedes any canary experiment in flight.
     QUILT_RETURN_IF_ERROR(AbortCanary(spec.handle));
   }
-  dep.spec = std::move(spec);
-  dep.version = ++dep.version_counter;
-  RetireStaleContainers(dep);
+  dep->spec = std::move(spec);
+  dep->version = ++dep->version_counter;
+  RetireStaleContainers(*dep);
   return Status::Ok();
 }
 
 Status Platform::StageCanary(DeploymentSpec spec, double fraction) {
-  auto it = deployments_.find(spec.handle);
-  if (it == deployments_.end()) {
+  Deployment* dep = FindDeployment(spec.handle);
+  if (dep == nullptr) {
     return NotFoundError(StrCat("function '", spec.handle, "' not deployed"));
   }
   if (!spec.behavior.valid()) {
@@ -95,105 +114,105 @@ Status Platform::StageCanary(DeploymentSpec spec, double fraction) {
     return InvalidArgumentError(StrCat("canary fraction must be in (0, 1], got ",
                                        FormatDouble(fraction, 3)));
   }
-  Deployment& dep = *it->second;
-  if (dep.canary != nullptr) {
+  if (dep->canary != nullptr) {
     return AlreadyExistsError(StrCat("function '", spec.handle, "' already has a canary"));
   }
   auto canary = std::make_unique<CanaryTrack>();
   canary->spec = std::move(spec);
-  canary->version = ++dep.version_counter;
+  canary->version = ++dep->version_counter;
   canary->fraction = fraction;
-  dep.canary = std::move(canary);
+  dep->canary = std::move(canary);
   // Pre-warm so the canary's first guard-window requests measure the new
   // version, not its cold start.
-  for (int i = 0; i < dep.canary->spec.warm_containers && i < dep.canary->spec.max_scale; ++i) {
-    CreateContainer(dep, dep.canary->version);
+  for (int i = 0; i < dep->canary->spec.warm_containers && i < dep->canary->spec.max_scale;
+       ++i) {
+    CreateContainer(*dep, dep->canary->version);
   }
   return Status::Ok();
 }
 
 Status Platform::PromoteCanary(const std::string& handle) {
-  auto it = deployments_.find(handle);
-  if (it == deployments_.end()) {
+  Deployment* dep = FindDeployment(handle);
+  if (dep == nullptr) {
     return NotFoundError(StrCat("function '", handle, "' not deployed"));
   }
-  Deployment& dep = *it->second;
-  if (dep.canary == nullptr) {
+  if (dep->canary == nullptr) {
     return FailedPreconditionError(StrCat("function '", handle, "' has no staged canary"));
   }
-  dep.spec = std::move(dep.canary->spec);
-  dep.version = dep.canary->version;
-  dep.canary.reset();
+  dep->spec = std::move(dep->canary->spec);
+  dep->version = dep->canary->version;
+  dep->canary.reset();
   // Queued control requests drain onto the promoted version; the experiment
   // is over, so they are no longer canary-tagged.
-  for (PendingRequest& request : dep.pending) {
-    request.ctx->version = dep.version;
+  for (PendingRequest& request : dep->pending) {
+    request.ctx->version = dep->version;
     request.ctx->span.canary = false;
   }
-  RetireStaleContainers(dep);
-  DrainPending(dep);
+  RetireStaleContainers(*dep);
+  DrainPending(*dep);
   return Status::Ok();
 }
 
 Status Platform::AbortCanary(const std::string& handle) {
-  auto it = deployments_.find(handle);
-  if (it == deployments_.end()) {
+  Deployment* dep = FindDeployment(handle);
+  if (dep == nullptr) {
     return NotFoundError(StrCat("function '", handle, "' not deployed"));
   }
-  Deployment& dep = *it->second;
-  if (dep.canary == nullptr) {
+  if (dep->canary == nullptr) {
     return FailedPreconditionError(StrCat("function '", handle, "' has no staged canary"));
   }
-  const int64_t canary_version = dep.canary->version;
-  dep.canary.reset();
+  const int64_t canary_version = dep->canary->version;
+  dep->canary.reset();
   // Re-queue the canary's pending requests onto the control version; its
   // containers (now stale) retire as their in-flight work finishes.
-  for (PendingRequest& request : dep.pending) {
+  for (PendingRequest& request : dep->pending) {
     if (request.ctx->version == canary_version) {
-      request.ctx->version = dep.version;
+      request.ctx->version = dep->version;
       request.ctx->span.canary = false;
     }
   }
-  RetireStaleContainers(dep);
-  DrainPending(dep);
+  RetireStaleContainers(*dep);
+  DrainPending(*dep);
   return Status::Ok();
 }
 
 bool Platform::HasCanary(const std::string& handle) const {
-  auto it = deployments_.find(handle);
-  return it != deployments_.end() && it->second->canary != nullptr;
+  const Deployment* dep = FindDeployment(handle);
+  return dep != nullptr && dep->canary != nullptr;
 }
 
 const DeploymentStats* Platform::CanaryStats(const std::string& handle) const {
-  auto it = deployments_.find(handle);
-  if (it == deployments_.end() || it->second->canary == nullptr) {
+  const Deployment* dep = FindDeployment(handle);
+  if (dep == nullptr || dep->canary == nullptr) {
     return nullptr;
   }
-  return &it->second->canary->stats;
+  return &dep->canary->stats;
 }
 
 const DeploymentStats* Platform::CanaryControlStats(const std::string& handle) const {
-  auto it = deployments_.find(handle);
-  if (it == deployments_.end() || it->second->canary == nullptr) {
+  const Deployment* dep = FindDeployment(handle);
+  if (dep == nullptr || dep->canary == nullptr) {
     return nullptr;
   }
-  return &it->second->canary->control_stats;
+  return &dep->canary->control_stats;
 }
 
 Status Platform::RemoveFunction(const std::string& handle) {
-  auto it = deployments_.find(handle);
-  if (it == deployments_.end()) {
+  Deployment* dep = FindDeployment(handle);
+  if (dep == nullptr) {
     return NotFoundError(StrCat("function '", handle, "' not deployed"));
   }
-  for (const auto& container : it->second->containers) {
+  for (const auto& container : dep->containers) {
     container->Kill();
   }
-  deployments_.erase(it);
+  // The interned id stays reserved; a later re-deploy of the same handle
+  // reuses the slot.
+  deployments_[static_cast<size_t>(dep->id)].reset();
   return Status::Ok();
 }
 
 bool Platform::HasDeployment(const std::string& handle) const {
-  return deployments_.count(handle) > 0;
+  return FindDeployment(handle) != nullptr;
 }
 
 void Platform::SetProfiling(bool enabled) {
@@ -202,20 +221,23 @@ void Platform::SetProfiling(bool enabled) {
 }
 
 const DeploymentStats* Platform::StatsFor(const std::string& handle) const {
-  auto it = deployments_.find(handle);
-  if (it == deployments_.end()) {
+  const Deployment* dep = FindDeployment(handle);
+  if (dep == nullptr) {
     return nullptr;
   }
-  it->second->stats.AssertNonNegative();
-  return &it->second->stats;
+  dep->stats.AssertNonNegative();
+  return &dep->stats;
 }
 
 std::vector<ResourceSample> Platform::SampleResources() const {
   std::vector<ResourceSample> samples;
-  for (const auto& [handle, dep] : deployments_) {
+  for (const auto& dep : deployments_) {
+    if (dep == nullptr) {
+      continue;
+    }
     for (const auto& container : dep->containers) {
       ResourceSample sample;
-      sample.handle = handle;
+      sample.handle = dep->spec.handle;
       sample.container_id = container->id();
       sample.timestamp = sim_->now();
       sample.cpu_seconds_cum = container->cpu().cpu_seconds_used();
@@ -228,14 +250,38 @@ std::vector<ResourceSample> Platform::SampleResources() const {
   return samples;
 }
 
+void Platform::BillCpu(const std::string& function_handle, double cpu_ms) {
+  const HandleId id = handles_.Intern(function_handle);
+  if (id >= static_cast<HandleId>(billing_.size())) {
+    billing_.resize(static_cast<size_t>(id) + 1, 0.0);
+  }
+  billing_[static_cast<size_t>(id)] += cpu_ms / 1000.0;
+}
+
 double Platform::BilledCpuSeconds(const std::string& function_handle) const {
-  auto it = billing_.find(function_handle);
-  return it != billing_.end() ? it->second : 0.0;
+  const HandleId id = handles_.Find(function_handle);
+  if (id < 0 || id >= static_cast<HandleId>(billing_.size())) {
+    return 0.0;
+  }
+  return billing_[static_cast<size_t>(id)];
+}
+
+std::map<std::string, double> Platform::billing_ledger() const {
+  std::map<std::string, double> ledger;
+  for (size_t id = 0; id < billing_.size(); ++id) {
+    if (billing_[id] != 0.0) {
+      ledger[handles_.NameOf(static_cast<HandleId>(id))] = billing_[id];
+    }
+  }
+  return ledger;
 }
 
 double Platform::TotalMemoryInUseMb() const {
   double total = 0.0;
-  for (const auto& [handle, dep] : deployments_) {
+  for (const auto& dep : deployments_) {
+    if (dep == nullptr) {
+      continue;
+    }
     for (const auto& container : dep->containers) {
       total += container->memory_in_use_mb();
     }
@@ -245,8 +291,10 @@ double Platform::TotalMemoryInUseMb() const {
 
 int Platform::TotalContainers() const {
   int total = 0;
-  for (const auto& [handle, dep] : deployments_) {
-    total += static_cast<int>(dep->containers.size());
+  for (const auto& dep : deployments_) {
+    if (dep != nullptr) {
+      total += static_cast<int>(dep->containers.size());
+    }
   }
   return total;
 }
@@ -287,7 +335,9 @@ void Platform::Invoke(const TraceContext& parent, const std::string& caller_hand
       config_.gateway_overhead + config_.network_rtt / 2 + config_.serialize_latency;
   auto done_shared = std::make_shared<std::function<void(Result<Json>)>>(std::move(done));
 
-  ctx->callee = callee_handle;
+  // Intern the callee once; every later lookup on this invocation's path is
+  // an integer index (see DeploymentAt).
+  ctx->callee_id = InternHandle(callee_handle);
   ctx->payload = payload;
   ctx->async = async;
   ctx->request_path = request_path;
@@ -374,31 +424,33 @@ void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
         return;
       }
       *settled = true;
-      OnAttemptResult(ctx, DeadlineExceededError(StrCat("invocation of '", ctx->callee,
-                                                        "' timed out (attempt ", ctx->attempt,
-                                                        ")")));
+      OnAttemptResult(ctx, DeadlineExceededError(
+                               StrCat("invocation of '", handles_.NameOf(ctx->callee_id),
+                                      "' timed out (attempt ", ctx->attempt, ")")));
     });
   }
 
   sim_->Schedule(ctx->request_path, [this, ctx, complete]() mutable {
-    auto it = deployments_.find(ctx->callee);
-    if (it == deployments_.end()) {
-      complete(NotFoundError(StrCat("no function '", ctx->callee, "'")));
+    Deployment* found = DeploymentAt(ctx->callee_id);
+    if (found == nullptr) {
+      complete(NotFoundError(StrCat("no function '", handles_.NameOf(ctx->callee_id), "'")));
       return;
     }
-    Deployment& dep = *it->second;
+    Deployment& dep = *found;
 
     if (BreakerRejects(dep)) {
       // Load shedding: answer immediately, never reaches a container.
       ++dep.stats.breaker_rejected;
       ++dep.stats.failures_by_cause["BREAKER_OPEN"];
       ctx->shed = true;
-      complete(UnavailableError(StrCat("circuit breaker open for '", ctx->callee, "'")));
+      complete(UnavailableError(
+          StrCat("circuit breaker open for '", handles_.NameOf(ctx->callee_id), "'")));
       return;
     }
 
     if (injector_.enabled()) {
-      const FaultInjector::GatewayFault fault = injector_.OnGatewayHop(ctx->callee, sim_->now());
+      const FaultInjector::GatewayFault fault =
+          injector_.OnGatewayHop(dep.spec.handle, sim_->now());
       if (fault.drop) {
         ++dep.stats.injected_faults;
         if (config_.invocation_timeout > 0) {
@@ -419,12 +471,13 @@ void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
           ctx->span.network_ns += fault.extra_delay;
         }
         sim_->Schedule(fault.extra_delay, [this, ctx, complete = std::move(complete)]() mutable {
-          auto delayed_it = deployments_.find(ctx->callee);
-          if (delayed_it == deployments_.end()) {
-            complete(NotFoundError(StrCat("no function '", ctx->callee, "'")));
+          Deployment* delayed = DeploymentAt(ctx->callee_id);
+          if (delayed == nullptr) {
+            complete(NotFoundError(
+                StrCat("no function '", handles_.NameOf(ctx->callee_id), "'")));
             return;
           }
-          RouteRequest(*delayed_it->second, ctx, std::move(complete));
+          RouteRequest(*delayed, ctx, std::move(complete));
         });
         return;
       }
@@ -435,8 +488,7 @@ void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
 }
 
 void Platform::OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<Json> result) {
-  auto it = deployments_.find(ctx->callee);
-  Deployment* dep = it != deployments_.end() ? it->second.get() : nullptr;
+  Deployment* dep = DeploymentAt(ctx->callee_id);
 
   if (ctx->shed) {
     // Breaker rejections are load shedding, not attempt outcomes: they must
@@ -537,23 +589,25 @@ void Platform::OpenBreaker(Deployment& dep) {
 }
 
 SimDuration Platform::BreakerOpenNs(const std::string& handle) const {
-  auto it = deployments_.find(handle);
-  if (it == deployments_.end()) {
+  const Deployment* dep = FindDeployment(handle);
+  if (dep == nullptr) {
     return 0;
   }
-  const Deployment& dep = *it->second;
-  SimDuration total = dep.stats.breaker_open_ns;
-  if (dep.breaker_state == BreakerState::kOpen) {
-    total += sim_->now() - dep.breaker_opened_at;
+  SimDuration total = dep->stats.breaker_open_ns;
+  if (dep->breaker_state == BreakerState::kOpen) {
+    total += sim_->now() - dep->breaker_opened_at;
   }
   return total;
 }
 
 std::vector<FailureSample> Platform::SampleFailures() const {
   std::vector<FailureSample> samples;
-  for (const auto& [handle, dep] : deployments_) {
+  for (const auto& dep : deployments_) {
+    if (dep == nullptr) {
+      continue;
+    }
     FailureSample sample;
-    sample.handle = handle;
+    sample.handle = dep->spec.handle;
     sample.timestamp = sim_->now();
     sample.completed_cum = dep->stats.completed;
     sample.failed_cum = dep->stats.failed;
@@ -562,7 +616,7 @@ std::vector<FailureSample> Platform::SampleFailures() const {
     sample.crashes_cum = dep->stats.crashes;
     sample.oom_kills_cum = dep->stats.oom_kills;
     sample.breaker_rejected_cum = dep->stats.breaker_rejected;
-    sample.breaker_open_ns_cum = BreakerOpenNs(handle);
+    sample.breaker_open_ns_cum = BreakerOpenNs(dep->spec.handle);
     samples.push_back(std::move(sample));
   }
   return samples;
@@ -632,15 +686,15 @@ void Platform::CreateContainer(Deployment& dep, int64_t version) {
     ++vs.containers_created;
     ++vs.cold_starts;
   }
-  const std::string handle = dep.spec.handle;
-  sim_->Schedule(ColdStartDelay(dep, version), [this, handle, container] {
+  const HandleId id = dep.id;
+  sim_->Schedule(ColdStartDelay(dep, version), [this, id, container] {
     if (container->state() == ContainerState::kKilled) {
       return;
     }
     container->set_state(ContainerState::kReady);
-    auto it = deployments_.find(handle);
-    if (it != deployments_.end()) {
-      DrainPending(*it->second);
+    Deployment* dep = DeploymentAt(id);
+    if (dep != nullptr) {
+      DrainPending(*dep);
     }
   });
 }
@@ -677,15 +731,15 @@ void Platform::RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
     ctx->span.queue_ns += penalty;
   }
 
-  const std::string handle = dep.spec.handle;
-  sim_->Schedule(penalty, [this, handle, ctx = std::move(ctx),
+  const HandleId id = dep.id;
+  sim_->Schedule(penalty, [this, id, ctx = std::move(ctx),
                            respond = std::move(respond)]() mutable {
-    auto it = deployments_.find(handle);
-    if (it == deployments_.end()) {
+    Deployment* found = DeploymentAt(id);
+    if (found == nullptr) {
       respond(NotFoundError("function removed while routing"));
       return;
     }
-    Deployment& dep = *it->second;
+    Deployment& dep = *found;
     // Version assignment: a fresh call draws from the weighted round-robin;
     // retries keep their first assignment (one logical call measures one
     // version) unless that version died (canary promoted/aborted), in which
@@ -727,7 +781,7 @@ void Platform::RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
 void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& container,
                         const std::shared_ptr<CallContext>& ctx, SimTime enqueued_at,
                         std::function<void(Result<Json>)> respond) {
-  const std::string handle = dep.spec.handle;
+  const HandleId id = dep.id;
   if (ctx->traced) {
     // Split the time since routing into cold-start wait (overlap with the
     // serving container's cold-start window) and plain queueing.
@@ -750,33 +804,31 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
     // children of this invocation's span.
     env.trace = TraceContext{ctx->span.trace_id, ctx->span.span_id};
   }
-  env.trigger_kill = [this, handle, container](KillReason reason) {
-    auto it = deployments_.find(handle);
-    if (it != deployments_.end()) {
-      KillContainer(*it->second, container, reason);
+  env.trigger_kill = [this, id, container](KillReason reason) {
+    Deployment* dep = DeploymentAt(id);
+    if (dep != nullptr) {
+      KillContainer(*dep, container, reason);
     } else {
       container->Kill();
     }
   };
-  env.bill_cpu = [this](const std::string& fn, double cpu_ms) {
-    billing_[fn] += cpu_ms / 1000.0;
-  };
+  env.bill_cpu = [this](const std::string& fn, double cpu_ms) { BillCpu(fn, cpu_ms); };
   // Spurious-crash/OOM injection: decide before execution starts, apply
   // after, so the new request is registered and dies with the container
   // (widest blast radius, as a real mid-request fault would produce).
   const FaultInjector::DispatchFault injected =
-      injector_.enabled() ? injector_.OnDispatch(handle, sim_->now())
+      injector_.enabled() ? injector_.OnDispatch(dep.spec.handle, sim_->now())
                           : FaultInjector::DispatchFault{};
   ExecuteRequest(env, SpecForVersion(dep, ctx->version).behavior, ctx->payload,
                  /*remote_entry=*/true,
-                 [this, handle, container, ctx,
+                 [this, id, container, ctx,
                   respond = std::move(respond)](Result<Json> result) {
                    if (ctx->traced) {
                      ctx->span.exec_end = sim_->now();
                    }
-                   auto it = deployments_.find(handle);
-                   if (it != deployments_.end()) {
-                     Deployment& dep = *it->second;
+                   Deployment* found = DeploymentAt(id);
+                   if (found != nullptr) {
+                     Deployment& dep = *found;
                      if (result.ok()) {
                        ++dep.stats.completed;
                      } else {

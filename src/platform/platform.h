@@ -12,8 +12,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/interner.h"
 #include "src/common/json.h"
 #include "src/common/status.h"
 #include "src/platform/fault_injection.h"
@@ -210,7 +212,9 @@ class Platform : public Invoker {
   // Per-function CPU attribution (§8 extension): vCPU-seconds billed to each
   // function handle, including functions running inside merged processes.
   double BilledCpuSeconds(const std::string& function_handle) const;
-  const std::map<std::string, double>& billing_ledger() const { return billing_; }
+  // Materialized snapshot of the ledger (billing itself is a dense
+  // HandleId-indexed vector on the hot path).
+  std::map<std::string, double> billing_ledger() const;
   // Snapshot of all live containers (the cAdvisor sample source).
   std::vector<ResourceSample> SampleResources() const;
   double TotalMemoryInUseMb() const;
@@ -224,7 +228,7 @@ class Platform : public Invoker {
   // invocation's span: segment counters accumulate across attempts, and the
   // span is recorded once, when the response is delivered to the caller.
   struct CallContext {
-    std::string callee;
+    HandleId callee_id = kInvalidHandle;  // Interned callee handle.
     Json payload;
     bool async = false;
     int attempt = 1;
@@ -267,6 +271,7 @@ class Platform : public Invoker {
   };
 
   struct Deployment {
+    HandleId id = kInvalidHandle;  // Interned spec.handle.
     DeploymentSpec spec;
     int64_t version = 1;
     // Monotone version-id source: updates and canaries each take a fresh id,
@@ -287,6 +292,16 @@ class Platform : public Invoker {
     SimTime breaker_opened_at = 0;
     SimTime breaker_open_until = 0;
   };
+
+  // --- Handle-interned deployment lookup. Invoke interns the callee once;
+  // every later probe on the invocation path (attempt begin/settle, routing,
+  // dispatch completion, kill attribution) is a vector index on the id --
+  // no string hashing or std::map probes on the hot path.
+  Deployment* DeploymentAt(HandleId id) const;
+  Deployment* FindDeployment(std::string_view handle) const;
+  // Interns `handle` and returns its (possibly fresh) deployment slot id.
+  HandleId InternHandle(std::string_view handle);
+  void BillCpu(const std::string& function_handle, double cpu_ms);
 
   // The spec a given version id runs (the control's or the staged canary's).
   const DeploymentSpec& SpecForVersion(const Deployment& dep, int64_t version) const;
@@ -322,8 +337,12 @@ class Platform : public Invoker {
   Tracer* tracer_ = nullptr;
   FaultInjector injector_;
   Rng failure_rng_;  // Retry-backoff jitter; independent of injection draws.
-  std::map<std::string, std::unique_ptr<Deployment>> deployments_;
-  std::map<std::string, double> billing_;  // function handle -> vCPU-seconds.
+  // Handle intern table shared by deployments and billed function names;
+  // deployments_ and billing_ are dense side tables indexed by HandleId
+  // (slots are nullptr / 0.0 for ids without a live deployment or charge).
+  StringInterner handles_;
+  std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::vector<double> billing_;  // HandleId -> vCPU-seconds.
   int64_t next_container_id_ = 1;
   int64_t next_trace_id_ = 1;  // Minted only for trace roots (client entries).
   int64_t next_span_id_ = 1;

@@ -1,0 +1,366 @@
+// Allocation-free event core for the discrete-event simulator.
+//
+// Two pieces, both tuned for the Schedule/fire cycle that dominates every
+// simulated run (millions of events for a single load sweep):
+//
+//  - EventFn: a small-buffer-optimized, move-only callable. Callables up to
+//    kInlineCapacity bytes live inside the EventFn itself; only oversized
+//    captures fall back to the heap. Unlike std::function (16-byte inline
+//    buffer in libstdc++, copyable-only targets), almost every platform
+//    closure -- `[this, ctx, respond]`, `[this, id, container]` -- fits
+//    inline, and move-only captures are allowed.
+//
+//  - EventQueue: a 4-ary min-heap of packed 16-byte plain-old-data entries
+//    {time, seq<<24|slot} over a chunked slab of EventFn callbacks with a
+//    free list. Sift operations move small PODs (no callable moves, no
+//    comparator indirection), the 4-ary layout halves the tree height of a
+//    binary heap and the 16-byte packing fits a node's whole child group in
+//    one cache line. Slab chunks have stable addresses, so the loop invokes
+//    callbacks in place (zero moves per fire) and recycles slots afterward:
+//    a steady-state pop-then-push cycle touches no allocator at all.
+//    Ordering is identical to the previous std::priority_queue core: time
+//    ascending, insertion sequence ascending on ties (see
+//    tests/sim/event_queue_determinism_test.cc).
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace quilt {
+
+// Move-only callable with 64 bytes of inline storage.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+  static constexpr std::size_t kStorageAlign = 16;
+
+  EventFn() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function.
+    Construct(std::forward<F>(fn));
+  }
+
+  // Replaces the current target, constructing the new one in place (the slab
+  // uses this to fill a recycled slot without any intermediate EventFn).
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void Assign(F&& fn) {
+    reset();
+    Construct(std::forward<F>(fn));
+  }
+  void Assign(EventFn&& other) { *this = std::move(other); }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() {
+    assert(invoke_ != nullptr);
+    invoke_(target());
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  // True when the callable spilled to the heap (capture > kInlineCapacity);
+  // exposed so the microbenchmark can verify the hot path stays inline.
+  bool on_heap() const { return heap_ != nullptr; }
+
+  void reset() noexcept {
+    if (invoke_ == nullptr) {
+      return;
+    }
+    if (manage_ != nullptr) {  // Null manage_ = trivially destructible inline target.
+      manage_(target(), nullptr);
+    }
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = nullptr;
+  }
+
+ private:
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(void* dst, void* src);
+
+  template <typename F, typename D = std::decay_t<F>>
+  void Construct(F&& fn) {
+    if constexpr (sizeof(D) <= kInlineCapacity && alignof(D) <= kStorageAlign &&
+                  std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>) {
+      // The common case: captures of pointers/ints/refs. manage_ stays null,
+      // which MoveFrom/reset read as "relocate by memcpy, destroy by
+      // nothing" -- moves cost one 64-byte copy, no indirect call.
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      invoke_ = [](void* obj) { (*static_cast<D*>(obj))(); };
+    } else if constexpr (sizeof(D) <= kInlineCapacity && alignof(D) <= kStorageAlign &&
+                         std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      invoke_ = [](void* obj) { (*static_cast<D*>(obj))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        } else {
+          static_cast<D*>(dst)->~D();
+        }
+      };
+    } else {
+      heap_ = new D(std::forward<F>(fn));
+      invoke_ = [](void* obj) { (*static_cast<D*>(obj))(); };
+      manage_ = [](void* dst, void* src) {
+        (void)src;  // Heap targets move by pointer steal; manage only deletes.
+        delete static_cast<D*>(dst);
+      };
+    }
+  }
+
+  void* target() { return heap_ != nullptr ? heap_ : static_cast<void*>(storage_); }
+
+  void MoveFrom(EventFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    if (invoke_ != nullptr && heap_ == nullptr) {
+      if (manage_ != nullptr) {
+        other.manage_(storage_, other.storage_);
+      } else {
+        // Trivially copyable target: relocate the whole inline buffer.
+        std::memcpy(storage_, other.storage_, kInlineCapacity);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  alignas(kStorageAlign) unsigned char storage_[kInlineCapacity];
+  void* heap_ = nullptr;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+// Min-ordered event queue: 4-ary heap of packed 16-byte {time, seq|slot}
+// entries over a chunked slab of callbacks. Assigns insertion sequence
+// numbers itself, so ties fire in Push order.
+class EventQueue {
+ public:
+  bool empty() const { return entries_.empty() && ring_.empty(); }
+  std::size_t size() const { return entries_.size() + (ring_.size() - ring_head_); }
+  SimTime top_time() const {
+    assert(!entries_.empty());
+    return entries_.front().time;
+  }
+  // Earliest firing time given the current clock: due-now ring events fire
+  // at `now`; otherwise the heap minimum.
+  SimTime NextTime(SimTime now) const {
+    return ring_head_ < ring_.size() ? now : top_time();
+  }
+  int64_t next_seq() const { return static_cast<int64_t>(next_seq_); }
+  // Introspection for the microbenchmark's allocation accounting.
+  std::size_t slab_size() const { return minted_slots_; }
+
+  // Accepts any callable (or an EventFn rvalue) and constructs it directly
+  // in the slab slot -- the whole Schedule path creates zero intermediate
+  // EventFn objects.
+  template <typename F>
+  void Push(SimTime time, F&& fn) {
+    uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = MintSlot();
+    }
+    SlotRef(slot).Assign(std::forward<F>(fn));
+    entries_.push_back(Entry{time, (next_seq_++ << kSlotBits) | slot});
+    SiftUp(entries_.size() - 1);
+  }
+
+  // Fast path for events due at the current instant (zero-delay chains,
+  // clamped past targets): a plain FIFO, no heap sift at all. Ordering is
+  // still exactly (time, seq): every heap event at the current timestamp was
+  // pushed before the clock reached it (later pushes for "now" land here
+  // instead), so its seq is smaller than any ring entry's, and FireNext
+  // drains those heap events first; ring entries among themselves fire in
+  // push order.
+  template <typename F>
+  void PushDue(F&& fn) {
+    uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = MintSlot();
+    }
+    SlotRef(slot).Assign(std::forward<F>(fn));
+    ring_.push_back(slot);
+  }
+
+  // Fires the earliest event (due-now ring or heap) in place and recycles
+  // its slot; sets `now` to the firing time before invoking.
+  SimTime FireNext(SimTime& now) {
+    if (ring_head_ < ring_.size()) {
+      if (!entries_.empty() && entries_.front().time == now) {
+        return FireTop(now);  // Same instant, earlier seq: heap goes first.
+      }
+      const uint32_t slot = ring_[ring_head_++];
+      if (ring_head_ == ring_.size()) {
+        // Drained: rewind so capacity is reused. Done before the callback
+        // runs -- anything it pushes starts a fresh FIFO.
+        ring_.clear();
+        ring_head_ = 0;
+      }
+      EventFn& fn = SlotRef(slot);
+      fn();
+      fn.reset();
+      free_.push_back(slot);
+      return now;
+    }
+    return FireTop(now);
+  }
+
+  // Fires the earliest event in place: sets `now` to its timestamp *before*
+  // invoking (callbacks read the clock), runs it straight out of the slab
+  // (chunks never move, so the callback may Push freely), then destroys the
+  // captures and recycles the slot. Returns the event's timestamp.
+  SimTime FireTop(SimTime& now) {
+    assert(!entries_.empty());
+    const Entry top = entries_.front();
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) {
+      SiftDown(0);
+    }
+    const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
+    now = top.time;
+    EventFn& fn = SlotRef(slot);
+    fn();
+    fn.reset();
+    free_.push_back(slot);
+    return top.time;
+  }
+
+  // Pops the earliest event: moves its callback into `out`, recycles the
+  // slab slot, and returns the event's timestamp. (FireTop is the loop's
+  // hot path; this is for callers that need the callback itself.)
+  SimTime PopInto(EventFn& out) {
+    assert(!entries_.empty());
+    const Entry top = entries_.front();
+    entries_.front() = entries_.back();
+    entries_.pop_back();
+    if (!entries_.empty()) {
+      SiftDown(0);
+    }
+    const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
+    out = std::move(SlotRef(slot));
+    free_.push_back(slot);
+    return top.time;
+  }
+
+ private:
+  // key packs (seq << 24) | slot: seq in the high 40 bits keeps tie-break
+  // order (slots never collide within one key's lifetime), slot in the low
+  // 24 caps pending events at 16M -- far above any simulated run. 16-byte
+  // entries put a 4-ary node's whole child group in one cache line.
+  static constexpr int kSlotBits = 24;
+  static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+  // 512 callbacks per chunk; chunks are stable (never reallocated), so a
+  // firing callback keeps a valid `this` even while it pushes new events.
+  static constexpr uint32_t kChunkShift = 9;
+  static constexpr uint32_t kChunkSize = uint32_t{1} << kChunkShift;
+
+  struct Entry {
+    SimTime time;
+    uint64_t key;
+  };
+
+  static bool Before(const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.key < b.key;
+  }
+
+  EventFn& SlotRef(uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  uint32_t MintSlot() {
+    const uint32_t slot = minted_slots_;
+    assert(slot <= kSlotMask && "pending-event limit (16M) exceeded");
+    if ((slot & (kChunkSize - 1)) == 0) {
+      chunks_.emplace_back(new EventFn[kChunkSize]);
+      // Every slot can end up on the free list at once (e.g. the final
+      // drain of a run); pre-sizing free_ to the slab here means recycling
+      // never allocates in steady state.
+      free_.reserve(chunks_.size() * kChunkSize);
+    }
+    ++minted_slots_;
+    return slot;
+  }
+
+  void SiftUp(std::size_t i) {
+    const Entry item = entries_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!Before(item, entries_[parent])) {
+        break;
+      }
+      entries_[i] = entries_[parent];
+      i = parent;
+    }
+    entries_[i] = item;
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = entries_.size();
+    const Entry item = entries_[i];
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) {
+        break;
+      }
+      std::size_t best = first;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (Before(entries_[c], entries_[best])) {
+          best = c;
+        }
+      }
+      if (!Before(entries_[best], item)) {
+        break;
+      }
+      entries_[i] = entries_[best];
+      i = best;
+    }
+    entries_[i] = item;
+  }
+
+  std::vector<Entry> entries_;                   // Heap order.
+  std::vector<std::unique_ptr<EventFn[]>> chunks_;  // Stable callback slab.
+  std::vector<uint32_t> free_;                   // Recycled slab slots.
+  std::vector<uint32_t> ring_;                   // Due-now FIFO (slot ids).
+  std::size_t ring_head_ = 0;
+  uint32_t minted_slots_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace quilt
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,41 +1,30 @@
 #include "src/sim/simulation.h"
 
-#include <cassert>
 #include <utility>
 
 namespace quilt {
 
-void Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
-  }
-  ScheduleAt(now_ + delay, std::move(fn));
-}
-
-void Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
-}
-
 void Simulation::Run() {
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.time;
+  // FireNext invokes the callback in place in the slab and destroys its
+  // captures before the next pop, matching the lifetime the old copy-out
+  // loop gave them (an event's state dies when its turn ends).
+  while (!stopped_ && !queue_.empty()) {
+    queue_.FireNext(now_);
     ++events_processed_;
-    event.fn();
   }
+  stopped_ = false;  // A sticky Stop() is consumed by exactly one run.
 }
 
 void Simulation::RunUntil(SimTime deadline) {
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.time;
+  while (!stopped_ && !queue_.empty() && queue_.NextTime(now_) <= deadline) {
+    queue_.FireNext(now_);
     ++events_processed_;
-    event.fn();
+  }
+  if (stopped_) {
+    // Stop() freezes the clock where it fired; the deadline advance below
+    // only happens when the window ran to completion.
+    stopped_ = false;
+    return;
   }
   if (now_ < deadline) {
     now_ = deadline;

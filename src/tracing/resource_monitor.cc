@@ -1,10 +1,41 @@
 #include "src/tracing/resource_monitor.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace quilt {
 
+void MetricsStore::AddBatch(std::vector<ResourceSample> batch) {
+  pending_samples_.insert(pending_samples_.end(), std::make_move_iterator(batch.begin()),
+                          std::make_move_iterator(batch.end()));
+}
+
+void MetricsStore::AddFailureBatch(std::vector<FailureSample> batch) {
+  pending_failures_.insert(pending_failures_.end(), std::make_move_iterator(batch.begin()),
+                           std::make_move_iterator(batch.end()));
+}
+
+void MetricsStore::FlushSamples() const {
+  if (pending_samples_.empty()) {
+    return;
+  }
+  samples_.reserve(samples_.size() + pending_samples_.size());
+  std::move(pending_samples_.begin(), pending_samples_.end(), std::back_inserter(samples_));
+  pending_samples_.clear();
+}
+
+void MetricsStore::FlushFailures() const {
+  if (pending_failures_.empty()) {
+    return;
+  }
+  failure_samples_.reserve(failure_samples_.size() + pending_failures_.size());
+  std::move(pending_failures_.begin(), pending_failures_.end(),
+            std::back_inserter(failure_samples_));
+  pending_failures_.clear();
+}
+
 std::map<std::string, MetricsStore::FunctionUsage> MetricsStore::Aggregate() const {
+  FlushSamples();
   // Latest sample per (handle, container).
   struct Latest {
     double cpu = 0.0;
@@ -34,6 +65,7 @@ std::map<std::string, MetricsStore::FunctionUsage> MetricsStore::Aggregate() con
 }
 
 std::map<std::string, FailureSample> MetricsStore::LatestFailures() const {
+  FlushFailures();
   std::map<std::string, FailureSample> latest;
   for (const FailureSample& sample : failure_samples_) {
     FailureSample& entry = latest[sample.handle];
@@ -60,13 +92,11 @@ void ResourceMonitor::Tick() {
   if (!running_) {
     return;
   }
-  for (ResourceSample& sample : source_()) {
-    store_->Add(std::move(sample));
-  }
+  // Each tick hands its whole sample vector to the store as one batch; the
+  // store defers the fold into the long-lived series until somebody reads.
+  store_->AddBatch(source_());
   if (failure_source_) {
-    for (FailureSample& sample : failure_source_()) {
-      store_->AddFailure(std::move(sample));
-    }
+    store_->AddFailureBatch(failure_source_());
   }
   sim_->Schedule(interval_, [this] { Tick(); });
 }

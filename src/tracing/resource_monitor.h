@@ -76,7 +76,10 @@ struct WorkflowLatencySummary {
   double overhead_share = 0.0;
 };
 
-// Time-series storage ("InfluxDB").
+// Time-series storage ("InfluxDB"). Writes land in per-run pending buffers
+// (O(1) appends; whole sampler ticks arrive via AddBatch) that are folded
+// into the long-lived series on first read — the growing stores never
+// reallocate on the sampler's hot path, and arrival order is preserved.
 class MetricsStore {
  public:
   struct FunctionUsage {
@@ -84,10 +87,21 @@ class MetricsStore {
     double peak_memory_mb = 0.0;  // Max container memory seen.
   };
 
-  void Add(ResourceSample sample) { samples_.push_back(std::move(sample)); }
-  const std::vector<ResourceSample>& samples() const { return samples_; }
-  void AddFailure(FailureSample sample) { failure_samples_.push_back(std::move(sample)); }
-  const std::vector<FailureSample>& failure_samples() const { return failure_samples_; }
+  void Add(ResourceSample sample) { pending_samples_.push_back(std::move(sample)); }
+  // One sampler tick's worth of samples, appended as a unit.
+  void AddBatch(std::vector<ResourceSample> batch);
+  const std::vector<ResourceSample>& samples() const {
+    FlushSamples();
+    return samples_;
+  }
+  void AddFailure(FailureSample sample) {
+    pending_failures_.push_back(std::move(sample));
+  }
+  void AddFailureBatch(std::vector<FailureSample> batch);
+  const std::vector<FailureSample>& failure_samples() const {
+    FlushFailures();
+    return failure_samples_;
+  }
   // Decision telemetry (§4): one record per Decide/ReconsiderWorkflow run.
   void AddDecision(DecisionRecord record) { decisions_.push_back(std::move(record)); }
   const std::vector<DecisionRecord>& decisions() const { return decisions_; }
@@ -104,7 +118,9 @@ class MetricsStore {
   const std::vector<AdaptationRecord>& adaptations() const { return adaptations_; }
   void Clear() {
     samples_.clear();
+    pending_samples_.clear();
     failure_samples_.clear();
+    pending_failures_.clear();
     decisions_.clear();
     workflow_latency_.clear();
     adaptations_.clear();
@@ -117,8 +133,13 @@ class MetricsStore {
   std::map<std::string, FailureSample> LatestFailures() const;
 
  private:
-  std::vector<ResourceSample> samples_;
-  std::vector<FailureSample> failure_samples_;
+  void FlushSamples() const;
+  void FlushFailures() const;
+
+  mutable std::vector<ResourceSample> samples_;
+  mutable std::vector<ResourceSample> pending_samples_;
+  mutable std::vector<FailureSample> failure_samples_;
+  mutable std::vector<FailureSample> pending_failures_;
   std::vector<DecisionRecord> decisions_;
   std::vector<WorkflowLatencySummary> workflow_latency_;
   std::vector<AdaptationRecord> adaptations_;

@@ -56,6 +56,54 @@ TEST(HistogramTest, QuantileRelativeErrorBounded) {
   }
 }
 
+// Locks in the nearest-rank convention: the q-quantile is the value at
+// 1-based rank ceil(q * N). All values here are < 256 so buckets are exact
+// and every expectation is an exact equality — any drift back toward the old
+// truncation (rank floor(q*N), which understated small-count tails) fails.
+TEST(HistogramTest, QuantileUsesNearestRankCeil) {
+  LatencyHistogram h;
+  for (int v = 1; v <= 10; ++v) {
+    h.Record(v);  // Values 1..10.
+  }
+  // ceil(0.99 * 10) = 10 -> the largest sample. Truncation gave rank 9.
+  EXPECT_EQ(h.Quantile(0.99), 10);
+  EXPECT_EQ(h.P99(), 10);
+  // ceil(0.5 * 10) = 5. Exactly-representable product: no slack involved.
+  EXPECT_EQ(h.Quantile(0.5), 5);
+  // ceil(0.51 * 10) = 6: just past the median boundary moves one rank up.
+  EXPECT_EQ(h.Quantile(0.51), 6);
+  // ceil(0.05 * 10) = 1 -> the smallest sample.
+  EXPECT_EQ(h.Quantile(0.05), 1);
+  // Endpoints are pinned to tracked min/max.
+  EXPECT_EQ(h.Quantile(0.0), 1);
+  EXPECT_EQ(h.Quantile(1.0), 10);
+}
+
+TEST(HistogramTest, QuantileFloatNoiseDoesNotSkipRank) {
+  LatencyHistogram h;
+  for (int v = 1; v <= 100; ++v) {
+    h.Record(v);
+  }
+  // 0.99 * 100 is 99.000000000000014 in binary floating point; a naive ceil
+  // would land on rank 100. The convention (with its 1e-9 slack) must treat
+  // it as exactly rank 99.
+  EXPECT_EQ(h.Quantile(0.99), 99);
+  EXPECT_EQ(h.Quantile(0.5), 50);
+  // 0.07 * 100 = 7.000000000000001 -> rank 7, not 8.
+  EXPECT_EQ(h.Quantile(0.07), 7);
+}
+
+TEST(HistogramTest, QuantileTinyCountTailsHitMax) {
+  // With very few samples every upper quantile is the max sample — the case
+  // the old truncation got wrong (p99 of 2 samples returned the smaller).
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(200);
+  EXPECT_EQ(h.Quantile(0.99), 200);
+  EXPECT_EQ(h.Quantile(0.75), 200);  // ceil(1.5) = 2.
+  EXPECT_EQ(h.Quantile(0.5), 10);    // ceil(1.0) = 1.
+}
+
 TEST(HistogramTest, NegativeValuesClampToZero) {
   LatencyHistogram h;
   h.Record(-100);

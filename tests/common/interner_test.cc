@@ -1,0 +1,90 @@
+#include "src/common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace quilt {
+namespace {
+
+TEST(StringInternerTest, MintsDenseIdsInFirstSeenOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("compose-post"), 0);
+  EXPECT_EQ(interner.Intern("user-timeline"), 1);
+  EXPECT_EQ(interner.Intern("media-upload"), 2);
+  EXPECT_EQ(interner.size(), 3);
+}
+
+TEST(StringInternerTest, RepeatInternReturnsSameId) {
+  StringInterner interner;
+  const HandleId id = interner.Intern("compose-post");
+  EXPECT_EQ(interner.Intern("compose-post"), id);
+  EXPECT_EQ(interner.size(), 1);
+}
+
+TEST(StringInternerTest, RoundTripNameOf) {
+  StringInterner interner;
+  const std::vector<std::string> names = {"a", "gateway", "compose-post-merged", ""};
+  std::vector<HandleId> ids;
+  for (const std::string& name : names) {
+    ids.push_back(interner.Intern(name));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(interner.NameOf(ids[i]), names[i]);
+    EXPECT_EQ(interner.Find(names[i]), ids[i]);
+  }
+}
+
+TEST(StringInternerTest, FindNeverMints) {
+  StringInterner interner;
+  interner.Intern("known");
+  EXPECT_EQ(interner.Find("unknown"), kInvalidHandle);
+  EXPECT_EQ(interner.size(), 1);  // The failed Find did not mint an id.
+  EXPECT_EQ(interner.Find("known"), 0);
+}
+
+// "Collision" safety: near-identical names (shared prefixes, one a prefix of
+// another, same length differing in one byte) must each get a distinct id —
+// a hash collision in the index may cost a probe but never a wrong id.
+TEST(StringInternerTest, SimilarNamesGetDistinctIds) {
+  StringInterner interner;
+  const std::vector<std::string> names = {"fn", "fn0", "fn1", "fn-0", "f", "fn00", "Fn0"};
+  std::vector<HandleId> ids;
+  for (const std::string& name : names) {
+    ids.push_back(interner.Intern(name));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]) << names[i] << " vs " << names[j];
+    }
+    EXPECT_EQ(interner.NameOf(ids[i]), names[i]);
+  }
+}
+
+// NameOf references and Find results must survive heavy growth: the index
+// keys are string_views into the stored strings, so rehashing and deque
+// growth must never move the bytes (SSO strings would dangle if stored in a
+// vector).
+TEST(StringInternerTest, ReferencesStableAcrossGrowth) {
+  StringInterner interner;
+  const HandleId first = interner.Intern("first-handle");
+  const std::string* first_name = &interner.NameOf(first);
+  for (int i = 0; i < 5000; ++i) {
+    interner.Intern("handle-" + std::to_string(i));
+  }
+  EXPECT_EQ(&interner.NameOf(first), first_name);  // Address unchanged.
+  EXPECT_EQ(*first_name, "first-handle");
+  EXPECT_EQ(interner.Find("first-handle"), first);
+  // Every minted id still round-trips after all the rehashes.
+  for (int i = 0; i < 5000; ++i) {
+    const std::string name = "handle-" + std::to_string(i);
+    const HandleId id = interner.Find(name);
+    ASSERT_NE(id, kInvalidHandle) << name;
+    EXPECT_EQ(interner.NameOf(id), name);
+  }
+  EXPECT_EQ(interner.size(), 5001);
+}
+
+}  // namespace
+}  // namespace quilt

@@ -68,6 +68,39 @@ TEST(SimulationTest, NegativeDelayClampsToNow) {
   EXPECT_EQ(sim.now(), Milliseconds(1));
 }
 
+// Regression (release-mode path): ScheduleAt with a past target used to be
+// guarded only by assert(when >= now_), which compiles out under NDEBUG —
+// a release build silently ran the event at its stale timestamp and the
+// clock jumped backwards. Policy now: past targets clamp to now(), the
+// clock is monotone, and past_clamps() counts the offenders. This test runs
+// identically under both CMake presets (default builds with NDEBUG, asan
+// re-arms asserts with -UNDEBUG): it would fail on the pre-fix code either
+// way — wrong firing time in release, assert abort under asan.
+TEST(SimulationTest, PastTimeScheduleClampsToNow) {
+  Simulation sim;
+  std::vector<SimTime> fired_at;
+  sim.Schedule(Milliseconds(5), [&] {
+    sim.ScheduleAt(Milliseconds(1), [&] { fired_at.push_back(sim.now()); });
+  });
+  sim.Schedule(Milliseconds(7), [&] { fired_at.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[0], Milliseconds(5));  // Clamped: fires at schedule time.
+  EXPECT_EQ(fired_at[1], Milliseconds(7));  // Clock never went backwards.
+  EXPECT_EQ(sim.past_clamps(), 1);
+}
+
+TEST(SimulationTest, PastTimeClampFiresAfterEventsAlreadyQueuedForNow) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Milliseconds(5), [&] {
+    sim.Schedule(0, [&] { order.push_back(1); });          // Queued for "now" first.
+    sim.ScheduleAt(Milliseconds(2), [&] { order.push_back(2); });  // Clamped to now.
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // Insertion order at the clamped instant.
+}
+
 TEST(SimulationTest, StopHaltsProcessing) {
   Simulation sim;
   int fired = 0;
@@ -78,6 +111,66 @@ TEST(SimulationTest, StopHaltsProcessing) {
   sim.Schedule(Milliseconds(2), [&] { ++fired; });
   sim.Run();
   EXPECT_EQ(fired, 1);
+}
+
+// Regression: Run()/RunUntil() used to reset stopped_ = false on entry, so a
+// Stop() issued while the loop was idle (e.g. from a callback between two
+// RunUntil() windows) was silently swallowed. Stop() is now sticky: it halts
+// the next run immediately, and that run consumes it.
+TEST(SimulationTest, StopBeforeRunHaltsNextRunImmediately) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(1), [&] { ++fired; });
+  sim.Stop();
+  sim.Run();  // Consumes the pending stop; processes nothing.
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 1);
+  sim.Run();  // Stop was consumed: this run proceeds normally.
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, StopBeforeRunUntilHaltsAndFreezesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(1), [&] { ++fired; });
+  sim.Stop();
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 0);  // Frozen: no silent advance to the deadline.
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Milliseconds(10));
+}
+
+TEST(SimulationTest, StopInsideRunUntilFreezesClockAtStopInstant) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(2), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Milliseconds(4), [&] { ++fired; });
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Milliseconds(2));  // Stop instant, not the deadline.
+  sim.RunUntil(Milliseconds(10));  // Stop consumed: window completes.
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Milliseconds(10));
+}
+
+TEST(SimulationTest, StopIsConsumedByExactlyOneRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Milliseconds(2), [&] { ++fired; });
+  sim.Run();  // Halts after the first event, consuming the stop.
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // Not still stopped: drains the rest.
+  EXPECT_EQ(fired, 2);
 }
 
 TEST(SimulationTest, EventsProcessedCounter) {
