@@ -6,7 +6,7 @@
 // cold-start latency of the merged function.
 #include "bench/bench_util.h"
 #include "src/apps/deathstarbench.h"
-#include "src/quiltc/compiler.h"
+#include "src/quiltc/compile_service.h"
 
 namespace quilt {
 namespace bench {
@@ -75,9 +75,11 @@ int main() {
   std::printf("%-22s | %10s | %6s %6s | %12s\n", "variant", "binary", "eager", "lazy",
               "cold start");
   for (const Variant& variant : variants) {
-    QuiltCompiler compiler(variant.options);
+    CompileServiceOptions service_options;
+    service_options.quiltc = variant.options;
+    CompileService service(service_options);
     Result<MergedArtifact> artifact =
-        compiler.MergeGroup(*graph, FullMergeSolution(*graph).groups[0], app.Sources());
+        service.MergeGroup(*graph, FullMergeSolution(*graph).groups[0], app.Sources());
     if (!artifact.ok()) {
       std::printf("%-22s | merge failed: %s\n", variant.name,
                   artifact.status().ToString().c_str());

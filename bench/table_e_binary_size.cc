@@ -10,7 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/deathstarbench.h"
-#include "src/quiltc/compiler.h"
+#include "src/quiltc/compile_service.h"
 
 int main() {
   using namespace quilt;
@@ -20,7 +20,7 @@ int main() {
   std::printf("%-26s %4s | %8s %8s %8s %10s | %10s | %8s\n", "workflow", "fns", "min",
               "avg", "max", "sum", "quilt", "saved");
 
-  QuiltCompiler compiler;
+  CompileService service;
   const std::vector<WorkflowApp> workflows = {
       ComposePost(true),     FollowWithUname(true), ReadHomeTimeline(),
       ComposeReview(true),   PageService(true),     ReadUserReview(),
@@ -36,7 +36,7 @@ int main() {
     int64_t max_size = 0;
     int64_t sum = 0;
     for (const auto& [handle, source] : sources) {
-      Result<MergedArtifact> single = compiler.BuildSingleFunction(source);
+      Result<MergedArtifact> single = service.BuildSingleFunction(source);
       if (!single.ok()) {
         continue;
       }
@@ -45,7 +45,7 @@ int main() {
       sum += single->image.size_bytes;
     }
     Result<MergedArtifact> merged =
-        compiler.MergeGroup(*graph, FullMergeSolution(*graph).groups[0], app.Sources());
+        service.MergeGroup(*graph, FullMergeSolution(*graph).groups[0], app.Sources());
     if (!merged.ok()) {
       std::printf("!! %s: %s\n", app.name.c_str(), merged.status().ToString().c_str());
       continue;

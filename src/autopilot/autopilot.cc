@@ -203,7 +203,13 @@ void Autopilot::AdoptPlan(const std::string& root, Pilot& pilot, const std::stri
   if (!controller_->StageCanaryPlan(root, *plan, options_.canary_fraction).ok()) {
     return;
   }
+  // Modeled cost of building the plan's artifacts (the price of adapting).
+  double plan_compile_s = 0.0;
+  for (const MergedArtifact& artifact : plan->artifacts) {
+    plan_compile_s += ToSeconds(artifact.TotalPipelineTime());
+  }
   AdaptationRecord decided = MakeRecord(root, from, WorkflowState::kOptimized, "decide");
+  decided.plan_compile_s = plan_compile_s;
   decided.detector = detector;
   decided.metric = verdict.metric;
   decided.threshold = verdict.threshold;
@@ -214,6 +220,7 @@ void Autopilot::AdoptPlan(const std::string& root, Pilot& pilot, const std::stri
   Emit(std::move(decided));
   AdaptationRecord staged =
       MakeRecord(root, WorkflowState::kOptimized, WorkflowState::kCanarying, "stage-canary");
+  staged.plan_compile_s = plan_compile_s;
   staged.detector = detector;
   staged.window_traces = window_traces;
   staged.reason = StrCat(plan->merged_groups, " merged group(s) staged at ",

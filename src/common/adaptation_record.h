@@ -32,6 +32,10 @@ struct AdaptationRecord {
   double metric = 0.0;     // Detector metric value at the trigger.
   double threshold = 0.0;  // The configured threshold it was compared to.
   int64_t window_traces = 0;  // Complete traces in the evaluated window.
+  // Modeled from-scratch compile cost of the plan's artifacts in seconds
+  // (Σ TotalPipelineTime); 0 for events without a freshly built plan. A pure
+  // function of the plan, so the determinism contract holds.
+  double plan_compile_s = 0.0;
 };
 
 // Canonical one-line serialization, used for determinism comparison and the
@@ -40,7 +44,8 @@ inline std::string AdaptationRecordLine(const AdaptationRecord& r) {
   return StrCat(r.workflow, " tick=", r.tick, " t=", r.virtual_time, " ", r.from_state, "->",
                 r.to_state, " action=", r.action, " detector=", r.detector.empty() ? "-" : r.detector,
                 " metric=", FormatDouble(r.metric, 4), " threshold=", FormatDouble(r.threshold, 4),
-                " traces=", r.window_traces, " reason=", r.reason);
+                " traces=", r.window_traces, " compile=", FormatDouble(r.plan_compile_s, 3),
+                " reason=", r.reason);
 }
 
 }  // namespace quilt

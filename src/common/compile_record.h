@@ -1,0 +1,59 @@
+// Telemetry for one compilation the CompileService performed (§5): what was
+// built, from what inputs, and what the modeled pipeline cost. Shared
+// vocabulary between the compile service (quiltc layer), the controller
+// (core layer) and the metrics store (tracing layer) — a flat struct with no
+// dependencies, like DecisionRecord.
+//
+// Determinism contract: every field is a pure function of the compilation
+// inputs (sources, group, alpha budgets, QuiltcOptions) plus the context the
+// controller stamps. Records deliberately carry NO cache- or thread-derived
+// fields — no hit flags, no wall-clock, no thread counts — so the record
+// sequence of a run is byte-identical across 1/2/8 compile threads and with
+// the caches on or off (the property the determinism tests pin). Cache
+// telemetry lives in CompileService::Stats instead.
+#ifndef SRC_COMMON_COMPILE_RECORD_H_
+#define SRC_COMMON_COMPILE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+struct CompileRecord {
+  // --- What was built (filled by the CompileService).
+  std::string kind;    // "single" | "merge".
+  std::string handle;  // Group root (merge) or function handle (single).
+  int members = 1;     // Functions in the artifact.
+  uint64_t fingerprint = 0;  // Content address of the compilation inputs.
+  int localized_edges = 0;
+
+  // --- Modeled full pipeline cost in seconds (§7.5.3 Fig. 8). Always the
+  // from-scratch cost, regardless of what the caches answered.
+  double compile_s = 0.0;
+  double link_s = 0.0;
+  double merge_s = 0.0;
+  double codegen_s = 0.0;
+  double total_s = 0.0;
+
+  // --- Context (filled by the controller when it emits the record).
+  std::string trigger;       // "deploy" | "reconsider" | "canary" | "direct".
+  std::string workflow;      // Workflow root handle.
+  int64_t virtual_time = 0;  // SimTime at emission.
+};
+
+// Canonical one-line serialization, used for determinism comparison and the
+// bench's --json emitter. Field order and float precision are fixed.
+inline std::string CompileRecordLine(const CompileRecord& r) {
+  return StrCat(r.kind, " ", r.handle, " members=", r.members, " fp=", r.fingerprint,
+                " edges=", r.localized_edges, " compile=", FormatDouble(r.compile_s, 3),
+                " link=", FormatDouble(r.link_s, 3), " merge=", FormatDouble(r.merge_s, 3),
+                " codegen=", FormatDouble(r.codegen_s, 3),
+                " total=", FormatDouble(r.total_s, 3), " trigger=", r.trigger,
+                " workflow=", r.workflow, " t=", r.virtual_time);
+}
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_COMPILE_RECORD_H_

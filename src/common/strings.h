@@ -26,6 +26,12 @@ std::string StrCat(const Args&... args) {
   return os.str();
 }
 
+// Appends streamable arguments to *dest.
+template <typename... Args>
+void StrAppend(std::string* dest, const Args&... args) {
+  dest->append(StrCat(args...));
+}
+
 // Joins items with a separator.
 std::string StrJoin(const std::vector<std::string>& items, const std::string& sep);
 

@@ -26,13 +26,25 @@ DecisionEngineOptions EngineOptionsFrom(const ControllerOptions& options) {
   return engine;
 }
 
+CompileServiceOptions ServiceOptionsFrom(const ControllerOptions& options) {
+  CompileServiceOptions service;
+  service.quiltc = options.quiltc;
+  service.compile_threads = options.compile_threads;
+  service.ir_cache = options.compile_ir_cache;
+  service.ir_cache_capacity = options.compile_ir_cache_capacity;
+  service.artifact_cache = options.compile_artifact_cache;
+  service.artifact_cache_capacity = options.compile_artifact_cache_capacity;
+  service.verify_each_pass = options.compile_verify_each_pass;
+  return service;
+}
+
 }  // namespace
 
 QuiltController::QuiltController(Simulation* sim, Platform* platform, ControllerOptions options)
     : sim_(sim),
       platform_(platform),
       options_(options),
-      compiler_(options.quiltc),
+      compile_service_(ServiceOptionsFrom(options)),
       decision_engine_(EngineOptionsFrom(options)),
       tracer_(sim, &span_store_),
       metrics_store_(),
@@ -109,7 +121,7 @@ Result<DeploymentSpec> QuiltController::BaselineSpec(const WorkflowApp& app,
     return NotFoundError(StrCat("function '", handle, "' not in workflow '", app.name, "'"));
   }
   const std::map<std::string, SourceFunction> sources = app.Sources();
-  Result<MergedArtifact> artifact = compiler_.BuildSingleFunction(sources.at(handle));
+  Result<MergedArtifact> artifact = compile_service_.BuildSingleFunction(sources.at(handle));
   if (!artifact.ok()) {
     return artifact.status();
   }
@@ -256,6 +268,25 @@ Result<MergeSolution> QuiltController::DecideWithTrigger(const CallGraph& graph,
   return solution;
 }
 
+Result<std::vector<MergedArtifact>> QuiltController::CompileSolution(
+    const CallGraph& graph, const MergeSolution& solution,
+    const std::map<std::string, SourceFunction>& sources, const std::string& workflow_root,
+    const std::string& trigger) {
+  std::vector<CompileRecord> records;
+  Result<std::vector<MergedArtifact>> artifacts =
+      compile_service_.MergeSolution(graph, solution, sources, &records);
+  if (!artifacts.ok()) {
+    return artifacts.status();
+  }
+  for (CompileRecord& record : records) {
+    record.trigger = trigger;
+    record.workflow = workflow_root;
+    record.virtual_time = sim_->now();
+    metrics_store_.AddCompile(std::move(record));
+  }
+  return artifacts;
+}
+
 Result<std::vector<MergedArtifact>> QuiltController::Merge(const CallGraph& graph,
                                                            const MergeSolution& solution,
                                                            const std::string& workflow_root) {
@@ -263,7 +294,7 @@ Result<std::vector<MergedArtifact>> QuiltController::Merge(const CallGraph& grap
   if (app == nullptr) {
     return NotFoundError(StrCat("workflow root '", workflow_root, "' not registered"));
   }
-  return compiler_.MergeSolution(graph, solution, app->Sources());
+  return CompileSolution(graph, solution, app->Sources(), workflow_root, "deploy");
 }
 
 Status QuiltController::DeployMerged(const CallGraph& graph, const MergeSolution& solution,
@@ -336,7 +367,7 @@ Status QuiltController::DeploySolutionDirect(const WorkflowApp& app,
     return graph.status();
   }
   Result<std::vector<MergedArtifact>> artifacts =
-      compiler_.MergeSolution(*graph, solution, app.Sources());
+      CompileSolution(*graph, solution, app.Sources(), app.root_handle, "direct");
   if (!artifacts.ok()) {
     return artifacts.status();
   }
@@ -422,7 +453,12 @@ Result<QuiltController::ReconsiderReport> QuiltController::ReconsiderWorkflow(
     report.reason = "profile unchanged; keeping the current merge";
     return report;
   }
-  Result<std::vector<MergedArtifact>> artifacts = Merge(*graph, *solution, root_handle);
+  const WorkflowApp* app = AppForHandle(root_handle);
+  if (app == nullptr) {
+    return NotFoundError(StrCat("workflow root '", root_handle, "' not registered"));
+  }
+  Result<std::vector<MergedArtifact>> artifacts =
+      CompileSolution(*graph, *solution, app->Sources(), root_handle, "reconsider");
   if (!artifacts.ok()) {
     return artifacts.status();
   }
@@ -523,8 +559,12 @@ Result<QuiltController::ProposedPlan> QuiltController::ProposePlan(
                      ? plan.signature != deployed_it->second.signature
                      : plan.merged_groups > 0;
   if (plan.changed && plan.merged_groups > 0) {
+    const WorkflowApp* app = AppForHandle(root_handle);
+    if (app == nullptr) {
+      return NotFoundError(StrCat("workflow root '", root_handle, "' not registered"));
+    }
     Result<std::vector<MergedArtifact>> artifacts =
-        Merge(plan.graph, plan.solution, root_handle);
+        CompileSolution(plan.graph, plan.solution, app->Sources(), root_handle, "canary");
     if (!artifacts.ok()) {
       return artifacts.status();
     }
@@ -788,7 +828,7 @@ Status QuiltController::DeployContainerMerge(const WorkflowApp& app, double memo
   int64_t image_bytes = 0;
   const std::map<std::string, SourceFunction> sources = app.Sources();
   for (const auto& [handle, source] : sources) {
-    Result<MergedArtifact> artifact = compiler_.BuildSingleFunction(source);
+    Result<MergedArtifact> artifact = compile_service_.BuildSingleFunction(source);
     if (!artifact.ok()) {
       return artifact.status();
     }

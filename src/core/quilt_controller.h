@@ -24,7 +24,7 @@
 #include "src/partition/decision_engine.h"
 #include "src/partition/problem.h"
 #include "src/platform/platform.h"
-#include "src/quiltc/compiler.h"
+#include "src/quiltc/compile_service.h"
 #include "src/tracing/call_graph_builder.h"
 #include "src/tracing/resource_monitor.h"
 #include "src/tracing/trace_assembler.h"
@@ -69,6 +69,19 @@ struct ControllerOptions {
   bool merged_scale_is_member_sum = true;
 
   QuiltcOptions quiltc;
+
+  // Merge compilation (§5), delegated to the CompileService: fan-out
+  // threads for independent group merges, plus the content-addressed IR and
+  // artifact caches that make redeploy/reconsider cycles incremental. The
+  // parallelism and the caches never change what gets built — artifacts and
+  // compile records are byte-identical for any setting.
+  int compile_threads = 1;
+  bool compile_ir_cache = true;
+  size_t compile_ir_cache_capacity = 512;
+  bool compile_artifact_cache = true;
+  size_t compile_artifact_cache_capacity = 128;
+  // Debug aid: run IrModule::Verify() after every pass of every pipeline.
+  bool compile_verify_each_pass = false;
 
   SimDuration monitor_interval = Seconds(1);
 };
@@ -225,6 +238,10 @@ class QuiltController {
   MetricsStore* metrics_store() { return &metrics_store_; }
   const MetricsStore* metrics_store() const { return &metrics_store_; }
   DecisionEngine* decision_engine() { return &decision_engine_; }
+  // The compile stack behind Merge/DeploySolutionDirect and the baseline
+  // builders; exposes cache/parallelism statistics.
+  CompileService* compile_service() { return &compile_service_; }
+  const CompileService* compile_service() const { return &compile_service_; }
   const ControllerOptions& options() const { return options_; }
 
   // Deployment-spec builders (exposed for benchmarks/tests).
@@ -239,11 +256,20 @@ class QuiltController {
   // Decide + decision telemetry: emits a DecisionRecord (tagged with the
   // trigger) into the MetricsStore, success or failure.
   Result<MergeSolution> DecideWithTrigger(const CallGraph& graph, const std::string& trigger);
+  // Compile a solution through the CompileService and emit one CompileRecord
+  // per artifact (tagged with the trigger) into the MetricsStore.
+  Result<std::vector<MergedArtifact>> CompileSolution(
+      const CallGraph& graph, const MergeSolution& solution,
+      const std::map<std::string, SourceFunction>& sources, const std::string& workflow_root,
+      const std::string& trigger);
 
   Simulation* sim_;
   Platform* platform_;
   ControllerOptions options_;
-  QuiltCompiler compiler_;
+  // mutable: the const deployment-spec builders (BaselineSpec,
+  // DeployContainerMerge) build single-function artifacts through the
+  // service, which updates its caches and statistics.
+  mutable CompileService compile_service_;
   DecisionEngine decision_engine_;
 
   SpanStore span_store_;

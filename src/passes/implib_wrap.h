@@ -14,6 +14,10 @@
 
 namespace quilt {
 
+// Size of the generated dlopen-on-first-call trampoline object emitted per
+// wrapped library (Implib.so's <lib>.tramp.S + <lib>.init.c equivalent).
+constexpr int64_t kShimCodeBytes = 2 * 1024;
+
 Result<PassStats> RunImplibWrapPass(IrModule& module);
 
 }  // namespace quilt

@@ -1,303 +1,36 @@
 #include "src/quiltc/compiler.h"
 
-#include <algorithm>
-#include <deque>
-#include <set>
-
-#include "src/common/strings.h"
-#include "src/frontend/frontend.h"
-#include "src/ir/linker.h"
-#include "src/passes/dce.h"
-#include "src/passes/delay_http.h"
-#include "src/passes/implib_wrap.h"
-#include "src/passes/merge_func.h"
-#include "src/passes/rename_func.h"
-
 namespace quilt {
 
 namespace {
 
-std::string FlatHandle(const std::string& handle) {
-  std::string flat = handle;
-  for (char& c : flat) {
-    if (c == '-') {
-      c = '_';
-    }
-  }
-  return flat;
-}
-
-// Modeled llvm-link cost: proportional to the bitcode being combined.
-SimDuration LinkRoundTime(int64_t module_bytes) {
-  return Seconds(0.6 + static_cast<double>(module_bytes) / (4.0 * 1024 * 1024));
-}
-
-// Modeled Quilt-pass cost per merge round.
-SimDuration MergeRoundTime(int64_t module_bytes) {
-  return Seconds(2.2 + static_cast<double>(module_bytes) / (1.2 * 1024 * 1024));
-}
-
-// Modeled llc cost for the final bitcode.
-SimDuration CodegenTime(int64_t module_bytes) {
-  return Seconds(3.0 + static_cast<double>(module_bytes) / (0.9 * 1024 * 1024));
+CompileServiceOptions OneShotOptions(QuiltcOptions options) {
+  CompileServiceOptions service;
+  service.quiltc = options;
+  service.compile_threads = 1;
+  service.ir_cache = false;
+  service.artifact_cache = false;
+  return service;
 }
 
 }  // namespace
 
+QuiltCompiler::QuiltCompiler(QuiltcOptions options) : service_(OneShotOptions(options)) {}
+
 Result<MergedArtifact> QuiltCompiler::BuildSingleFunction(const SourceFunction& source) const {
-  Result<IrModule> module = CompileToIr(source);
-  if (!module.ok()) {
-    return module.status();
-  }
-  MergedArtifact artifact;
-  artifact.handle = source.handle;
-  artifact.member_handles = {source.handle};
-  artifact.module = std::move(module).value();
-  artifact.compile_time = EstimateDependencyCompileTime(source.lang, source.num_dependencies) +
-                          EstimateCodegenTime(source);
-  artifact.codegen_time = CodegenTime(artifact.module.TotalCodeSize());
-  artifact.link_time = LinkRoundTime(artifact.module.TotalCodeSize());
-  artifact.image = ComputeBinaryImage(artifact.module);
-  return artifact;
+  return service_.BuildSingleFunction(source);
 }
 
 Result<MergedArtifact> QuiltCompiler::MergeGroup(
     const CallGraph& graph, const ::quilt::MergeGroup& group,
     const std::map<std::string, SourceFunction>& sources) const {
-  if (group.members.empty() || !group.Contains(group.root)) {
-    return InvalidArgumentError("merge group must contain its root");
-  }
-
-  // Resolve sources for all members and check the opt-in flags.
-  std::map<NodeId, const SourceFunction*> member_sources;
-  for (NodeId id : group.members) {
-    const std::string& handle = graph.node(id).name;
-    auto it = sources.find(handle);
-    if (it == sources.end()) {
-      return NotFoundError(StrCat("no source for function '", handle, "'"));
-    }
-    if (id != group.root && !it->second.mergeable) {
-      return FailedPreconditionError(
-          StrCat("function '", handle, "' did not opt into merging"));
-    }
-    member_sources[id] = &it->second;
-  }
-
-  std::vector<bool> in_group(graph.num_nodes(), false);
-  for (NodeId id : group.members) {
-    in_group[id] = true;
-  }
-
-  // BFS order over in-group edges, root first (§5.4).
-  std::vector<NodeId> bfs_order;
-  {
-    std::vector<bool> visited(graph.num_nodes(), false);
-    std::deque<NodeId> queue = {group.root};
-    visited[group.root] = true;
-    while (!queue.empty()) {
-      const NodeId id = queue.front();
-      queue.pop_front();
-      bfs_order.push_back(id);
-      for (EdgeId eid : graph.OutEdges(id)) {
-        const NodeId next = graph.edge(eid).to;
-        if (in_group[next] && !visited[next]) {
-          visited[next] = true;
-          queue.push_back(next);
-        }
-      }
-    }
-  }
-  if (bfs_order.size() != group.members.size()) {
-    return FailedPreconditionError(
-        StrCat("group rooted at '", graph.node(group.root).name, "' is not connected"));
-  }
-
-  MergedArtifact artifact;
-  artifact.handle = graph.node(group.root).name;
-
-  // Compile the root; its symbols are not renamed (its handler is the merged
-  // entry point and its scaffold becomes the binary's main).
-  const SourceFunction& root_source = *member_sources[group.root];
-  Result<IrModule> root_module = CompileToIr(root_source);
-  if (!root_module.ok()) {
-    return root_module.status();
-  }
-  IrModule merged = std::move(root_module).value();
-  merged.set_name(StrCat("quilt-merged-", FlatHandle(artifact.handle)));
-  artifact.member_handles.push_back(artifact.handle);
-
-  // Dependency compilation happens once per language present in the group.
-  std::set<Lang> langs_seen;
-  int max_deps = 0;
-  for (NodeId id : bfs_order) {
-    langs_seen.insert(member_sources[id]->lang);
-    max_deps = std::max(max_deps, member_sources[id]->num_dependencies);
-  }
-  for (Lang lang : langs_seen) {
-    artifact.compile_time += EstimateDependencyCompileTime(lang, max_deps);
-  }
-  for (NodeId id : bfs_order) {
-    artifact.compile_time += EstimateCodegenTime(*member_sources[id]);
-  }
-
-  // Tracks, per merged handle, the module symbols of its handler so later
-  // rounds can localize freshly-linked invoke sites and set budgets.
-  std::map<std::string, std::string> handler_symbol;  // handle -> symbol
-  handler_symbol[artifact.handle] =
-      MangleSymbol(root_source.lang, root_source.handle, "handler");
-  const std::string root_scaffold = "main";
-
-  // Runs MergeFunc localizing all current invoke sites of `callee_id`.
-  auto run_merge_func = [&](NodeId callee_id) -> Status {
-    const std::string& callee_handle = graph.node(callee_id).name;
-    MergeFuncOptions mf;
-    mf.callee_handle = callee_handle;
-    mf.callee_entry_symbol = handler_symbol.at(callee_handle);
-    mf.conditional_invocations = options_.conditional_invocations;
-    const std::string callee_scaffold =
-        RenamedSymbol("main", FlatHandle(callee_handle));
-    if (merged.HasFunction(callee_scaffold)) {
-      mf.callee_scaffold_symbol = callee_scaffold;
-    }
-    // Budgets per in-group caller edge.
-    int max_alpha = 1;
-    for (EdgeId eid : graph.InEdges(callee_id)) {
-      const CallEdge& edge = graph.edge(eid);
-      if (!in_group[edge.from]) {
-        continue;
-      }
-      const std::string& caller_handle = graph.node(edge.from).name;
-      auto sym = handler_symbol.find(caller_handle);
-      if (sym != handler_symbol.end()) {
-        mf.budget_by_function_symbol[sym->second] = edge.alpha;
-      }
-      max_alpha = std::max(max_alpha, edge.alpha);
-    }
-    mf.profiled_alpha = max_alpha;
-
-    Result<PassStats> stats = RunMergeFuncPass(merged, mf);
-    if (!stats.ok()) {
-      return stats.status();
-    }
-    artifact.pass_stats.push_back(*stats);
-    artifact.merge_time += MergeRoundTime(merged.TotalCodeSize());
-    return Status::Ok();
-  };
-
-  // Merge rounds in BFS order: rename -> link -> MergeFunc, reusing the
-  // post-step-4 IR for the next round (the red arrow in Figure 5).
-  std::set<NodeId> merged_nodes = {group.root};
-  for (size_t i = 1; i < bfs_order.size(); ++i) {
-    const NodeId id = bfs_order[i];
-    const SourceFunction& source = *member_sources[id];
-    const std::string& handle = source.handle;
-
-    Result<IrModule> compiled = CompileToIr(source);
-    if (!compiled.ok()) {
-      return compiled.status();
-    }
-    IrModule callee_module = std::move(compiled).value();
-
-    Result<RenameResult> renamed = RunRenameFuncPass(callee_module, FlatHandle(handle));
-    if (!renamed.ok()) {
-      return renamed.status();
-    }
-    artifact.pass_stats.push_back(renamed->stats);
-
-    LinkStats link_stats;
-    QUILT_RETURN_IF_ERROR(LinkInto(merged, callee_module, &link_stats));
-    artifact.link_time += LinkRoundTime(merged.TotalCodeSize());
-
-    handler_symbol[handle] =
-        RenamedSymbol(MangleSymbol(source.lang, handle, "handler"), FlatHandle(handle));
-    artifact.member_handles.push_back(handle);
-    merged_nodes.insert(id);
-
-    // Localize invokes *into* the new callee (from any already-merged
-    // caller), then invokes *from* it to already-merged callees (§5.4: the
-    // callee may already be present; restart from step 4).
-    QUILT_RETURN_IF_ERROR(run_merge_func(id));
-    for (EdgeId eid : graph.OutEdges(id)) {
-      const NodeId target = graph.edge(eid).to;
-      if (in_group[target] && merged_nodes.count(target) > 0) {
-        QUILT_RETURN_IF_ERROR(run_merge_func(target));
-      }
-    }
-  }
-
-  // Record localized edges (for the platform runtime and for reporting).
-  for (EdgeId eid = 0; eid < graph.num_edges(); ++eid) {
-    const CallEdge& edge = graph.edge(eid);
-    if (!in_group[edge.from] || !in_group[edge.to]) {
-      continue;
-    }
-    LocalizedEdge localized;
-    localized.caller_handle = graph.node(edge.from).name;
-    localized.callee_handle = graph.node(edge.to).name;
-    localized.budget = options_.conditional_invocations ? edge.alpha : 0;
-    localized.cross_language =
-        member_sources[edge.from]->lang != member_sources[edge.to]->lang;
-    artifact.localized_edges.push_back(localized);
-  }
-
-  // Post-merge optimization pipeline.
-  if (options_.delay_http) {
-    Result<PassStats> stats = RunDelayHttpPass(merged);
-    if (!stats.ok()) {
-      return stats.status();
-    }
-    artifact.pass_stats.push_back(*stats);
-  }
-  if (options_.dce) {
-    DceOptions dce;
-    dce.extra_roots = {root_scaffold};
-    Result<PassStats> stats = RunDcePass(merged, dce);
-    if (!stats.ok()) {
-      return stats.status();
-    }
-    artifact.pass_stats.push_back(*stats);
-  }
-  artifact.codegen_time = CodegenTime(merged.TotalCodeSize());
-  if (options_.implib_wrap) {
-    Result<PassStats> stats = RunImplibWrapPass(merged);
-    if (!stats.ok()) {
-      return stats.status();
-    }
-    artifact.pass_stats.push_back(*stats);
-  }
-  artifact.link_time += LinkRoundTime(merged.TotalCodeSize());  // Final link.
-
-  QUILT_RETURN_IF_ERROR(merged.Verify());
-  artifact.image = ComputeBinaryImage(merged);
-  artifact.module = std::move(merged);
-  return artifact;
+  return service_.MergeGroup(graph, group, sources);
 }
 
 Result<std::vector<MergedArtifact>> QuiltCompiler::MergeSolution(
     const CallGraph& graph, const ::quilt::MergeSolution& solution,
     const std::map<std::string, SourceFunction>& sources) const {
-  std::vector<MergedArtifact> artifacts;
-  artifacts.reserve(solution.groups.size());
-  for (const ::quilt::MergeGroup& group : solution.groups) {
-    if (group.members.size() == 1) {
-      auto it = sources.find(graph.node(group.root).name);
-      if (it == sources.end()) {
-        return NotFoundError(StrCat("no source for '", graph.node(group.root).name, "'"));
-      }
-      Result<MergedArtifact> single = BuildSingleFunction(it->second);
-      if (!single.ok()) {
-        return single.status();
-      }
-      artifacts.push_back(std::move(single).value());
-      continue;
-    }
-    Result<MergedArtifact> artifact = MergeGroup(graph, group, sources);
-    if (!artifact.ok()) {
-      return artifact.status();
-    }
-    artifacts.push_back(std::move(artifact).value());
-  }
-  return artifacts;
+  return service_.MergeSolution(graph, solution, sources);
 }
 
 }  // namespace quilt

@@ -1,14 +1,14 @@
-// QuiltCompiler: the compilation pipeline of Figure 5 (§5.1-§5.4).
-//
-// Merges a decided group of serverless functions into one module by
-// iterating, in BFS order from the group root, over pairwise merge rounds:
+// QuiltCompiler: thin facade over the CompileService for callers that want
+// one-shot, uncached compilation of the Figure 5 pipeline (§5.1-§5.4):
 //   compile (once per function, with dependency caching)
 //   -> RenameFunc on the incoming callee
 //   -> llvm-link into the accumulated module
 //   -> MergeFunc (invoke -> local call, cross-language shims, conditional
 //      invocation budgets)
-// and finishing with DelayHTTP, DCE/debloating, codegen, Implib wrapping,
-// and final linking into a binary image.
+// finishing with DelayHTTP, DCE/debloating, codegen, Implib wrapping, and
+// final linking into a binary image. The controller uses the CompileService
+// directly (caching, parallelism, CompileRecords); benches and tests that
+// just want "compile this group" keep this interface.
 #ifndef SRC_QUILTC_COMPILER_H_
 #define SRC_QUILTC_COMPILER_H_
 
@@ -20,20 +20,15 @@
 #include "src/frontend/source_function.h"
 #include "src/graph/call_graph.h"
 #include "src/partition/problem.h"
+#include "src/quiltc/compile_service.h"
 #include "src/quiltc/merged_artifact.h"
+#include "src/quiltc/quiltc_options.h"
 
 namespace quilt {
 
-struct QuiltcOptions {
-  bool conditional_invocations = true;  // §5.6 guards on localized calls.
-  bool delay_http = true;               // §5.2 step 6.
-  bool dce = true;                      // Debloating.
-  bool implib_wrap = true;              // §5.2 step 9.
-};
-
 class QuiltCompiler {
  public:
-  explicit QuiltCompiler(QuiltcOptions options = {}) : options_(options) {}
+  explicit QuiltCompiler(QuiltcOptions options = {});
 
   // Builds the deployable artifact for one function without merging (the
   // status-quo baseline image).
@@ -52,7 +47,9 @@ class QuiltCompiler {
       const std::map<std::string, SourceFunction>& sources) const;
 
  private:
-  QuiltcOptions options_;
+  // Caches off, one thread: every call compiles from scratch, preserving
+  // the historical one-shot semantics.
+  mutable CompileService service_;
 };
 
 }  // namespace quilt

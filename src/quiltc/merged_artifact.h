@@ -3,6 +3,7 @@
 #ifndef SRC_QUILTC_MERGED_ARTIFACT_H_
 #define SRC_QUILTC_MERGED_ARTIFACT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,9 @@ struct LocalizedEdge {
 struct MergedArtifact {
   std::string handle;  // The group root's handle: the scheduler-visible name.
   std::vector<std::string> member_handles;  // BFS order, root first.
+  // Content address of the compilation inputs (CompileService fingerprint);
+  // 0 when built outside the service.
+  uint64_t fingerprint = 0;
   IrModule module;
   BinaryImage image;
   std::vector<LocalizedEdge> localized_edges;

@@ -1,0 +1,18 @@
+// Options of the merge-compilation pipeline (§5.2, §5.6). Split out of
+// compiler.h so the QuiltCompiler facade and the CompileService can share
+// them without a dependency cycle.
+#ifndef SRC_QUILTC_QUILTC_OPTIONS_H_
+#define SRC_QUILTC_QUILTC_OPTIONS_H_
+
+namespace quilt {
+
+struct QuiltcOptions {
+  bool conditional_invocations = true;  // §5.6 guards on localized calls.
+  bool delay_http = true;               // §5.2 step 6.
+  bool dce = true;                      // Debloating.
+  bool implib_wrap = true;              // §5.2 step 9.
+};
+
+}  // namespace quilt
+
+#endif  // SRC_QUILTC_QUILTC_OPTIONS_H_

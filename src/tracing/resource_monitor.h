@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/adaptation_record.h"
+#include "src/common/compile_record.h"
 #include "src/common/decision_record.h"
 #include "src/sim/simulation.h"
 
@@ -116,6 +117,10 @@ class MetricsStore {
   // transition, canary verdict, redeploy, rollback).
   void AddAdaptation(AdaptationRecord record) { adaptations_.push_back(std::move(record)); }
   const std::vector<AdaptationRecord>& adaptations() const { return adaptations_; }
+  // Compile telemetry (§5): one record per artifact the CompileService
+  // produced for a controller deploy/reconsider/canary/direct path.
+  void AddCompile(CompileRecord record) { compiles_.push_back(std::move(record)); }
+  const std::vector<CompileRecord>& compiles() const { return compiles_; }
   void Clear() {
     samples_.clear();
     pending_samples_.clear();
@@ -124,6 +129,7 @@ class MetricsStore {
     decisions_.clear();
     workflow_latency_.clear();
     adaptations_.clear();
+    compiles_.clear();
   }
 
   // Aggregates the latest sample of each container, per function handle.
@@ -143,6 +149,7 @@ class MetricsStore {
   std::vector<DecisionRecord> decisions_;
   std::vector<WorkflowLatencySummary> workflow_latency_;
   std::vector<AdaptationRecord> adaptations_;
+  std::vector<CompileRecord> compiles_;
 };
 
 // Periodic sampler ("cAdvisor"). The source callback snapshots all live

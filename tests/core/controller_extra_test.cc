@@ -2,6 +2,7 @@
 
 #include "src/apps/deathstarbench.h"
 #include "src/core/quilt_controller.h"
+#include "src/quiltc/compiler.h"
 #include "src/workload/loadgen.h"
 
 namespace quilt {
@@ -139,6 +140,74 @@ TEST(ControllerExtraTest, OptOutFunctionLimitsMerging) {
   QuiltCompiler compiler;
   EXPECT_FALSE(
       compiler.MergeGroup(*graph, FullMergeSolution(*graph).groups[0], app.Sources()).ok());
+}
+
+TEST(ControllerExtraTest, DeploySolutionDirectEmitsCompileRecords) {
+  Harness h;
+  const WorkflowApp app = ReadHomeTimeline();
+  ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+  Result<CallGraph> graph = app.ReferenceGraph();
+  ASSERT_TRUE(graph.ok());
+  const MergeSolution solution = FullMergeSolution(*graph);
+  ASSERT_TRUE(h.controller.DeploySolutionDirect(app, solution).ok());
+
+  const std::vector<CompileRecord>& records = h.controller.metrics_store()->compiles();
+  ASSERT_EQ(records.size(), solution.groups.size());
+  for (const CompileRecord& record : records) {
+    EXPECT_EQ(record.trigger, "direct");
+    EXPECT_EQ(record.workflow, "read-home-timeline");
+    EXPECT_NE(record.fingerprint, 0u);
+    EXPECT_GT(record.total_s, 0.0);
+  }
+  const CompileRecord& merge_record = records[0];
+  EXPECT_EQ(merge_record.kind, "merge");
+  EXPECT_EQ(merge_record.members, 2);
+
+  // Redeploying the same solution answers from the cache but still emits
+  // identical records (determinism contract: records carry no cache state).
+  ASSERT_TRUE(h.controller.RollbackDeployment(app.root_handle).ok());
+  ASSERT_TRUE(h.controller.DeploySolutionDirect(app, solution).ok());
+  const std::vector<CompileRecord>& after = h.controller.metrics_store()->compiles();
+  ASSERT_EQ(after.size(), 2 * solution.groups.size());
+  for (size_t i = 0; i < solution.groups.size(); ++i) {
+    CompileRecord first = after[i];
+    CompileRecord second = after[i + solution.groups.size()];
+    second.virtual_time = first.virtual_time;  // Context, not content.
+    EXPECT_EQ(CompileRecordLine(first), CompileRecordLine(second));
+  }
+  EXPECT_GT(h.controller.compile_service()->stats().artifact_hits, 0);
+}
+
+TEST(ControllerExtraTest, CompileThreadsAndCachesDoNotChangeWhatIsDeployed) {
+  // Same direct deployment under three controller configurations: serial
+  // uncached, serial cached, and 8-thread cached. The platform-visible
+  // deployment and the compile records must be identical.
+  const WorkflowApp app = ReadHomeTimeline();
+  Result<CallGraph> graph = app.ReferenceGraph();
+  ASSERT_TRUE(graph.ok());
+  const MergeSolution solution = FullMergeSolution(*graph);
+
+  std::vector<ControllerOptions> configs(3);
+  configs[0].compile_ir_cache = false;
+  configs[0].compile_artifact_cache = false;
+  configs[2].compile_threads = 8;
+
+  std::string reference;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    Harness h(configs[i]);
+    ASSERT_TRUE(h.controller.RegisterWorkflow(app).ok());
+    ASSERT_TRUE(h.controller.DeploySolutionDirect(app, solution).ok());
+    std::string lines;
+    for (const CompileRecord& record : h.controller.metrics_store()->compiles()) {
+      lines += CompileRecordLine(record);
+      lines += "\n";
+    }
+    if (i == 0) {
+      reference = lines;
+    } else {
+      EXPECT_EQ(lines, reference) << "config " << i;
+    }
+  }
 }
 
 }  // namespace

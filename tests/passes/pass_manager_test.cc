@@ -1,0 +1,143 @@
+#include "src/passes/pass_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+namespace {
+
+IrFunction SimpleFn(const std::string& symbol) {
+  IrFunction fn;
+  fn.symbol = symbol;
+  fn.linkage = Linkage::kInternal;
+  fn.code_size = 128;
+  return fn;
+}
+
+IrModule SimpleModule() {
+  IrModule module("m");
+  EXPECT_TRUE(module.AddFunction(SimpleFn("a")).ok());
+  EXPECT_TRUE(module.AddFunction(SimpleFn("b")).ok());
+  return module;
+}
+
+std::unique_ptr<Pass> LoggingPass(const std::string& name, std::vector<std::string>* log) {
+  return MakeFunctionPass(name, [name, log](IrModule&) -> Result<PassStats> {
+    log->push_back(name);
+    PassStats stats;
+    stats.pass_name = name;
+    stats.changed = false;
+    return stats;
+  });
+}
+
+TEST(PassManagerTest, RunsPassesInOrderAndCollectsStats) {
+  std::vector<std::string> log;
+  PassManager pm;
+  pm.Add(LoggingPass("first", &log));
+  pm.Add(LoggingPass("second", &log));
+  pm.Add(LoggingPass("third", &log));
+  EXPECT_EQ(pm.num_passes(), 3u);
+
+  IrModule module = SimpleModule();
+  std::vector<PassStats> stats;
+  ASSERT_TRUE(pm.Run(module, &stats).ok());
+  EXPECT_EQ(log, (std::vector<std::string>{"first", "second", "third"}));
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].pass_name, "first");
+  EXPECT_EQ(stats[2].pass_name, "third");
+  for (const PassStats& s : stats) {
+    EXPECT_GE(s.wall_ms, 0.0);
+  }
+}
+
+TEST(PassManagerTest, ErrorIsPrefixedWithPassNameAndStopsPipeline) {
+  std::vector<std::string> log;
+  PassManager pm;
+  pm.Add(LoggingPass("ok-pass", &log));
+  pm.Add(MakeFunctionPass("bad-pass", [](IrModule&) -> Result<PassStats> {
+    return InternalError("boom");
+  }));
+  pm.Add(LoggingPass("never-runs", &log));
+
+  IrModule module = SimpleModule();
+  std::vector<PassStats> stats;
+  Status status = pm.Run(module, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bad-pass"), std::string::npos) << status.ToString();
+  EXPECT_EQ(log, (std::vector<std::string>{"ok-pass"}));
+  // Stats of the passes that already ran are preserved.
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].pass_name, "ok-pass");
+}
+
+// A pass that corrupts the module (dangling local call). Without per-pass
+// verification the pipeline happily continues; with it, the failure is
+// attributed to the offending pass by name.
+std::unique_ptr<Pass> CorruptingPass() {
+  return MakeFunctionPass("corruptor", [](IrModule& module) -> Result<PassStats> {
+    IrFunction fn = SimpleFn("corrupt");
+    CallInst call;
+    call.opcode = CallOpcode::kLocal;
+    call.callee_symbol = "no-such-symbol";
+    fn.calls.push_back(call);
+    QUILT_RETURN_IF_ERROR(module.AddFunction(std::move(fn)));
+    PassStats stats;
+    stats.pass_name = "corruptor";
+    stats.changed = true;
+    return stats;
+  });
+}
+
+TEST(PassManagerTest, VerifyEachPassAttributesCorruptionToTheOffendingPass) {
+  std::vector<std::string> log;
+  PassManagerOptions options;
+  options.verify_each_pass = true;
+  PassManager pm(options);
+  pm.Add(LoggingPass("clean", &log));
+  pm.Add(CorruptingPass());
+  pm.Add(LoggingPass("after", &log));
+
+  IrModule module = SimpleModule();
+  Status status = pm.Run(module);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("corruptor"), std::string::npos) << status.ToString();
+  // The pass after the corruptor never ran.
+  EXPECT_EQ(log, (std::vector<std::string>{"clean"}));
+}
+
+TEST(PassManagerTest, WithoutVerifyEachPassCorruptionGoesUnnoticed) {
+  PassManager pm;  // verify_each_pass defaults to false.
+  pm.Add(CorruptingPass());
+  IrModule module = SimpleModule();
+  EXPECT_TRUE(pm.Run(module).ok());
+  EXPECT_FALSE(module.Verify().ok());  // ... but the module really is broken.
+}
+
+TEST(PassManagerTest, PostMergePipelineHonorsToggles) {
+  PostMergePipelineOptions all;
+  PassManager full = BuildPostMergePipeline(all);
+  EXPECT_EQ(full.num_passes(), 3u);
+  const std::vector<std::string> names = full.pass_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "DelayHTTP");
+  EXPECT_EQ(names[1], "DCE");
+  EXPECT_EQ(names[2], "ImplibWrap");
+
+  PostMergePipelineOptions none;
+  none.delay_http = false;
+  none.dce = false;
+  none.implib_wrap = false;
+  EXPECT_EQ(BuildPostMergePipeline(none).num_passes(), 0u);
+
+  PostMergePipelineOptions dce_only;
+  dce_only.delay_http = false;
+  dce_only.implib_wrap = false;
+  PassManager pm = BuildPostMergePipeline(dce_only);
+  ASSERT_EQ(pm.num_passes(), 1u);
+  EXPECT_EQ(pm.pass_names()[0], "DCE");
+}
+
+}  // namespace
+}  // namespace quilt
