@@ -13,6 +13,7 @@
 // (paper: +50.75%).
 #include "bench/bench_util.h"
 #include "src/apps/deathstarbench.h"
+#include "src/platform/cluster.h"
 
 namespace quilt {
 namespace bench {
@@ -99,6 +100,58 @@ Point RunPoint(System system, double rps) {
   return Point{load.AchievedRps(), load.latency.Median(), load.FailureRate()};
 }
 
+// Live counterpart of the offline PlaceContainers prediction: warm-spawns
+// the container mix through a finite-node Platform (shared PickNode core)
+// and reports observed node count + stranding.
+struct LiveStranding {
+  int nodes_used = 0;
+  double stranded_cpu_fraction = 0.0;
+};
+
+LiveStranding RunLiveMix(const std::vector<ContainerRequest>& mix, const WorkerSpec& worker) {
+  PlatformConfig config;
+  config.node_cpu = worker.cpu;
+  config.node_memory_mb = worker.memory_mb;
+  config.max_nodes = 1000;
+  Simulation sim;
+  Platform platform(&sim, config);
+  // Descending container size, like the offline first-fit-decreasing walk.
+  std::vector<ContainerRequest> sorted = mix;
+  std::sort(sorted.begin(), sorted.end(), [](const ContainerRequest& a,
+                                             const ContainerRequest& b) {
+    if (a.cpu != b.cpu) {
+      return a.cpu > b.cpu;
+    }
+    return a.memory_mb > b.memory_mb;
+  });
+  int index = 0;
+  for (const ContainerRequest& request : sorted) {
+    DeploymentSpec spec;
+    spec.handle = StrCat("mix-", index++);
+    spec.max_scale = request.count;
+    spec.warm_containers = request.count;
+    spec.container.cpu_limit = request.cpu;
+    spec.container.memory_limit_mb = request.memory_mb;
+    spec.container.base_memory_mb = 1.0;
+    auto behavior = std::make_shared<FunctionBehavior>();
+    behavior->handle = spec.handle;
+    behavior->steps = {ComputeStep{0.1}};
+    spec.behavior.single = std::move(behavior);
+    if (!platform.Deploy(std::move(spec)).ok()) {
+      return {};
+    }
+  }
+  sim.Run();
+  LiveStranding live;
+  for (const NodeStats& node : platform.placement().Snapshot()) {
+    if (node.containers > 0) {
+      ++live.nodes_used;
+    }
+  }
+  live.stranded_cpu_fraction = platform.placement().StrandedCpuFraction();
+  return live;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace quilt
@@ -146,5 +199,39 @@ int main() {
                 -ImprovementPct(base.low_load_median, s.low_load_median), s.peak,
                 100.0 * (s.peak / base.peak - 1.0));
   }
+
+  // --- Container economy (§4): what the three fleets cost in worker nodes.
+  // Fixed 1.6-vCPU limits pack densely; the naive alternative -- merging
+  // everything and raising the limits proportionally (9 x 1.6 = 14.4 vCPU)
+  // -- strands a third of every 16-vCPU worker. Each mix is packed twice:
+  // offline (PlaceContainers) and live (finite-node Platform); both route
+  // through the shared PickNode core and must agree.
+  std::printf("\n-- offline-predicted vs live-observed stranding (16-vCPU workers) --\n");
+  const WorkerSpec worker{16.0, 32768.0};
+  const std::vector<std::pair<const char*, std::vector<ContainerRequest>>> mixes = {
+      {"baseline (90 x 1.6 vCPU)", {{"fn", 1.6, 320.0, 90}}},
+      {"quilt optimal split (90 x 1.6 vCPU)", {{"grp", 1.6, 320.0, 90}}},
+      {"merge all, raised limits (10 x 14.4 vCPU)", {{"all", 14.4, 2880.0, 10}}},
+  };
+  std::printf("%-44s | %8s %8s | %9s %9s\n", "fleet", "wrk/off", "wrk/live", "strd/off",
+              "strd/live");
+  bool agree = true;
+  for (const auto& [name, mix] : mixes) {
+    const PlacementResult offline = PlaceContainers(mix, worker, /*max_workers=*/1000);
+    const LiveStranding live = RunLiveMix(mix, worker);
+    const double offline_stranded = offline.StrandedCpuFraction(worker);
+    if (std::abs(live.stranded_cpu_fraction - offline_stranded) > 0.05 ||
+        live.nodes_used != offline.workers_used) {
+      agree = false;
+    }
+    std::printf("%-44s | %8d %8d | %8.1f%% %8.1f%%\n", name, offline.workers_used,
+                live.nodes_used, 100.0 * offline_stranded,
+                100.0 * live.stranded_cpu_fraction);
+  }
+  if (!agree) {
+    std::printf("FAIL: live placement drifted from the offline prediction.\n");
+    return 1;
+  }
+  std::printf("(live placement reproduces the offline prediction on every fleet)\n");
   return 0;
 }

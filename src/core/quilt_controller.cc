@@ -54,6 +54,15 @@ QuiltController::QuiltController(Simulation* sim, Platform* platform, Controller
   // The same sampling tick also snapshots the failure taxonomy (timeouts,
   // retries, breaker activity) per deployment.
   monitor_.set_failure_source([platform] { return platform->SampleFailures(); });
+  // ... and, when the platform runs a finite node fleet, per-node
+  // utilization/stranding (empty while the infinite pool is in effect).
+  monitor_.set_node_source([platform] { return platform->SampleNodes(); });
+  // Worker-node model: shard the platform into finite nodes before the first
+  // deployment spawns a container.
+  if (options_.max_nodes > 0) {
+    platform_->ConfigureNodes(options_.node_cpu, options_.node_memory_mb, options_.max_nodes,
+                              options_.placement_policy);
+  }
 }
 
 namespace {

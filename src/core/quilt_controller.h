@@ -38,6 +38,15 @@ struct ControllerOptions {
   double container_memory_limit_mb = 128.0;
   int max_scale = 10;
 
+  // Worker-node model (§4, live): with max_nodes > 0 the controller shards
+  // its platform into that many finite nodes at construction; container
+  // spawns then bin-pack onto them under placement_policy. 0 keeps the
+  // infinite pool (seed behavior).
+  double node_cpu = 16.0;
+  double node_memory_mb = 32768.0;
+  int max_nodes = 0;
+  PlacementPolicy placement_policy = PlacementPolicy::kFirstFit;
+
   // Merge decision (§4), delegated to the DecisionEngine. kAuto picks by
   // graph size: exact solver up to optimal_solver_max_nodes, the DIH k-sweep
   // below grasp_min_nodes, multi-start GRASP at or beyond it; the explicit

@@ -5,8 +5,9 @@
 namespace quilt {
 
 PlacementResult PlaceContainers(const std::vector<ContainerRequest>& requests,
-                                const WorkerSpec& worker, int max_workers) {
-  // Expand replicas and sort descending (first-fit decreasing).
+                                const WorkerSpec& worker, int max_workers,
+                                PlacementPolicy policy) {
+  // Expand replicas and sort descending (the "decreasing" in FFD/BFD).
   struct Item {
     double cpu;
     double memory_mb;
@@ -24,42 +25,35 @@ PlacementResult PlaceContainers(const std::vector<ContainerRequest>& requests,
     return a.memory_mb > b.memory_mb;
   });
 
-  struct Worker {
-    double cpu_free;
-    double memory_free;
-  };
-  std::vector<Worker> workers;
-
+  std::vector<WorkerNode> nodes;
   PlacementResult result;
   for (const Item& item : items) {
     if (item.cpu > worker.cpu || item.memory_mb > worker.memory_mb) {
       ++result.containers_unplaced;  // Fits no worker even when empty.
       continue;
     }
-    bool placed = false;
-    for (Worker& w : workers) {
-      if (w.cpu_free >= item.cpu && w.memory_free >= item.memory_mb) {
-        w.cpu_free -= item.cpu;
-        w.memory_free -= item.memory_mb;
-        placed = true;
-        break;
+    int picked = PickNode(nodes, item.cpu, item.memory_mb, policy);
+    if (picked < 0) {
+      if (static_cast<int>(nodes.size()) >= max_workers) {
+        // Fits a fresh worker, but the fleet cap is reached.
+        ++result.containers_capacity_exhausted;
+        continue;
       }
+      WorkerNode node;
+      node.id = static_cast<int>(nodes.size());
+      node.cpu_capacity = worker.cpu;
+      node.memory_capacity_mb = worker.memory_mb;
+      nodes.push_back(node);
+      picked = node.id;
     }
-    if (!placed && static_cast<int>(workers.size()) < max_workers) {
-      workers.push_back({worker.cpu - item.cpu, worker.memory_mb - item.memory_mb});
-      placed = true;
-    }
-    if (placed) {
-      ++result.containers_placed;
-    } else {
-      ++result.containers_unplaced;
-    }
+    nodes[static_cast<size_t>(picked)].Assign(item.cpu, item.memory_mb);
+    ++result.containers_placed;
   }
 
-  result.workers_used = static_cast<int>(workers.size());
-  for (const Worker& w : workers) {
-    result.stranded_cpu += w.cpu_free;
-    result.stranded_memory_mb += w.memory_free;
+  result.workers_used = static_cast<int>(nodes.size());
+  for (const WorkerNode& node : nodes) {
+    result.stranded_cpu += node.cpu_free();
+    result.stranded_memory_mb += node.memory_free_mb();
   }
   return result;
 }

@@ -4,9 +4,11 @@
 // placing heterogeneous containers onto workers is bin packing, and as
 // container demands grow relative to worker capacity, more resources strand
 // (in the extreme, one container per worker and the leftovers are wasted).
-// This model packs container requests onto fixed-capacity workers with
-// first-fit-decreasing and reports utilization and stranding, quantifying
-// the fragmentation cost of large merges.
+// This model packs container requests onto fixed-capacity workers and
+// reports utilization and stranding, quantifying the fragmentation cost of
+// large merges. The per-item node choice is the same PickNode core the live
+// PlacementEngine uses, so the offline prediction and the live platform can
+// be compared like-for-like (bench/fragmentation does exactly that).
 #ifndef SRC_PLATFORM_CLUSTER_H_
 #define SRC_PLATFORM_CLUSTER_H_
 
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/platform/placement.h"
 
 namespace quilt {
 
@@ -32,7 +35,12 @@ struct ContainerRequest {
 struct PlacementResult {
   int workers_used = 0;
   int containers_placed = 0;
-  int containers_unplaced = 0;  // Did not fit anywhere.
+  // Did not fit anywhere: the demand exceeds even an empty worker. These
+  // containers can never run on this worker shape.
+  int containers_unplaced = 0;
+  // Would fit an empty worker, but the max_workers cap was already reached.
+  // Distinct from unplaced: buying more workers would place these.
+  int containers_capacity_exhausted = 0;
   // Resources stranded on used workers: capacity minus allocations.
   double stranded_cpu = 0.0;
   double stranded_memory_mb = 0.0;
@@ -48,10 +56,12 @@ struct PlacementResult {
 };
 
 // Packs the requested containers onto at most `max_workers` identical
-// workers using first-fit decreasing (by CPU, then memory). Requests that
-// fit no worker at all are reported as unplaced.
+// workers: items sorted descending (by CPU, then memory), each placed on the
+// node `policy` picks (first-fit decreasing by default), opening a fresh
+// worker when nothing live fits and the cap allows.
 PlacementResult PlaceContainers(const std::vector<ContainerRequest>& requests,
-                                const WorkerSpec& worker, int max_workers);
+                                const WorkerSpec& worker, int max_workers,
+                                PlacementPolicy policy = PlacementPolicy::kFirstFit);
 
 }  // namespace quilt
 

@@ -70,14 +70,26 @@ struct CrashEvent {
   SimTime at = 0;
 };
 
+// Deterministic worker-node failure: at virtual time `at`, node `node_id`
+// dies -- every container it hosts is killed (KillReason::kNodeFailure) and
+// its capacity is permanently lost. Only meaningful when the platform runs
+// with a finite node fleet (max_nodes > 0).
+struct NodeFailureEvent {
+  int node_id = 0;
+  SimTime at = 0;
+};
+
 struct FaultPlan {
   // Seed for the injector's private Rng stream. Independent of workload and
   // solver seeds so adding a rule never perturbs unrelated randomness.
   uint64_t seed = 1;
   std::vector<FaultRule> rules;
   std::vector<CrashEvent> crashes;
+  std::vector<NodeFailureEvent> node_failures;
 
-  bool enabled() const { return !rules.empty() || !crashes.empty(); }
+  bool enabled() const {
+    return !rules.empty() || !crashes.empty() || !node_failures.empty();
+  }
 };
 
 struct FaultStats {
@@ -86,9 +98,11 @@ struct FaultStats {
   int64_t gateway_errors = 0;
   int64_t container_crashes = 0;  // Probabilistic + scheduled.
   int64_t oom_kills = 0;          // Injected memory kills.
+  int64_t node_failures = 0;      // Scheduled worker-node failures that fired.
 
   int64_t total() const {
-    return network_drops + network_delays + gateway_errors + container_crashes + oom_kills;
+    return network_drops + network_delays + gateway_errors + container_crashes + oom_kills +
+           node_failures;
   }
 };
 
@@ -127,6 +141,8 @@ class FaultInjector {
   // Bookkeeping hook for scheduled CrashEvents (the platform executes them;
   // the injector only counts them so stats().total() covers all faults).
   void CountScheduledCrash() { ++stats_.container_crashes; }
+  // Same for scheduled NodeFailureEvents that actually hit a live node.
+  void CountNodeFailure() { ++stats_.node_failures; }
 
  private:
   bool RuleActive(size_t rule_index, const std::string& deployment, SimTime now) const;

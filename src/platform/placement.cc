@@ -1,0 +1,197 @@
+#include "src/platform/placement.h"
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit:
+      return "first-fit";
+    case PlacementPolicy::kBestFit:
+      return "best-fit";
+    case PlacementPolicy::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "unknown";
+}
+
+bool ParsePlacementPolicy(std::string_view name, PlacementPolicy* out) {
+  if (name == "first-fit") {
+    *out = PlacementPolicy::kFirstFit;
+  } else if (name == "best-fit") {
+    *out = PlacementPolicy::kBestFit;
+  } else if (name == "least-loaded") {
+    *out = PlacementPolicy::kLeastLoaded;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int PickNode(const std::vector<WorkerNode>& nodes, double cpu, double memory_mb,
+             PlacementPolicy policy) {
+  int best = -1;
+  double best_cpu_key = 0.0;
+  double best_mem_key = 0.0;
+  for (const WorkerNode& node : nodes) {
+    if (!node.Fits(cpu, memory_mb)) {
+      continue;
+    }
+    if (policy == PlacementPolicy::kFirstFit) {
+      return node.id;
+    }
+    // Candidate keys, minimized. Strict < keeps the lowest id on exact ties
+    // (ascending iteration), so every policy is deterministic.
+    double cpu_key = 0.0;
+    double mem_key = 0.0;
+    if (policy == PlacementPolicy::kBestFit) {
+      cpu_key = node.cpu_free() - cpu;
+      mem_key = node.memory_free_mb() - memory_mb;
+    } else {  // kLeastLoaded
+      cpu_key = node.cpu_capacity > 0.0 ? node.cpu_used / node.cpu_capacity : 0.0;
+      mem_key = node.memory_capacity_mb > 0.0 ? node.memory_used_mb / node.memory_capacity_mb
+                                              : 0.0;
+    }
+    if (best < 0 || cpu_key < best_cpu_key ||
+        (cpu_key == best_cpu_key && mem_key < best_mem_key)) {
+      best = node.id;
+      best_cpu_key = cpu_key;
+      best_mem_key = mem_key;
+    }
+  }
+  return best;
+}
+
+std::string NodeStatsLine(const NodeStats& stats) {
+  return StrCat("node=", stats.node_id, " cpu=", FormatDouble(stats.cpu_used, 3), "/",
+                FormatDouble(stats.cpu_capacity, 3), " mem=",
+                FormatDouble(stats.memory_used_mb, 3), "/",
+                FormatDouble(stats.memory_capacity_mb, 3), " containers=", stats.containers,
+                " placements=", stats.placements, " kills=", stats.kills,
+                " failed=", stats.failed ? 1 : 0);
+}
+
+void PlacementEngine::Configure(double node_cpu, double node_memory_mb, int max_nodes,
+                                PlacementPolicy policy) {
+  policy_ = policy;
+  nodes_.clear();
+  nodes_.reserve(max_nodes > 0 ? static_cast<size_t>(max_nodes) : 0);
+  for (int id = 0; id < max_nodes; ++id) {
+    WorkerNode node;
+    node.id = id;
+    node.cpu_capacity = node_cpu;
+    node.memory_capacity_mb = node_memory_mb;
+    nodes_.push_back(node);
+  }
+  total_placements_ = 0;
+  deferrals_ = 0;
+  unplaceable_ = 0;
+}
+
+int PlacementEngine::Place(double cpu, double memory_mb) {
+  if (nodes_.empty()) {
+    return -1;
+  }
+  if (cpu > nodes_.front().cpu_capacity || memory_mb > nodes_.front().memory_capacity_mb) {
+    ++unplaceable_;
+    return -1;
+  }
+  const int picked = PickNode(nodes_, cpu, memory_mb, policy_);
+  if (picked < 0) {
+    ++deferrals_;
+    return -1;
+  }
+  nodes_[static_cast<size_t>(picked)].Assign(cpu, memory_mb);
+  ++total_placements_;
+  return picked;
+}
+
+void PlacementEngine::Release(int node_id, double cpu, double memory_mb) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return;
+  }
+  WorkerNode& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.containers > 0) {
+    --node.containers;
+  }
+  if (node.failed) {
+    return;  // The machine is gone; its capacity never frees.
+  }
+  node.cpu_used -= cpu;
+  node.memory_used_mb -= memory_mb;
+  if (node.cpu_used < 0.0) {
+    node.cpu_used = 0.0;
+  }
+  if (node.memory_used_mb < 0.0) {
+    node.memory_used_mb = 0.0;
+  }
+}
+
+void PlacementEngine::RecordKill(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return;
+  }
+  ++nodes_[static_cast<size_t>(node_id)].kills;
+}
+
+bool PlacementEngine::MarkFailed(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return false;
+  }
+  WorkerNode& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.failed) {
+    return false;
+  }
+  node.failed = true;
+  return true;
+}
+
+std::vector<NodeStats> PlacementEngine::Snapshot() const {
+  std::vector<NodeStats> snapshot;
+  for (const WorkerNode& node : nodes_) {
+    if (node.placements == 0 && !node.failed) {
+      continue;
+    }
+    NodeStats stats;
+    stats.node_id = node.id;
+    stats.cpu_capacity = node.cpu_capacity;
+    stats.memory_capacity_mb = node.memory_capacity_mb;
+    stats.cpu_used = node.cpu_used;
+    stats.memory_used_mb = node.memory_used_mb;
+    stats.containers = node.containers;
+    stats.placements = node.placements;
+    stats.kills = node.kills;
+    stats.failed = node.failed;
+    snapshot.push_back(stats);
+  }
+  return snapshot;
+}
+
+double PlacementEngine::StrandedCpuFraction() const {
+  double total = 0.0;
+  double free = 0.0;
+  for (const WorkerNode& node : nodes_) {
+    if (node.containers == 0 || node.failed) {
+      continue;
+    }
+    total += node.cpu_capacity;
+    free += node.cpu_free();
+  }
+  return total > 0.0 ? free / total : 0.0;
+}
+
+double PlacementEngine::StrandedMemoryFraction() const {
+  double total = 0.0;
+  double free = 0.0;
+  for (const WorkerNode& node : nodes_) {
+    if (node.containers == 0 || node.failed) {
+      continue;
+    }
+    total += node.memory_capacity_mb;
+    free += node.memory_free_mb();
+  }
+  return total > 0.0 ? free / total : 0.0;
+}
+
+}  // namespace quilt

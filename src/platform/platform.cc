@@ -15,6 +15,16 @@ Platform::Platform(Simulation* sim, PlatformConfig config)
       // Jitter stream decorrelated from the injector's draw stream so a plan
       // change never perturbs retry timing of unrelated deployments.
       failure_rng_(config_.fault_plan.seed * 0x9e3779b97f4a7c15ull + 1) {
+  placement_.Configure(config_.node_cpu, config_.node_memory_mb, config_.max_nodes,
+                       config_.placement_policy);
+  // Scheduled deterministic node failures: at the planned instant the node
+  // dies with everything on it. (No-ops while the node model is off; a later
+  // ConfigureNodes call arms them retroactively.)
+  for (const NodeFailureEvent& failure : config_.fault_plan.node_failures) {
+    const int node_id = failure.node_id;
+    sim_->Schedule(std::max<SimDuration>(0, failure.at - sim_->now()),
+                   [this, node_id] { FailNode(node_id); });
+  }
   // Scheduled deterministic crash events (blast-radius experiments): at the
   // planned instant, the oldest live container of the target deployment dies.
   for (const CrashEvent& crash : config_.fault_plan.crashes) {
@@ -203,6 +213,9 @@ Status Platform::RemoveFunction(const std::string& handle) {
     return NotFoundError(StrCat("function '", handle, "' not deployed"));
   }
   for (const auto& container : dep->containers) {
+    if (container->state() != ContainerState::kKilled) {
+      ReleaseNodeCapacity(*container);
+    }
     container->Kill();
   }
   // The interned id stays reserved; a later re-deploy of the same handle
@@ -297,6 +310,143 @@ int Platform::TotalContainers() const {
     }
   }
   return total;
+}
+
+void Platform::ConfigureNodes(double node_cpu, double node_memory_mb, int max_nodes,
+                              PlacementPolicy policy) {
+  assert(TotalContainers() == 0 &&
+         "ConfigureNodes must run before any container exists");
+  config_.node_cpu = node_cpu;
+  config_.node_memory_mb = node_memory_mb;
+  config_.max_nodes = max_nodes;
+  config_.placement_policy = policy;
+  placement_.Configure(node_cpu, node_memory_mb, max_nodes, policy);
+}
+
+std::vector<NodeSample> Platform::SampleNodes() const {
+  std::vector<NodeSample> samples;
+  for (const NodeStats& node : placement_.Snapshot()) {
+    NodeSample sample;
+    sample.node_id = node.node_id;
+    sample.timestamp = sim_->now();
+    sample.cpu_capacity = node.cpu_capacity;
+    sample.memory_capacity_mb = node.memory_capacity_mb;
+    sample.cpu_used = node.cpu_used;
+    sample.memory_used_mb = node.memory_used_mb;
+    sample.containers = node.containers;
+    sample.placements_cum = node.placements;
+    sample.kills_cum = node.kills;
+    sample.failed = node.failed;
+    sample.spawn_queue_depth = static_cast<int64_t>(spawn_queue_.size());
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+void Platform::EnqueueSpawn(Deployment& dep, int64_t version) {
+  // One parked spawn per container the deployment may still add: saturated
+  // routing retries must not grow the queue without bound.
+  if (dep.queued_spawns >= SpecForVersion(dep, version).max_scale) {
+    return;
+  }
+  ++dep.queued_spawns;
+  spawn_queue_.emplace_back(dep.id, version);
+}
+
+void Platform::ReleaseNodeCapacity(const Container& container) {
+  if (!placement_.enabled() || container.node_id() < 0) {
+    return;
+  }
+  placement_.Release(container.node_id(), container.config().cpu_limit,
+                     container.config().memory_limit_mb);
+  ScheduleSpawnDrain();
+}
+
+void Platform::ScheduleSpawnDrain() {
+  if (!placement_.enabled() || spawn_queue_.empty() || spawn_drain_scheduled_) {
+    return;
+  }
+  spawn_drain_scheduled_ = true;
+  // Zero-delay event (due-now FIFO): capacity is released inside kill/retire
+  // loops that hold iterators into dep.containers -- the drain must never
+  // mutate those synchronously. With the node model off, no event is ever
+  // scheduled here, keeping the infinite-pool event sequence untouched.
+  sim_->Schedule(0, [this] {
+    spawn_drain_scheduled_ = false;
+    DrainSpawnQueue();
+  });
+}
+
+void Platform::DrainSpawnQueue() {
+  // Bounded pass: entries re-parked by a failing CreateContainer must not
+  // spin this loop forever.
+  size_t budget = spawn_queue_.size();
+  while (budget-- > 0 && !spawn_queue_.empty()) {
+    const auto [id, version] = spawn_queue_.front();
+    spawn_queue_.pop_front();
+    Deployment* dep = DeploymentAt(id);
+    if (dep == nullptr) {
+      continue;  // Deployment removed while the spawn waited.
+    }
+    if (dep->queued_spawns > 0) {
+      --dep->queued_spawns;
+    }
+    const bool live_version =
+        version == dep->version ||
+        (dep->canary != nullptr && version == dep->canary->version);
+    if (!live_version) {
+      continue;  // The version died (update / canary resolution).
+    }
+    // Spawn only if the deployment still needs it: requests of this version
+    // wait and the scale cap allows another container. Parked warm-container
+    // spawns with no demand are dropped -- warmth is a latency hint, not a
+    // capacity reservation.
+    bool needed = false;
+    for (const PendingRequest& request : dep->pending) {
+      if (request.ctx->version == version) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) {
+      continue;
+    }
+    int live = 0;
+    for (const auto& container : dep->containers) {
+      auto version_it = dep->container_versions.find(container->id());
+      if (container->state() != ContainerState::kKilled &&
+          version_it != dep->container_versions.end() && version_it->second == version) {
+        ++live;
+      }
+    }
+    if (live >= SpecForVersion(*dep, version).max_scale) {
+      continue;
+    }
+    CreateContainer(*dep, version);  // May re-park if capacity vanished again.
+  }
+}
+
+void Platform::FailNode(int node_id) {
+  if (!placement_.MarkFailed(node_id)) {
+    return;  // Unknown node, node model off, or already failed.
+  }
+  injector_.CountNodeFailure();
+  // Collect victims first: KillContainer mutates dep.containers.
+  std::vector<std::pair<Deployment*, std::shared_ptr<Container>>> victims;
+  for (const auto& dep : deployments_) {
+    if (dep == nullptr) {
+      continue;
+    }
+    for (const auto& container : dep->containers) {
+      if (container->node_id() == node_id &&
+          container->state() != ContainerState::kKilled) {
+        victims.emplace_back(dep.get(), container);
+      }
+    }
+  }
+  for (auto& [dep, container] : victims) {
+    KillContainer(*dep, container, KillReason::kNodeFailure);
+  }
 }
 
 void Platform::Invoke(const std::string& caller_handle, const std::string& callee_handle,
@@ -403,6 +553,7 @@ SpanStatus Platform::ClassifySpanStatus(const CallContext& ctx, const Status& st
 
 void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
   ctx->shed = false;
+  ctx->half_open_probe = false;
   if (ctx->traced) {
     ctx->span.network_ns += ctx->attempt_network;
     ctx->span.gateway_ns += ctx->attempt_gateway;
@@ -438,7 +589,7 @@ void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
     }
     Deployment& dep = *found;
 
-    if (BreakerRejects(dep)) {
+    if (BreakerRejects(dep, *ctx)) {
       // Load shedding: answer immediately, never reaches a container.
       ++dep.stats.breaker_rejected;
       ++dep.stats.failures_by_cause["BREAKER_OPEN"];
@@ -490,6 +641,15 @@ void Platform::BeginAttempt(std::shared_ptr<CallContext> ctx) {
 void Platform::OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<Json> result) {
   Deployment* dep = DeploymentAt(ctx->callee_id);
 
+  if (ctx->half_open_probe) {
+    // Probe settled (either way): release the slot. Clamped because a state
+    // round-trip (re-open -> half-open) resets the counter while old probes
+    // are still in flight.
+    ctx->half_open_probe = false;
+    if (dep != nullptr && dep->half_open_inflight > 0) {
+      --dep->half_open_inflight;
+    }
+  }
   if (ctx->shed) {
     // Breaker rejections are load shedding, not attempt outcomes: they must
     // neither trip the breaker further nor trigger retries (retry storms are
@@ -544,17 +704,30 @@ void Platform::OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<J
   sim_->Schedule(backoff, [this, ctx] { BeginAttempt(ctx); });
 }
 
-bool Platform::BreakerRejects(Deployment& dep) {
-  if (!config_.breaker.enabled || dep.breaker_state != BreakerState::kOpen) {
+bool Platform::BreakerRejects(Deployment& dep, CallContext& ctx) {
+  if (!config_.breaker.enabled) {
     return false;
   }
-  if (sim_->now() >= dep.breaker_open_until) {
-    // Cooldown over: half-open, let one round of traffic probe the callee.
+  if (dep.breaker_state == BreakerState::kOpen) {
+    if (sim_->now() < dep.breaker_open_until) {
+      return true;
+    }
+    // Cooldown over: half-open, let capped probe traffic test the callee.
     dep.breaker_state = BreakerState::kHalfOpen;
+    dep.half_open_inflight = 0;
     dep.stats.breaker_open_ns += sim_->now() - dep.breaker_opened_at;
-    return false;
   }
-  return true;
+  if (dep.breaker_state == BreakerState::kHalfOpen) {
+    // Probe storm guard: a burst arriving right at cooldown expiry must not
+    // flood the recovering deployment before the first probe answers.
+    const int cap = std::max(1, config_.breaker.half_open_max_probes);
+    if (dep.half_open_inflight >= cap) {
+      return true;
+    }
+    ++dep.half_open_inflight;
+    ctx.half_open_probe = true;
+  }
+  return false;
 }
 
 void Platform::RecordAttemptOutcome(Deployment& dep, const Status& status) {
@@ -637,8 +810,26 @@ SimDuration Platform::ColdStartDelay(const Deployment& dep, int64_t version) con
          config_.eager_lib_load_per_lib * spec.container.eager_libs;
 }
 
+double Platform::RequestFootprintMb(const Deployment& dep, int64_t version) const {
+  const DeployedBehavior& behavior = SpecForVersion(dep, version).behavior;
+  if (behavior.single != nullptr) {
+    return behavior.single->request_memory_mb;
+  }
+  if (behavior.merged != nullptr) {
+    auto root = behavior.merged->functions.find(behavior.merged->root_handle);
+    if (root != behavior.merged->functions.end()) {
+      return root->second.request_memory_mb;
+    }
+  }
+  return 0.0;
+}
+
 std::shared_ptr<Container> Platform::SelectContainer(Deployment& dep, int64_t version) const {
   const DeploymentSpec& spec = SpecForVersion(dep, version);
+  // The admission check must account for the candidate request's own working
+  // set: when a deep backlog drains, each admission used to sneak in just
+  // under the threshold and collectively push the pod far past it.
+  const double footprint_mb = RequestFootprintMb(dep, version);
   std::shared_ptr<Container> best;
   for (const auto& container : dep.containers) {
     if (container->state() != ContainerState::kReady) {
@@ -661,7 +852,7 @@ std::shared_ptr<Container> Platform::SelectContainer(Deployment& dep, int64_t ve
     if (used >= config_.container_utilization_threshold * container->config().cpu_limit) {
       continue;
     }
-    if (container->memory_in_use_mb() >=
+    if (container->memory_in_use_mb() + footprint_mb >=
         config_.memory_admission_threshold * container->config().memory_limit_mb) {
       continue;
     }
@@ -674,8 +865,20 @@ std::shared_ptr<Container> Platform::SelectContainer(Deployment& dep, int64_t ve
 
 void Platform::CreateContainer(Deployment& dep, int64_t version) {
   const DeploymentSpec& spec = SpecForVersion(dep, version);
+  int node_id = -1;
+  if (placement_.enabled()) {
+    node_id = placement_.Place(spec.container.cpu_limit, spec.container.memory_limit_mb);
+    if (node_id < 0) {
+      // Saturated (or impossible) cluster: park the spawn; it materializes
+      // when capacity frees. No stats are charged for a spawn that never
+      // happened.
+      EnqueueSpawn(dep, version);
+      return;
+    }
+  }
   auto container = std::make_shared<Container>(sim_, dep.spec.handle, next_container_id_++,
                                                spec.container);
+  container->set_node_id(node_id);
   dep.containers.push_back(container);
   dep.container_versions[container->id()] = version;
   ++dep.stats.containers_created;
@@ -793,6 +996,7 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
     ctx->span.queue_ns += (now - enqueued_at) - cold;
     ctx->span.exec_start = now;
     ctx->span.exec_end = 0;  // Reset in case an earlier attempt set it.
+    ctx->span.node_id = container->node_id();
   }
   ExecutionEnv env;
   env.sim = sim_;
@@ -908,7 +1112,18 @@ void Platform::KillContainer(Deployment& dep, const std::shared_ptr<Container>& 
         ++version_stats->crashes;
       }
       break;
+    case KillReason::kNodeFailure:
+      ++dep.stats.node_failure_kills;
+      if (version_stats != nullptr) {
+        ++version_stats->node_failure_kills;
+      }
+      cause = ContainerKillCause::kNodeFailure;
+      break;
   }
+  if (placement_.enabled() && container->node_id() >= 0) {
+    placement_.RecordKill(container->node_id());
+  }
+  ReleaseNodeCapacity(*container);  // No-op for a failed node's capacity.
   dep.containers.erase(std::remove(dep.containers.begin(), dep.containers.end(), container),
                        dep.containers.end());
   dep.container_versions.erase(container->id());
@@ -925,6 +1140,7 @@ void Platform::RetireStaleContainers(Deployment& dep) {
         (version_it->second == dep.version ||
          (dep.canary != nullptr && version_it->second == dep.canary->version));
     if (!live_version && container->active_requests() == 0) {
+      ReleaseNodeCapacity(*container);
       dep.container_versions.erase(container->id());
       container->Kill();
       it = dep.containers.erase(it);

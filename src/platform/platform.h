@@ -17,8 +17,10 @@
 
 #include "src/common/interner.h"
 #include "src/common/json.h"
+#include "src/common/node_record.h"
 #include "src/common/status.h"
 #include "src/platform/fault_injection.h"
+#include "src/platform/placement.h"
 #include "src/runtime/behavior.h"
 #include "src/runtime/executor.h"
 #include "src/sim/container.h"
@@ -55,6 +57,11 @@ struct CircuitBreakerConfig {
   bool enabled = false;
   int failure_threshold = 5;
   SimDuration open_duration = Seconds(5);
+  // Concurrent probe requests admitted while half-open. The cooldown expiry
+  // used to admit unbounded traffic until the first probe responded -- a
+  // probe storm straight into the deployment the breaker was protecting.
+  // Excess arrivals are shed as breaker-rejected.
+  int half_open_max_probes = 1;
 };
 
 struct PlatformConfig {
@@ -82,8 +89,20 @@ struct PlatformConfig {
   double container_utilization_threshold = 0.8;
   // ... or until its memory utilization crosses this fraction (the router
   // stops handing requests to pods already close to their memory limit).
+  // The check is footprint-aware: a request is admitted only if the pod
+  // stays under the threshold *with* the request's declared working set,
+  // so draining a deep backlog cannot push the pod past it.
   double memory_admission_threshold = 0.8;
   int max_requests_per_container = 100;
+
+  // --- Worker-node model (§4, live). max_nodes == 0 keeps the seed
+  // behavior: an infinite pool, no placement engine, no node events. With a
+  // finite fleet, every container spawn debits a node chosen by
+  // placement_policy; spawns that fit no node queue until capacity frees.
+  double node_cpu = 16.0;
+  double node_memory_mb = 32768.0;
+  int max_nodes = 0;
+  PlacementPolicy placement_policy = PlacementPolicy::kFirstFit;
 
   RuntimeCosts runtime;
 
@@ -126,6 +145,7 @@ struct DeploymentStats {
   int64_t cold_starts = 0;
   int64_t oom_kills = 0;
   int64_t crashes = 0;           // CrashStep faults + injected crashes.
+  int64_t node_failure_kills = 0;  // Containers lost to worker-node failures.
   int64_t injected_faults = 0;   // Faults a FaultPlan charged to this deployment.
   int64_t containers_created = 0;
   int64_t stale_route_hits = 0;
@@ -146,6 +166,7 @@ struct DeploymentStats {
   void AssertNonNegative() const {
     assert(completed >= 0 && failed >= 0 && cold_starts >= 0);
     assert(oom_kills >= 0 && crashes >= 0 && injected_faults >= 0);
+    assert(node_failure_kills >= 0);
     assert(containers_created >= 0 && stale_route_hits >= 0 && pending_peak >= 0);
     assert(timeouts >= 0 && retries >= 0 && retries_exhausted >= 0);
     assert(breaker_opens >= 0 && breaker_rejected >= 0 && breaker_open_ns >= 0);
@@ -220,6 +241,18 @@ class Platform : public Invoker {
   double TotalMemoryInUseMb() const;
   int TotalContainers() const;
 
+  // --- Worker-node model. Re-shards the platform into `max_nodes` identical
+  // finite-capacity nodes (0 = infinite pool). Must run before any container
+  // exists: live containers hold capacity the fresh fleet never debited.
+  void ConfigureNodes(double node_cpu, double node_memory_mb, int max_nodes,
+                      PlacementPolicy policy);
+  const PlacementEngine& placement() const { return placement_; }
+  // Per-node snapshot for the metrics pipeline (empty when the node model is
+  // off; only nodes that ever hosted a container -- or failed -- emit rows).
+  std::vector<NodeSample> SampleNodes() const;
+  // Container spawns parked because every node was saturated or failed.
+  int SpawnQueueDepth() const { return static_cast<int>(spawn_queue_.size()); }
+
   PlatformConfig& config() { return config_; }
   Simulation* sim() { return sim_; }
 
@@ -233,6 +266,9 @@ class Platform : public Invoker {
     bool async = false;
     int attempt = 1;
     bool shed = false;  // Current attempt was rejected by the circuit breaker.
+    // Current attempt is one of the capped half-open probes; its settlement
+    // must release the probe slot.
+    bool half_open_probe = false;
     // Deployment version this call was routed to (0 = not yet routed). With
     // a staged canary, the weighted round-robin assigns either the control
     // or the canary version; queued requests only drain onto containers of
@@ -291,6 +327,12 @@ class Platform : public Invoker {
     int consecutive_failures = 0;
     SimTime breaker_opened_at = 0;
     SimTime breaker_open_until = 0;
+    // In-flight half-open probes (capped at breaker.half_open_max_probes).
+    int half_open_inflight = 0;
+
+    // Spawns of this deployment parked in the platform's spawn queue
+    // (bounds duplicate enqueues while the cluster is saturated).
+    int queued_spawns = 0;
   };
 
   // --- Handle-interned deployment lookup. Invoke interns the callee once;
@@ -306,8 +348,21 @@ class Platform : public Invoker {
   // The spec a given version id runs (the control's or the staged canary's).
   const DeploymentSpec& SpecForVersion(const Deployment& dep, int64_t version) const;
   SimDuration ColdStartDelay(const Deployment& dep, int64_t version) const;
+  // The working set one request of this version reserves on dispatch -- what
+  // the footprint-aware memory admission accounts for.
+  double RequestFootprintMb(const Deployment& dep, int64_t version) const;
   std::shared_ptr<Container> SelectContainer(Deployment& dep, int64_t version) const;
   void CreateContainer(Deployment& dep, int64_t version);
+  // --- Node-model plumbing (all no-ops with an infinite pool).
+  // Parks a spawn that found no node with room; bounded per deployment.
+  void EnqueueSpawn(Deployment& dep, int64_t version);
+  // Frees the container's node capacity and, if spawns wait, schedules a
+  // zero-delay drain (never synchronous: callers hold container iterators).
+  void ReleaseNodeCapacity(const Container& container);
+  void ScheduleSpawnDrain();
+  void DrainSpawnQueue();
+  // Scheduled NodeFailureEvent: kills every container on the node.
+  void FailNode(int node_id);
   // Weighted round-robin version assignment for one routing decision.
   int64_t AssignVersion(Deployment& dep);
   void RouteRequest(Deployment& dep, std::shared_ptr<CallContext> ctx,
@@ -323,8 +378,10 @@ class Platform : public Invoker {
   // Failure-handling path (timeout, retry, breaker, fault injection).
   void BeginAttempt(std::shared_ptr<CallContext> ctx);
   void OnAttemptResult(const std::shared_ptr<CallContext>& ctx, Result<Json> result);
-  // True when the deployment's breaker currently sheds this call.
-  bool BreakerRejects(Deployment& dep);
+  // True when the deployment's breaker currently sheds this call. When the
+  // call is admitted as a half-open probe, marks the context so settlement
+  // releases the probe slot.
+  bool BreakerRejects(Deployment& dep, CallContext& ctx);
   void RecordAttemptOutcome(Deployment& dep, const Status& status);
   void OpenBreaker(Deployment& dep);
 
@@ -343,6 +400,11 @@ class Platform : public Invoker {
   StringInterner handles_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
   std::vector<double> billing_;  // HandleId -> vCPU-seconds.
+  // Worker-node fleet (empty = infinite pool) and the queue of container
+  // spawns waiting for node capacity, drained (FIFO) as capacity frees.
+  PlacementEngine placement_;
+  std::deque<std::pair<HandleId, int64_t>> spawn_queue_;  // (deployment, version).
+  bool spawn_drain_scheduled_ = false;
   int64_t next_container_id_ = 1;
   int64_t next_trace_id_ = 1;  // Minted only for trace roots (client entries).
   int64_t next_span_id_ = 1;

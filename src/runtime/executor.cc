@@ -15,6 +15,8 @@ const char* KillReasonName(KillReason reason) {
       return "crash";
     case KillReason::kInjectedCrash:
       return "injected_crash";
+    case KillReason::kNodeFailure:
+      return "node_failure";
   }
   return "unknown";
 }
@@ -56,6 +58,9 @@ class FunctionRun : public std::enable_shared_from_this<FunctionRun> {
           if (self->env_.container->kill_cause() == ContainerKillCause::kOom) {
             self->done_(Status(StatusCode::kResourceExhausted,
                                "container OOM-killed mid-request"));
+          } else if (self->env_.container->kill_cause() == ContainerKillCause::kNodeFailure) {
+            self->done_(Status(StatusCode::kAborted,
+                               "worker node failed mid-request"));
           } else {
             self->done_(Status(StatusCode::kAborted, "container killed mid-request"));
           }

@@ -61,6 +61,7 @@ enum class KillReason {
   kOom,            // Memory limit exceeded; the kernel kills the cgroup.
   kCrash,          // The process hit an unhandled fault (CrashStep).
   kInjectedCrash,  // Spurious crash injected by a FaultPlan.
+  kNodeFailure,    // The worker node hosting the container failed.
 };
 
 const char* KillReasonName(KillReason reason);

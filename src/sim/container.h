@@ -31,7 +31,7 @@ enum class ContainerState { kColdStarting, kReady, kKilled };
 
 // Why the container died, as observed by in-flight requests (their abort
 // handlers read it to report OOM kills distinctly from crashes).
-enum class ContainerKillCause { kNone, kOom, kCrash };
+enum class ContainerKillCause { kNone, kOom, kCrash, kNodeFailure };
 
 class Container {
  public:
@@ -39,6 +39,9 @@ class Container {
 
   int64_t id() const { return id_; }
   const std::string& deployment_handle() const { return deployment_handle_; }
+  // Worker node hosting this container (-1 = infinite pool, no node model).
+  int node_id() const { return node_id_; }
+  void set_node_id(int node_id) { node_id_ = node_id; }
   const ContainerConfig& config() const { return config_; }
   ContainerState state() const { return state_; }
   void set_state(ContainerState state);
@@ -85,6 +88,7 @@ class Container {
   Simulation* sim_;
   std::string deployment_handle_;
   int64_t id_;
+  int node_id_ = -1;
   ContainerConfig config_;
   ContainerState state_ = ContainerState::kColdStarting;
   ContainerKillCause kill_cause_ = ContainerKillCause::kNone;

@@ -34,6 +34,20 @@ void MetricsStore::FlushFailures() const {
   pending_failures_.clear();
 }
 
+void MetricsStore::AddNodeBatch(std::vector<NodeSample> batch) {
+  pending_nodes_.insert(pending_nodes_.end(), std::make_move_iterator(batch.begin()),
+                        std::make_move_iterator(batch.end()));
+}
+
+void MetricsStore::FlushNodes() const {
+  if (pending_nodes_.empty()) {
+    return;
+  }
+  node_samples_.reserve(node_samples_.size() + pending_nodes_.size());
+  std::move(pending_nodes_.begin(), pending_nodes_.end(), std::back_inserter(node_samples_));
+  pending_nodes_.clear();
+}
+
 std::map<std::string, MetricsStore::FunctionUsage> MetricsStore::Aggregate() const {
   FlushSamples();
   // Latest sample per (handle, container).
@@ -97,6 +111,9 @@ void ResourceMonitor::Tick() {
   store_->AddBatch(source_());
   if (failure_source_) {
     store_->AddFailureBatch(failure_source_());
+  }
+  if (node_source_) {
+    store_->AddNodeBatch(node_source_());
   }
   sim_->Schedule(interval_, [this] { Tick(); });
 }

@@ -15,6 +15,7 @@
 #include "src/common/adaptation_record.h"
 #include "src/common/compile_record.h"
 #include "src/common/decision_record.h"
+#include "src/common/node_record.h"
 #include "src/sim/simulation.h"
 
 namespace quilt {
@@ -103,6 +104,14 @@ class MetricsStore {
     FlushFailures();
     return failure_samples_;
   }
+  // Per-worker-node utilization/stranding snapshots (§4, live node model),
+  // sampled on the same tick as resources.
+  void AddNode(NodeSample sample) { pending_nodes_.push_back(std::move(sample)); }
+  void AddNodeBatch(std::vector<NodeSample> batch);
+  const std::vector<NodeSample>& node_samples() const {
+    FlushNodes();
+    return node_samples_;
+  }
   // Decision telemetry (§4): one record per Decide/ReconsiderWorkflow run.
   void AddDecision(DecisionRecord record) { decisions_.push_back(std::move(record)); }
   const std::vector<DecisionRecord>& decisions() const { return decisions_; }
@@ -126,6 +135,8 @@ class MetricsStore {
     pending_samples_.clear();
     failure_samples_.clear();
     pending_failures_.clear();
+    node_samples_.clear();
+    pending_nodes_.clear();
     decisions_.clear();
     workflow_latency_.clear();
     adaptations_.clear();
@@ -141,11 +152,14 @@ class MetricsStore {
  private:
   void FlushSamples() const;
   void FlushFailures() const;
+  void FlushNodes() const;
 
   mutable std::vector<ResourceSample> samples_;
   mutable std::vector<ResourceSample> pending_samples_;
   mutable std::vector<FailureSample> failure_samples_;
   mutable std::vector<FailureSample> pending_failures_;
+  mutable std::vector<NodeSample> node_samples_;
+  mutable std::vector<NodeSample> pending_nodes_;
   std::vector<DecisionRecord> decisions_;
   std::vector<WorkflowLatencySummary> workflow_latency_;
   std::vector<AdaptationRecord> adaptations_;
@@ -158,6 +172,7 @@ class ResourceMonitor {
  public:
   using SampleSource = std::function<std::vector<ResourceSample>()>;
   using FailureSource = std::function<std::vector<FailureSample>()>;
+  using NodeSource = std::function<std::vector<NodeSample>()>;
 
   ResourceMonitor(Simulation* sim, MetricsStore* store, SampleSource source,
                   SimDuration interval = Seconds(1));
@@ -165,6 +180,9 @@ class ResourceMonitor {
   // Optional second source: per-deployment failure-taxonomy snapshots,
   // sampled on the same tick as resources (the platform provides it).
   void set_failure_source(FailureSource source) { failure_source_ = std::move(source); }
+  // Optional third source: per-worker-node snapshots (empty while the
+  // platform runs the infinite pool, so enabling it costs nothing then).
+  void set_node_source(NodeSource source) { node_source_ = std::move(source); }
 
   void Start();
   void Stop() { running_ = false; }
@@ -177,6 +195,7 @@ class ResourceMonitor {
   MetricsStore* store_;
   SampleSource source_;
   FailureSource failure_source_;
+  NodeSource node_source_;
   SimDuration interval_;
   bool running_ = false;
 };

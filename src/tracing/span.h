@@ -88,6 +88,9 @@ struct Span {
 
   int attempts = 1;
   SpanStatus status = SpanStatus::kOk;
+  // Worker node that served the final attempt (-1 = infinite pool / never
+  // dispatched). Stamped at dispatch when the platform runs a node fleet.
+  int node_id = -1;
   // True when the invocation was served by a staged canary version of the
   // callee (weighted two-version routing during an autopilot guard window).
   bool canary = false;

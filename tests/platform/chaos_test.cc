@@ -252,6 +252,103 @@ TEST(ChaosTest, CircuitBreakerShedsAndRecovers) {
   EXPECT_LT(result.FailureRate(), outage_fraction + 0.05);
 }
 
+// Regression: on cooldown expiry the breaker used to admit unbounded
+// concurrent traffic until the first half-open probe responded -- a probe
+// storm straight into the deployment it was protecting. Now at most
+// half_open_max_probes (default 1) requests are in flight half-open; the
+// rest of a burst is shed as breaker-rejected.
+TEST(ChaosTest, HalfOpenBreakerCapsProbeBurst) {
+  PlatformConfig config;
+  config.breaker.enabled = true;
+  config.breaker.failure_threshold = 3;
+  config.breaker.open_duration = Milliseconds(500);
+
+  FaultRule outage;  // Total gateway outage for the first 100ms.
+  outage.kind = FaultKind::kGatewayError;
+  outage.probability = 1.0;
+  outage.window_start = 0;
+  outage.window_end = Milliseconds(100);
+  config.fault_plan.rules = {outage};
+
+  Simulation sim;
+  Platform platform(&sim, config);
+  // A slow handler: the probe is still in flight when the burst lands.
+  ASSERT_TRUE(platform.Deploy(SleepFunction("probe-fn", 50.0)).ok());
+
+  // Three failures during the outage trip the breaker.
+  for (int i = 0; i < 3; ++i) {
+    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false, [](Result<Json>) {});
+  }
+  sim.RunUntil(Milliseconds(100));
+  const DeploymentStats* stats = platform.StatsFor("probe-fn");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_EQ(stats->breaker_opens, 1);
+  ASSERT_EQ(stats->completed, 0);
+
+  // Past the cooldown, fire a burst into the now-half-open breaker. Exactly
+  // one request may probe; the other nine are shed immediately (pre-fix, all
+  // ten sailed through).
+  sim.RunUntil(Seconds(1));
+  const int64_t rejected_before = stats->breaker_rejected;
+  int burst_ok = 0;
+  int burst_shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false, [&](Result<Json> r) {
+      if (r.ok()) {
+        ++burst_ok;
+      } else if (r.status().code() == StatusCode::kUnavailable) {
+        ++burst_shed;
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(burst_ok, 1);
+  EXPECT_EQ(burst_shed, 9);
+  EXPECT_EQ(stats->breaker_rejected, rejected_before + 9);
+  EXPECT_EQ(stats->completed, 1);
+
+  // The successful probe closed the breaker: traffic flows again.
+  bool after_ok = false;
+  platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false,
+                  [&](Result<Json> r) { after_ok = r.ok(); });
+  sim.Run();
+  EXPECT_TRUE(after_ok);
+  EXPECT_EQ(stats->breaker_opens, 1);  // Never re-opened.
+}
+
+// A wider probe allowance admits exactly that many concurrent probes.
+TEST(ChaosTest, HalfOpenProbeAllowanceIsConfigurable) {
+  PlatformConfig config;
+  config.breaker.enabled = true;
+  config.breaker.failure_threshold = 3;
+  config.breaker.open_duration = Milliseconds(500);
+  config.breaker.half_open_max_probes = 3;
+
+  FaultRule outage;
+  outage.kind = FaultKind::kGatewayError;
+  outage.probability = 1.0;
+  outage.window_start = 0;
+  outage.window_end = Milliseconds(100);
+  config.fault_plan.rules = {outage};
+
+  Simulation sim;
+  Platform platform(&sim, config);
+  ASSERT_TRUE(platform.Deploy(SleepFunction("probe-fn", 50.0)).ok());
+  for (int i = 0; i < 3; ++i) {
+    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false, [](Result<Json>) {});
+  }
+  sim.RunUntil(Seconds(1));
+
+  int burst_ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false,
+                    [&](Result<Json> r) { burst_ok += r.ok() ? 1 : 0; });
+  }
+  sim.Run();
+  EXPECT_EQ(burst_ok, 3);
+  EXPECT_EQ(platform.StatsFor("probe-fn")->breaker_rejected, 7);  // 10 - 3 probes.
+}
+
 // --- Client-side invocation timeout.
 
 TEST(ChaosTest, InvocationTimeoutFailsSlowCall) {

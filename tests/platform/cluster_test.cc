@@ -38,14 +38,51 @@ TEST(ClusterTest, OversizedContainerIsUnplaceable) {
   const PlacementResult result =
       PlaceContainers({{"whale", 20.0, 1024.0, 1}}, kWorker, 10);
   EXPECT_EQ(result.containers_unplaced, 1);
+  EXPECT_EQ(result.containers_capacity_exhausted, 0);
   EXPECT_EQ(result.containers_placed, 0);
 }
 
+// Regression: items that fit a fresh worker but hit the max_workers cap used
+// to be charged as "unplaced" -- conflating "can never run on this worker
+// shape" with "buy more workers". They are capacity-exhausted, not unplaced.
 TEST(ClusterTest, WorkerLimitCapsPlacement) {
   const PlacementResult result =
       PlaceContainers({{"fn", 8.0, 1024.0, 6}}, kWorker, /*max_workers=*/2);
   EXPECT_EQ(result.containers_placed, 4);  // 2 per worker.
-  EXPECT_EQ(result.containers_unplaced, 2);
+  EXPECT_EQ(result.containers_unplaced, 0);
+  EXPECT_EQ(result.containers_capacity_exhausted, 2);
+}
+
+TEST(ClusterTest, CapExhaustedAndUnplacedAreDistinct) {
+  // One whale (fits nothing) plus three 12-vCPU containers against a single
+  // worker: one places, two are capacity-exhausted, the whale is unplaced.
+  const PlacementResult result = PlaceContainers(
+      {{"whale", 20.0, 1024.0, 1}, {"merged", 12.0, 1024.0, 3}}, kWorker,
+      /*max_workers=*/1);
+  EXPECT_EQ(result.containers_placed, 1);
+  EXPECT_EQ(result.containers_unplaced, 1);
+  EXPECT_EQ(result.containers_capacity_exhausted, 2);
+}
+
+TEST(ClusterTest, EveryPolicyConservesContainersAndRepeatsExactly) {
+  const std::vector<ContainerRequest> mix = {{"large", 12.0, 20000.0, 3},
+                                             {"mid", 7.0, 9000.0, 5},
+                                             {"small", 2.0, 1500.0, 11},
+                                             {"whale", 40.0, 1024.0, 1}};
+  for (const PlacementPolicy policy : {PlacementPolicy::kFirstFit, PlacementPolicy::kBestFit,
+                                       PlacementPolicy::kLeastLoaded}) {
+    const PlacementResult a = PlaceContainers(mix, kWorker, 5, policy);
+    const PlacementResult b = PlaceContainers(mix, kWorker, 5, policy);
+    // Deterministic: identical inputs give identical packing.
+    EXPECT_EQ(a.workers_used, b.workers_used) << PlacementPolicyName(policy);
+    EXPECT_EQ(a.containers_placed, b.containers_placed) << PlacementPolicyName(policy);
+    EXPECT_DOUBLE_EQ(a.stranded_cpu, b.stranded_cpu) << PlacementPolicyName(policy);
+    // Conservation: every replica lands in exactly one bucket.
+    EXPECT_EQ(a.containers_placed + a.containers_unplaced + a.containers_capacity_exhausted,
+              3 + 5 + 11 + 1)
+        << PlacementPolicyName(policy);
+    EXPECT_EQ(a.containers_unplaced, 1) << PlacementPolicyName(policy);  // The whale.
+  }
 }
 
 TEST(ClusterTest, FirstFitDecreasingMixesSizes) {

@@ -92,6 +92,53 @@ TEST(PlatformScalingTest, MemoryAdmissionAvoidsHotContainers) {
   EXPECT_GE(platform.StatsFor("memhog")->containers_created, 2);
 }
 
+// Regression: admission used to compare the pod's *current* memory against
+// the threshold, footprint-blind -- so a queued backlog draining onto a
+// saturated pod (or a burst racing the first reservation) pushed it far past
+// the admission threshold. The check now charges the request's own working
+// set, so a single pod drains a deep backlog one request at a time and its
+// peak memory never crosses the threshold.
+TEST(PlatformScalingTest, BacklogDrainRespectsMemoryAdmission) {
+  Simulation sim;
+  PlatformConfig config;
+  config.memory_admission_threshold = 0.5;  // 50 MB of the 100 MB limit.
+  Platform platform(&sim, config);
+  DeploymentSpec spec = LongFunction("drainhog", 100.0, /*max_scale=*/1);
+  spec.warm_containers = 1;
+  spec.container.memory_limit_mb = 100.0;
+  auto behavior = std::make_shared<FunctionBehavior>();
+  behavior->handle = "drainhog";
+  behavior->request_memory_mb = 40.0;
+  behavior->steps = {SleepStep{100.0}};
+  spec.behavior.single = std::move(behavior);
+  ASSERT_TRUE(platform.Deploy(spec).ok());
+
+  // One request in flight holds base 5 + 40 = 45 MB...
+  int completed = 0;
+  platform.Invoke(kClientCaller, "drainhog", Json::MakeObject(), false,
+                  [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+  sim.RunUntil(Milliseconds(20));
+  ASSERT_EQ(platform.TotalContainers(), 1);
+
+  // ... when a burst lands on the single pod. Pre-fix, 45 < 50 admitted the
+  // next request too (45 + 40 = 85 MB, way past the threshold). Now the
+  // burst queues and drains strictly one at a time as memory frees.
+  for (int i = 0; i < 3; ++i) {
+    platform.Invoke(kClientCaller, "drainhog", Json::MakeObject(), false,
+                    [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 4);  // Everything drains eventually.
+  const DeploymentStats* stats = platform.StatsFor("drainhog");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->oom_kills, 0);
+  EXPECT_EQ(stats->containers_created, 1);  // max_scale = 1: one pod did it all.
+  const std::vector<ResourceSample> samples = platform.SampleResources();
+  ASSERT_EQ(samples.size(), 1u);
+  // The pod's high-water mark stayed at one admitted request.
+  EXPECT_DOUBLE_EQ(samples[0].peak_memory_mb, 45.0);
+}
+
 TEST(PlatformScalingTest, UpdateRetiresOldContainersAfterDrain) {
   Simulation sim;
   Platform platform(&sim, PlatformConfig{});
