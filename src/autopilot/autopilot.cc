@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/cost_record.h"
 #include "src/common/strings.h"
 
 namespace quilt {
@@ -39,6 +40,8 @@ std::vector<Autopilot::DetectorRuntime> Autopilot::BuildDetectors() const {
       {std::make_unique<AlphaDriftDetector>(options_.alpha_drift_threshold), 0, 0});
   detectors.push_back(
       {std::make_unique<ColdStartSurgeDetector>(options_.cold_start_share_threshold), 0, 0});
+  detectors.push_back(
+      {std::make_unique<CostRegressionDetector>(options_.cost_regression_pct), 0, 0});
   return detectors;
 }
 
@@ -129,6 +132,8 @@ void Autopilot::Step(const std::string& root, Pilot& pilot,
     case WorkflowState::kRolledBack: {
       ResetDetectors(pilot);
       pilot.baseline_p99 = 0;
+      pilot.baseline_cost_per_request_nanos = 0;
+      pilot.last_cost_nanos = 0;
       AdaptationRecord record =
           MakeRecord(root, WorkflowState::kRolledBack, WorkflowState::kProfiling, "profile");
       record.reason = "re-profiling after rollback";
@@ -228,6 +233,11 @@ void Autopilot::AdoptPlan(const std::string& root, Pilot& pilot, const std::stri
   Emit(std::move(staged));
   pilot.state = WorkflowState::kCanarying;
   pilot.canary_ticks = 0;
+  // Snapshot the workflow's bill: the guard window's per-arm spend is the
+  // delta from here, so older traffic never contaminates the cost gate.
+  const auto [snap_total, snap_canary] = WorkflowCostTotals(root);
+  pilot.canary_snap_total_nanos = snap_total;
+  pilot.canary_snap_canary_nanos = snap_canary;
 }
 
 void Autopilot::StepCanarying(const std::string& root, Pilot& pilot,
@@ -266,13 +276,30 @@ void Autopilot::StepCanarying(const std::string& root, Pilot& pilot,
     const double canary_failures =
         static_cast<double>(canary.traces - canary.ok_traces) /
         static_cast<double>(canary.traces);
+    // Cost gate: what each arm billed per request during the guard window.
+    // Inert when billing is idle on either arm (no $/request to compare).
+    const auto [cur_total, cur_canary] = WorkflowCostTotals(root);
+    const int64_t canary_spend_nanos = cur_canary - pilot.canary_snap_canary_nanos;
+    const int64_t control_spend_nanos = (cur_total - cur_canary) -
+                                        (pilot.canary_snap_total_nanos -
+                                         pilot.canary_snap_canary_nanos);
+    const int64_t canary_cpr = canary_spend_nanos / canary.traces;
+    const int64_t control_cpr = control_spend_nanos / control.traces;
+    bool cost_ok = true;
+    if (canary_spend_nanos > 0 && control_spend_nanos > 0) {
+      cost_ok = static_cast<double>(canary_cpr) <=
+                (1.0 + options_.canary_cost_tolerance) * static_cast<double>(control_cpr);
+    }
     record.metric = p99_ratio;
     record.threshold = 1.0 + options_.canary_p99_tolerance;
     promote = p99_ratio <= 1.0 + options_.canary_p99_tolerance &&
-              canary_failures <= control_failures + options_.canary_failure_tolerance;
+              canary_failures <= control_failures + options_.canary_failure_tolerance &&
+              cost_ok;
     record.reason = StrCat("canary p99/control p99 = ", FormatDouble(p99_ratio, 3),
                            ", failure rates ", FormatDouble(canary_failures, 3), " vs ",
-                           FormatDouble(control_failures, 3), " over ", canary.traces, "/",
+                           FormatDouble(control_failures, 3), ", $/request ",
+                           FormatNanodollars(canary_cpr), " vs ",
+                           FormatNanodollars(control_cpr), " over ", canary.traces, "/",
                            control.traces, " traces");
   } else if (pilot.canary_ticks >= options_.canary_max_ticks) {
     record.metric = static_cast<double>(std::min(control.traces, canary.traces));
@@ -291,6 +318,10 @@ void Autopilot::StepCanarying(const std::string& root, Pilot& pilot,
   record.window_traces = control.traces + canary.traces;
   if (promote && controller_->PromoteCanaryPlan(root).ok()) {
     pilot.baseline_p99 = canary.end_to_end.p99;
+    // The cost baseline re-arms on the first non-quiet window under the new
+    // plan; window deltas restart from the promoted bill.
+    pilot.baseline_cost_per_request_nanos = 0;
+    pilot.last_cost_nanos = WorkflowCostTotals(root).first;
     ResetDetectors(pilot);
     record.to_state = WorkflowStateName(WorkflowState::kMonitoring);
     record.action = "promote";
@@ -322,6 +353,19 @@ void Autopilot::StepMonitoring(const std::string& root, Pilot& pilot,
   signals.oom_kills_since_deploy = controller_->OomKillsSinceDeploy(root);
   signals.alpha_drift =
       signals.window != nullptr ? ComputeAlphaDrift(root, traces) : 0.0;
+  // Billed $/request of this window: delta of the workflow's cumulative bill
+  // over the window's complete traces. The first non-quiet window after a
+  // promote establishes the baseline (the detector holds on that window).
+  const int64_t window_cost_nanos = WorkflowCostTotals(root).first;
+  if (signals.window != nullptr && window.traces > 0) {
+    signals.cost_per_request_nanos =
+        (window_cost_nanos - pilot.last_cost_nanos) / window.traces;
+    signals.baseline_cost_per_request_nanos = pilot.baseline_cost_per_request_nanos;
+    if (pilot.baseline_cost_per_request_nanos == 0) {
+      pilot.baseline_cost_per_request_nanos = signals.cost_per_request_nanos;
+    }
+  }
+  pilot.last_cost_nanos = window_cost_nanos;
 
   for (DetectorRuntime& rt : pilot.detectors) {
     const DetectorVerdict verdict = rt.detector->Evaluate(signals);
@@ -356,6 +400,18 @@ void Autopilot::StepMonitoring(const std::string& root, Pilot& pilot,
     AdoptPlan(root, pilot, rt.detector->name(), verdict, window.traces);
     return;  // At most one adaptation per workflow per tick.
   }
+}
+
+std::pair<int64_t, int64_t> Autopilot::WorkflowCostTotals(const std::string& root) const {
+  int64_t total_nanos = 0;
+  int64_t canary_nanos = 0;
+  CostMeter& meter = controller_->platform()->cost_meter();
+  for (const std::string& handle : controller_->WorkflowFunctionHandles(root)) {
+    const CostRecord record = meter.RecordFor(handle);
+    total_nanos += record.total_nanos;
+    canary_nanos += record.canary_nanos;
+  }
+  return {total_nanos, canary_nanos};
 }
 
 double Autopilot::ComputeAlphaDrift(const std::string& root,

@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/autopilot/detectors.h"
@@ -61,6 +62,10 @@ struct AutopilotOptions {
   int64_t canary_max_ticks = 4;       // Guard bound; abort when still starved.
   double canary_p99_tolerance = 0.10;     // Canary p99 may exceed control by this.
   double canary_failure_tolerance = 0.02; // Allowed canary failure-rate excess.
+  // Cost gate: the canary arm's billed $/request may exceed the control
+  // arm's by at most this fraction. Inert while billing is idle (neither arm
+  // accrued a bill during the guard window).
+  double canary_cost_tolerance = 0.10;
 
   // --- Detector thresholds (§4.9). Reoptimize detectors carry hysteresis:
   // they must fire on `hysteresis_windows` consecutive windows to trip, and
@@ -72,6 +77,7 @@ struct AutopilotOptions {
   double p99_regression_pct = 0.5;    // Window p99 vs promote-time baseline.
   double alpha_drift_threshold = 0.25;  // Fallback/budget ratio on local edges.
   double cold_start_share_threshold = 0.5;  // Cold-start share of e2e.
+  double cost_regression_pct = 0.5;  // Window $/request vs post-promote baseline.
 };
 
 class Autopilot {
@@ -102,6 +108,16 @@ class Autopilot {
     std::vector<DetectorRuntime> detectors;
     SimDuration baseline_p99 = 0;  // Promoted plan's p99 at promote time.
     int64_t canary_ticks = 0;      // Ticks the current guard window has run.
+    // --- Billing state (all nanodollars, integer-exact).
+    // $/request established by the first non-quiet window after promote; the
+    // cost-regression detector compares later windows against it.
+    int64_t baseline_cost_per_request_nanos = 0;
+    // Workflow's cumulative bill at the last monitoring tick (window deltas).
+    int64_t last_cost_nanos = 0;
+    // Workflow bill totals when the current canary was staged; the guard
+    // window's per-arm spend is the delta from here.
+    int64_t canary_snap_total_nanos = 0;
+    int64_t canary_snap_canary_nanos = 0;
   };
 
   void Tick();
@@ -120,6 +136,11 @@ class Autopilot {
   // Max observed fallback-to-budget ratio across the live merge's localized
   // edges in this window's traces.
   double ComputeAlphaDrift(const std::string& root, const std::vector<Trace>& traces) const;
+
+  // Cumulative workflow bill {total_nanos, canary_nanos}: CostMeter records
+  // summed over the workflow's function handles (group roots reuse function
+  // handles, so merged deployments are covered too).
+  std::pair<int64_t, int64_t> WorkflowCostTotals(const std::string& root) const;
 
   void ResetDetectors(Pilot& pilot);
   std::vector<DetectorRuntime> BuildDetectors() const;

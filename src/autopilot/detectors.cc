@@ -1,5 +1,6 @@
 #include "src/autopilot/detectors.h"
 
+#include "src/common/cost_record.h"
 #include "src/common/strings.h"
 
 namespace quilt {
@@ -57,6 +58,27 @@ DetectorVerdict AlphaDriftDetector::Evaluate(const DetectorSignals& signals) con
     verdict.reason = StrCat("observed fallback invocations reach ",
                             FormatDouble(100.0 * signals.alpha_drift, 1),
                             "% of a localized edge's budget");
+  }
+  return verdict;
+}
+
+DetectorVerdict CostRegressionDetector::Evaluate(const DetectorSignals& signals) const {
+  DetectorVerdict verdict;
+  verdict.threshold = regression_pct_;
+  if (signals.window == nullptr || signals.baseline_cost_per_request_nanos <= 0 ||
+      signals.cost_per_request_nanos <= 0) {
+    return verdict;  // No bill or no baseline yet: hold.
+  }
+  verdict.metric = static_cast<double>(signals.cost_per_request_nanos) /
+                       static_cast<double>(signals.baseline_cost_per_request_nanos) -
+                   1.0;
+  if (verdict.metric > regression_pct_) {
+    verdict.fired = true;
+    verdict.reason =
+        StrCat("window bill ", FormatNanodollars(signals.cost_per_request_nanos),
+               "/request is ", FormatDouble(100.0 * verdict.metric, 1),
+               "% over the post-promote baseline ",
+               FormatNanodollars(signals.baseline_cost_per_request_nanos), "/request");
   }
   return verdict;
 }

@@ -38,6 +38,11 @@ struct DetectorSignals {
   // Max observed fallback-to-budget ratio across the live merge's localized
   // edges this window (0 when no merge is live or no fallback was seen).
   double alpha_drift = 0.0;
+  // Billed $/request of this window (nanodollars; 0 when billing is idle or
+  // the window is quiet) and the baseline established on the first non-quiet
+  // window after the plan was promoted (0 until then).
+  int64_t cost_per_request_nanos = 0;
+  int64_t baseline_cost_per_request_nanos = 0;
 };
 
 struct DetectorVerdict {
@@ -105,6 +110,20 @@ class ColdStartSurgeDetector : public Detector {
 
  private:
   double share_threshold_;  // Fire when cold-start share of e2e exceeds this.
+};
+
+// Billed $/request regressed against the post-promote baseline: the promoted
+// plan (or the workload under it) got more expensive than what the canary
+// verdict approved, so the decision is worth re-running with fresh prices.
+class CostRegressionDetector : public Detector {
+ public:
+  explicit CostRegressionDetector(double regression_pct) : regression_pct_(regression_pct) {}
+  const char* name() const override { return "cost-regression"; }
+  AdaptationAction action() const override { return AdaptationAction::kReoptimize; }
+  DetectorVerdict Evaluate(const DetectorSignals& signals) const override;
+
+ private:
+  double regression_pct_;  // Fire when $/request > baseline * (1 + pct).
 };
 
 }  // namespace quilt

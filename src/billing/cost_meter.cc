@@ -1,0 +1,140 @@
+#include "src/billing/cost_meter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quilt {
+
+CostMeter::Account& CostMeter::AccountFor(const std::string& handle) {
+  const HandleId id = handles_.Intern(handle);
+  if (static_cast<size_t>(id) >= accounts_.size()) {
+    accounts_.resize(id + 1);
+  }
+  Account& account = accounts_[id];
+  if (account.record.handle.empty()) {
+    account.record.handle = handle;
+  }
+  return account;
+}
+
+int64_t CostMeter::MeterAttempt(const std::string& handle, int64_t exec_us, int64_t cold_us,
+                                double memory_limit_mb, double cpu_limit, bool canary) {
+  int64_t window_us = std::max<int64_t>(0, exec_us);
+  int64_t cold_billed_us = 0;
+  if (profile_.cold_start == ColdStartBilling::kBilled) {
+    cold_billed_us = std::max<int64_t>(0, cold_us);
+    window_us += cold_billed_us;
+  }
+  const int64_t billed_us = profile_.BilledDurationUs(window_us);
+  const int64_t compute =
+      profile_.ComputeCostNanos(billed_us, MemoryKb(memory_limit_mb), CpuMillicores(cpu_limit));
+  const int64_t charge = profile_.request_fee_nanos + compute;
+
+  Account& account = AccountFor(handle);
+  CostRecord& record = account.record;
+  ++record.attempts;
+  record.billed_us += billed_us;
+  record.cold_start_us += cold_billed_us;
+  record.request_fee_nanos += profile_.request_fee_nanos;
+  record.compute_nanos += compute;
+  record.total_nanos += charge;
+  if (canary) {
+    ++record.canary_attempts;
+    record.canary_nanos += charge;
+  }
+  ++total_attempts_;
+  total_nanos_ += charge;
+  return charge;
+}
+
+void CostMeter::BillCpu(const std::string& handle, double cpu_ms) {
+  Account& account = AccountFor(handle);
+  account.cpu_billed = true;
+  account.cpu_seconds += cpu_ms / 1000.0;
+}
+
+double CostMeter::BilledCpuSeconds(const std::string& handle) const {
+  const HandleId id = handles_.Find(handle);
+  if (id == kInvalidHandle || static_cast<size_t>(id) >= accounts_.size()) {
+    return 0.0;
+  }
+  return accounts_[id].cpu_seconds;
+}
+
+std::map<std::string, double> CostMeter::CpuLedger() const {
+  std::map<std::string, double> ledger;
+  for (const Account& account : accounts_) {
+    if (account.cpu_billed) {
+      ledger[account.record.handle] = account.cpu_seconds;
+    }
+  }
+  return ledger;
+}
+
+std::vector<CostRecord> CostMeter::Records() const {
+  std::vector<CostRecord> records;
+  for (const Account& account : accounts_) {
+    if (account.record.attempts > 0) {
+      records.push_back(account.record);
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const CostRecord& a, const CostRecord& b) { return a.handle < b.handle; });
+  return records;
+}
+
+CostRecord CostMeter::RecordFor(const std::string& handle) const {
+  const HandleId id = handles_.Find(handle);
+  if (id == kInvalidHandle || static_cast<size_t>(id) >= accounts_.size()) {
+    CostRecord empty;
+    empty.handle = handle;
+    return empty;
+  }
+  CostRecord record = accounts_[id].record;
+  if (record.handle.empty()) {
+    record.handle = handle;
+  }
+  return record;
+}
+
+CostMeter::InfraCost CostMeter::InfraCostFromNodes(const std::vector<NodeSample>& samples) const {
+  using Wide = __int128;
+  InfraCost out;
+  // Samples arrive in timestamp order; per node, each consecutive pair pays
+  // for the interval between them. The idle share uses the left endpoint's
+  // utilization (a deterministic left Riemann sum), quantized to milli-units
+  // so the arithmetic stays integral.
+  std::map<int, const NodeSample*> last;
+  for (const NodeSample& sample : samples) {
+    auto [it, first_sighting] = last.emplace(sample.node_id, &sample);
+    if (first_sighting) {
+      continue;
+    }
+    const NodeSample& prev = *it->second;
+    const int64_t delta_ns = sample.timestamp - prev.timestamp;
+    if (delta_ns > 0) {
+      const int64_t paid = static_cast<int64_t>(static_cast<Wide>(delta_ns) *
+                                                profile_.node_second_nanos / 1000000000);
+      const int64_t idle_milli = std::clamp<int64_t>(
+          1000 - std::llround(1000.0 * prev.CpuUtilization()), 0, 1000);
+      out.node_nanos += paid;
+      out.idle_nanos += paid * idle_milli / 1000;
+    }
+    it->second = &sample;
+  }
+  return out;
+}
+
+void CostMeter::Clear() {
+  // Interned ids stay minted (the interner cannot forget), but every
+  // account is zeroed -- Records()/CpuLedger() skip untouched accounts.
+  for (Account& account : accounts_) {
+    const std::string handle = account.record.handle;
+    account = Account();
+    account.record.handle = handle;
+  }
+  total_nanos_ = 0;
+  total_attempts_ = 0;
+}
+
+}  // namespace quilt

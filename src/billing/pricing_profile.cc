@@ -1,0 +1,67 @@
+#include "src/billing/pricing_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace quilt {
+
+PricingProfile PricingProfile::PerMillisecond() {
+  PricingProfile profile;
+  profile.name = "per-ms";
+  profile.request_fee_nanos = 200;
+  profile.gb_second_nanos = 16667;
+  profile.vcpu_second_nanos = 0;
+  profile.node_second_nanos = 27778;
+  profile.granularity_us = 1000;
+  profile.min_billed_us = 1000;
+  profile.cold_start = ColdStartBilling::kFree;
+  return profile;
+}
+
+PricingProfile PricingProfile::Coarse100Ms() {
+  PricingProfile profile;
+  profile.name = "coarse-100ms";
+  profile.request_fee_nanos = 400;
+  profile.gb_second_nanos = 4000;
+  profile.vcpu_second_nanos = 20000;
+  profile.node_second_nanos = 27778;
+  profile.granularity_us = 100000;
+  profile.min_billed_us = 100000;
+  profile.cold_start = ColdStartBilling::kBilled;
+  return profile;
+}
+
+int64_t PricingProfile::BilledDurationUs(int64_t raw_us) const {
+  const int64_t clamped = std::max<int64_t>(0, raw_us);
+  const int64_t step = std::max<int64_t>(1, granularity_us);
+  const int64_t rounded = (clamped + step - 1) / step * step;
+  return std::max(rounded, std::max<int64_t>(0, min_billed_us));
+}
+
+int64_t PricingProfile::ComputeCostNanos(int64_t billed_us, int64_t memory_kb,
+                                         int64_t cpu_millicores) const {
+  using Wide = __int128;
+  // GB-seconds: (memory_kb / 2^20 GB) * (billed_us / 1e6 s) * rate.
+  const Wide gb = static_cast<Wide>(billed_us) * memory_kb * gb_second_nanos /
+                  (static_cast<Wide>(1024) * 1024 * 1000000);
+  // vCPU-seconds: (cpu_millicores / 1e3) * (billed_us / 1e6 s) * rate.
+  const Wide vcpu = static_cast<Wide>(billed_us) * cpu_millicores * vcpu_second_nanos /
+                    (static_cast<Wide>(1000) * 1000000);
+  return static_cast<int64_t>(gb + vcpu);
+}
+
+double PricingProfile::DollarsPerSecond(double memory_mb, double cpu) const {
+  return (static_cast<double>(gb_second_nanos) * memory_mb / 1024.0 +
+          static_cast<double>(vcpu_second_nanos) * cpu) *
+         1e-9;
+}
+
+int64_t MemoryKb(double memory_mb) {
+  return std::max<int64_t>(0, std::llround(memory_mb * 1024.0));
+}
+
+int64_t CpuMillicores(double cpu) {
+  return std::max<int64_t>(0, std::llround(cpu * 1000.0));
+}
+
+}  // namespace quilt

@@ -1,0 +1,58 @@
+// Provider-style rate cards (Costless §2: what a serverless bill is made
+// of). All money is int64 nanodollars (1e-9 dollars) and all durations are
+// int64 microseconds, so every charge is exact integer arithmetic -- the
+// aggregate bill equals the sum of its line items with no float drift.
+#ifndef SRC_BILLING_PRICING_PROFILE_H_
+#define SRC_BILLING_PRICING_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace quilt {
+
+// What happens to the cold-start wait of an attempt that had to spawn (or
+// warm) its container.
+enum class ColdStartBilling {
+  kFree,    // Provider absorbs initialization; only the exec window bills.
+  kBilled,  // Cold wait is added to the billed window before rounding.
+};
+
+struct PricingProfile {
+  std::string name = "per-ms";
+  int64_t request_fee_nanos = 200;    // Per dispatch attempt ($0.20 per 1M).
+  int64_t gb_second_nanos = 16667;    // Per GB-second of *configured* memory.
+  int64_t vcpu_second_nanos = 0;      // Per vCPU-second of *configured* quota.
+  int64_t node_second_nanos = 27778;  // Infrastructure: per node-second (~$0.10/h).
+  int64_t granularity_us = 1000;      // Billed windows round UP to this.
+  int64_t min_billed_us = 1000;       // Floor per billed attempt.
+  ColdStartBilling cold_start = ColdStartBilling::kFree;
+
+  // Lambda-style card: 1 ms granularity, memory-only compute rate, cold
+  // starts free.
+  static PricingProfile PerMillisecond();
+  // Older-generation card: 100 ms granularity with a 100 ms minimum,
+  // explicit vCPU rate, cold starts billed. Rounding waste dominates short
+  // functions here, which is what makes merging them pay.
+  static PricingProfile Coarse100Ms();
+
+  // Rounds a raw exec window up to the billing granularity, then applies
+  // the minimum. Negative inputs clamp to zero first.
+  int64_t BilledDurationUs(int64_t raw_us) const;
+
+  // Compute charge (nanodollars, fee NOT included) for `billed_us` at the
+  // configured limits. Exact: 128-bit multiply, floor division.
+  int64_t ComputeCostNanos(int64_t billed_us, int64_t memory_kb, int64_t cpu_millicores) const;
+
+  // Continuous rate (dollars per second) of one container at (mem, cpu) --
+  // the solver's plan-cost model works in doubles; the meter never uses
+  // this.
+  double DollarsPerSecond(double memory_mb, double cpu) const;
+};
+
+// Configured limits quantized for exact arithmetic.
+int64_t MemoryKb(double memory_mb);
+int64_t CpuMillicores(double cpu);
+
+}  // namespace quilt
+
+#endif  // SRC_BILLING_PRICING_PROFILE_H_

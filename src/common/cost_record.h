@@ -1,0 +1,48 @@
+// One deployment handle's accumulated bill (§8 metering, Costless-style
+// accounting). Shared vocabulary between the billing meter, the metrics
+// store and the autopilot -- a flat struct of exact integers (nanodollars,
+// microseconds) so aggregation never drifts: the grand total is the sum of
+// these lines by construction, not by floating-point accident.
+#ifndef SRC_COMMON_COST_RECORD_H_
+#define SRC_COMMON_COST_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace quilt {
+
+struct CostRecord {
+  std::string handle;            // Deployment handle (merged group root for quilts).
+  int64_t attempts = 0;          // Billed dispatch attempts; every retry counts.
+  int64_t billed_us = 0;         // Granularity-rounded, min-floored microseconds.
+  int64_t cold_start_us = 0;     // Cold-start share inside billed_us (kBilled policy).
+  int64_t request_fee_nanos = 0; // Per-request fees, nanodollars.
+  int64_t compute_nanos = 0;     // GB-second + vCPU-second charges, nanodollars.
+  int64_t total_nanos = 0;       // == request_fee_nanos + compute_nanos, exactly.
+  int64_t canary_attempts = 0;   // Attempts served by the canary version.
+  int64_t canary_nanos = 0;      // ... and their share of total_nanos.
+};
+
+// Canonical one-line rendering (fixed field order, integer-only) for
+// byte-identical comparison across runs and decision-thread counts.
+inline std::string CostRecordLine(const CostRecord& r) {
+  return StrCat("handle=", r.handle, " attempts=", r.attempts, " billed_us=", r.billed_us,
+                " cold_us=", r.cold_start_us, " fee_nanos=", r.request_fee_nanos,
+                " compute_nanos=", r.compute_nanos, " total_nanos=", r.total_nanos,
+                " canary_attempts=", r.canary_attempts, " canary_nanos=", r.canary_nanos);
+}
+
+// "$1.234567" from nanodollars, fixed six decimals (micro-dollar precision).
+inline std::string FormatNanodollars(int64_t nanos) {
+  const bool negative = nanos < 0;
+  const int64_t magnitude = negative ? -nanos : nanos;
+  const int64_t micros = magnitude / 1000;
+  return StrCat(negative ? "-$" : "$", micros / 1000000, ".",
+                StrCat(1000000 + micros % 1000000).substr(1));
+}
+
+}  // namespace quilt
+
+#endif  // SRC_COMMON_COST_RECORD_H_

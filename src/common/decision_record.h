@@ -21,6 +21,11 @@ struct DecisionRecord {
   bool feasible = false;
   double final_cost = 0.0;  // Cross-edge cost of the chosen solution.
   int num_groups = 0;
+  // Blended-objective context: λ the decision ran under (1.0 = latency-only)
+  // and the chosen plan's unscaled dollar rate under the problem's
+  // PlanCostModel (0.0 when the problem carried no cost terms).
+  double cost_weight = 1.0;
+  double plan_dollars = 0.0;
 
   // --- Cost of deciding.
   double wall_ms = 0.0;         // Wall-clock decision time.

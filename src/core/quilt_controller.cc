@@ -23,6 +23,7 @@ DecisionEngineOptions EngineOptionsFrom(const ControllerOptions& options) {
   engine.grasp_threads = options.decision_threads;
   engine.enable_cache = options.decision_cache;
   engine.cache_capacity = options.decision_cache_capacity;
+  engine.cost_weight = options.cost.cost_weight;
   return engine;
 }
 
@@ -267,6 +268,19 @@ Result<MergeSolution> QuiltController::DecideWithTrigger(const CallGraph& graph,
   problem.graph = &graph;
   problem.cpu_limit = options_.container_cpu_limit;
   problem.memory_limit = options_.container_memory_limit_mb;
+  // Cost-aware decisions (λ < 1): price every edge from the window's
+  // measured exec durations under the configured rate card. With λ = 1 the
+  // problem carries no cost terms and the decision is byte-identical to the
+  // latency-only path.
+  if (options_.cost.cost_weight < 1.0) {
+    PlanCostInputs inputs;
+    inputs.profile = options_.cost.profile;
+    inputs.default_exec_seconds = options_.cost.default_exec_ms / 1000.0;
+    tracer_.Flush();
+    inputs.exec_seconds = MeanExecSecondsBySpan(
+        span_store_.Query(profile_window_start_, sim_->now() + 1));
+    problem.cost = BuildPlanCostModel(graph, inputs);
+  }
 
   DecisionRecord record;
   Result<MergeSolution> solution = decision_engine_.Decide(problem, &record);
@@ -739,6 +753,35 @@ int64_t QuiltController::OomKillsSinceDeploy(const std::string& root_handle) con
     }
   }
   return kills;
+}
+
+std::vector<std::string> QuiltController::WorkflowFunctionHandles(
+    const std::string& root_handle) const {
+  std::vector<std::string> handles;
+  const WorkflowApp* app = AppForHandle(root_handle);
+  if (app == nullptr) {
+    return handles;
+  }
+  handles.reserve(app->functions.size());
+  for (const AppFunctionSpec& fn : app->functions) {
+    handles.push_back(fn.handle);
+  }
+  return handles;
+}
+
+QuiltController::CostReport QuiltController::CollectCostReport() {
+  CostReport report;
+  CostMeter& meter = platform_->cost_meter();
+  report.records = meter.Records();
+  for (const CostRecord& record : report.records) {
+    metrics_store_.AddCost(record);
+  }
+  report.invocation_nanos = meter.TotalNanos();
+  report.invocation_attempts = meter.TotalAttempts();
+  const CostMeter::InfraCost infra = meter.InfraCostFromNodes(metrics_store_.node_samples());
+  report.infra_nanos = infra.node_nanos;
+  report.infra_idle_nanos = infra.idle_nanos;
+  return report;
 }
 
 Status QuiltController::RollbackDeployment(const std::string& root_handle) {

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "src/apps/app.h"
+#include "src/billing/cost_meter.h"
+#include "src/billing/plan_cost.h"
 #include "src/common/status.h"
 #include "src/partition/decision_engine.h"
 #include "src/partition/problem.h"
@@ -76,6 +78,19 @@ struct ControllerOptions {
   // When a merged function replaces a group, it receives the containers of
   // all its members (resource parity with the baseline, §7.3.1).
   bool merged_scale_is_member_sum = true;
+
+  // --- Billing / cost-aware decisions (billing engine). cost_weight is the
+  // λ of the blended objective λ·latency + (1−λ)·$: 1.0 (default) keeps the
+  // seed latency-only decisions byte-identical; below 1.0 every decision
+  // builds a PlanCostModel from `profile` and the window's measured exec
+  // durations, and all three solvers optimize the blend.
+  struct CostOptions {
+    double cost_weight = 1.0;   // λ; 1.0 = latency-only.
+    PricingProfile profile;     // Rate card the plan-cost model prices under.
+    // Fallback mean exec duration for functions with no measured spans.
+    double default_exec_ms = 1.0;
+  };
+  CostOptions cost;
 
   QuiltcOptions quiltc;
 
@@ -219,6 +234,11 @@ class QuiltController {
   // OOM kills across the workflow's merged group roots since DeployMerged
   // recorded their baselines (0 when no merge is live).
   int64_t OomKillsSinceDeploy(const std::string& root_handle) const;
+  // Function handles of the workflow that contains `root_handle` (empty if
+  // unknown). Baseline deployments and merged group roots both bill under
+  // these handles, so summing the cost meter over them covers the workflow's
+  // whole bill regardless of the live plan.
+  std::vector<std::string> WorkflowFunctionHandles(const std::string& root_handle) const;
   // Full revert to the unmerged baseline: aborts any staged canary, restores
   // every function's original image and drops the deployment ledger entry.
   Status RollbackDeployment(const std::string& root_handle);
@@ -235,6 +255,19 @@ class QuiltController {
   // Container-merge (CM, §7.2): the whole workflow in one container, one
   // process per function behind an internal API gateway.
   Status DeployContainerMerge(const WorkflowApp& app, double memory_limit_mb = 0.0);
+
+  // --- Billing (§8 metering -> dollars). Snapshots the platform's cost
+  // meter: per-handle bill lines (appended to the MetricsStore as canonical
+  // CostRecords) plus infrastructure dollars derived from the window's
+  // NodeSamples, so stranded capacity shows up as paid-but-idle money.
+  struct CostReport {
+    std::vector<CostRecord> records;  // Sorted by handle.
+    int64_t invocation_nanos = 0;     // Σ records.total_nanos, exact.
+    int64_t invocation_attempts = 0;  // Σ records.attempts.
+    int64_t infra_nanos = 0;          // Node-uptime dollars (node model only).
+    int64_t infra_idle_nanos = 0;     // ... of which the CPUs sat idle.
+  };
+  CostReport CollectCostReport();
 
   Platform* platform() { return platform_; }
   Tracer* tracer() { return &tracer_; }

@@ -40,6 +40,7 @@ SolverOptions DecisionEngine::OptionsFor(SolverChoice choice) const {
   }
   solver_options.seed = options_.seed;
   solver_options.cache = cache_.get();
+  solver_options.cost_weight = options_.cost_weight;
   if (options_.deadline_ms > 0.0) {
     solver_options.deadline =
         std::chrono::steady_clock::now() +
@@ -84,6 +85,11 @@ Result<MergeSolution> DecisionEngine::Decide(const MergeProblem& problem,
     record->feasible = solution.ok();
     record->final_cost = solution.ok() ? solution->cross_cost : 0.0;
     record->num_groups = solution.ok() ? solution->num_groups() : 0;
+    record->cost_weight = solver_options.cost_weight;
+    if (solution.ok()) {
+      // 0.0 unless the problem carried per-edge dollar terms.
+      record->plan_dollars = PlanDollarCost(*problem.graph, *solution, problem.cost);
+    }
     record->wall_ms = wall_ms;
     record->ilp_solves = stats.ilp_solves;
     record->ilp_cache_hits = stats.ilp_cache_hits;

@@ -48,6 +48,12 @@ struct DecisionEngineOptions {
   // Phase-2 memoization.
   bool enable_cache = true;
   size_t cache_capacity = 4096;
+
+  // λ of the blended objective λ·latency + (1−λ)·$ (see
+  // SolverOptions.cost_weight). Only matters when the MergeProblem carries a
+  // populated PlanCostModel; 1.0 keeps every decision byte-identical to the
+  // latency-only objective.
+  double cost_weight = 1.0;
 };
 
 class DecisionEngine {

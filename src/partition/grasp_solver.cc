@@ -153,9 +153,12 @@ StartOutcome RunStart(const MergeProblem& problem, uint64_t fingerprint,
 
 }  // namespace
 
-Result<MergeSolution> GraspSolver::Solve(const MergeProblem& problem,
+Result<MergeSolution> GraspSolver::Solve(const MergeProblem& original,
                                          const SolverOptions& options,
                                          SolverStats* stats) {
+  // λ = 1 (default) keeps the cost model inert and every start
+  // byte-identical to the latency-only path.
+  const MergeProblem problem = WithCostWeight(original, options.cost_weight);
   QUILT_RETURN_IF_ERROR(problem.Validate());
   const CallGraph& graph = *problem.graph;
   const NodeId workflow_root = graph.root();

@@ -9,13 +9,17 @@
 
 namespace quilt {
 
-Result<MergeSolution> HeuristicSolver::Solve(const MergeProblem& problem,
+Result<MergeSolution> HeuristicSolver::Solve(const MergeProblem& original,
                                              const SolverOptions& options,
                                              SolverStats* stats) {
+  // λ = 1 (default) keeps the cost model inert and this solve byte-identical
+  // to the latency-only path.
+  const MergeProblem problem = WithCostWeight(original, options.cost_weight);
   QUILT_RETURN_IF_ERROR(problem.Validate());
   const CallGraph& graph = *problem.graph;
   const NodeId workflow_root = graph.root();
   const uint64_t fingerprint = FingerprintProblem(problem);
+  const bool cost_active = problem.cost.active(graph.num_edges());
 
   SolverStats local_stats;
   SolverStats& st = stats != nullptr ? *stats : local_stats;
@@ -74,9 +78,11 @@ Result<MergeSolution> HeuristicSolver::Solve(const MergeProblem& problem,
         best = std::move(solution).value();
         improved_at_k = true;
       }
-      return !(best.has_value() && best->cross_cost <= 0.0);
+      // Zero-cost early exit is a latency-only shortcut: blended costs keep
+      // a constant merge-side floor, so zero does not mean unbeatable.
+      return !(!cost_active && best.has_value() && best->cross_cost <= 0.0);
     });
-    if (st.hit_deadline || (best.has_value() && best->cross_cost <= 0.0)) {
+    if (st.hit_deadline || (!cost_active && best.has_value() && best->cross_cost <= 0.0)) {
       break;
     }
     if (best.has_value()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <map>
 
@@ -35,12 +36,25 @@ AssignmentIlp BuildAssignmentIlp(const MergeProblem& problem,
   // constraint 3 empties unreachable ones, constraint 8 pins z, constraint 4
   // pins x). Preferring y = 1 finds low-cost (highly merged) incumbents
   // early, which makes the incumbent-based pruning effective.
+  // Blended objective (λ·latency + (1−λ)·$): with an active PlanCostModel,
+  // each cross indicator's coefficient becomes λ·w_e plus the scaled dollar
+  // delta between cutting and merging the edge, and the constant merge-side
+  // dollars move into objective_offset. With λ = 1 (the default) the
+  // coefficient is exactly the edge weight and the offset exactly 0 -- this
+  // path is byte-identical to the latency-only encoding.
+  const PlanCostModel& cost = problem.cost;
+  const bool cost_active = cost.active(num_edges);
+  out.objective_offset = cost_active ? cost.Offset() : 0.0;
   out.x_var.resize(num_edges);
   for (EdgeId e = 0; e < num_edges; ++e) {
     out.x_var[e] = model.AddBinaryVar(
         StrCat("x_", graph.edge(e).from, "_", graph.edge(e).to), /*branch_priority=*/0,
         /*preferred_value=*/0);
-    model.SetObjectiveCoef(out.x_var[e], graph.edge(e).weight);
+    model.SetObjectiveCoef(out.x_var[e],
+                           cost_active
+                               ? cost.EdgeCoef(graph.edge(e).weight, cost.cut_cost[e],
+                                               cost.merge_cost[e])
+                               : graph.edge(e).weight);
   }
   out.y_var.assign(n, std::vector<int>(k, -1));
   for (NodeId i = 0; i < n; ++i) {
@@ -123,6 +137,27 @@ AssignmentIlp BuildAssignmentIlp(const MergeProblem& problem,
     }
   }
 
+  // (4') Cross-edge upper bound, cost runs only. A blended coefficient can
+  // go negative (cutting an edge is *cheaper* in dollars than keeping it
+  // resident), and constraint 4 only lower-bounds x -- the solver would set
+  // such an x_e = 1 on an internal edge to pocket phantom savings. Pin x to
+  // the true cross indicator: x_e <= Σ_r (y_{i,r} - z_{e,r}) counts the
+  // groups containing i but not j (constraint 8 makes z exactly y_i AND
+  // y_j), which is 0 iff the edge is internal everywhere its source lives.
+  // Skipped under the latency-only objective, where non-negative
+  // coefficients already settle x at its lower bound.
+  if (cost_active) {
+    for (EdgeId e = 0; e < num_edges; ++e) {
+      const CallEdge& edge = graph.edge(e);
+      std::vector<IlpTerm> terms = {{out.x_var[e], 1.0}};
+      for (int r = 0; r < k; ++r) {
+        terms.push_back({out.y_var[edge.from][r], -1.0});
+        terms.push_back({z_var[e][r], 1.0});
+      }
+      model.AddLessEqual(std::move(terms), 0.0);
+    }
+  }
+
   // (6) Memory and (7) CPU capacity per subgraph.
   for (int r = 0; r < k; ++r) {
     const FunctionNode& root_node = graph.node(roots[r]);
@@ -158,7 +193,8 @@ MergeSolution AssignmentIlp::Decode(const CallGraph& graph, const IlpSolution& s
     }
     out.groups.push_back(std::move(group));
   }
-  out.cross_cost = solution.objective;
+  out.cross_cost = objective_offset != 0.0 ? solution.objective + objective_offset
+                                           : solution.objective;
   return out;
 }
 
@@ -254,12 +290,25 @@ Result<MergeSolution> SolveForRootsCompact(const MergeProblem& problem,
     }
     model.FixVar(a[s][s], 1);
   }
-  // x[e]: cross-edge indicator, only edges into roots can be cut.
+  // x[e]: cross-edge indicator, only edges into roots can be cut. Under an
+  // active PlanCostModel the coefficient is the blended λ·w + (1−λ)·$ delta,
+  // clamped at 0: the compact encoding has no exact upper bound on x, so a
+  // negative coefficient would let the solver claim phantom savings on
+  // internal edges. Clamping is conservative (it never under-counts a
+  // plan's blended cost relative to the full encoding's optimum) and only
+  // engages on >threshold-node graphs.
+  const PlanCostModel& cost = problem.cost;
+  const bool cost_active = cost.active(graph.num_edges());
+  const double objective_offset = cost_active ? cost.Offset() : 0.0;
   std::map<EdgeId, int> x;
   for (EdgeId eid = 0; eid < graph.num_edges(); ++eid) {
     if (root_index[graph.edge(eid).to] != -1) {
       x[eid] = model.AddBinaryVar(StrCat("x_", eid), 0, 0);
-      model.SetObjectiveCoef(x[eid], graph.edge(eid).weight);
+      model.SetObjectiveCoef(
+          x[eid], cost_active
+                      ? std::max(0.0, cost.EdgeCoef(graph.edge(eid).weight, cost.cut_cost[eid],
+                                                    cost.merge_cost[eid]))
+                      : graph.edge(eid).weight);
     }
   }
 
@@ -320,7 +369,13 @@ Result<MergeSolution> SolveForRootsCompact(const MergeProblem& problem,
   }
 
   IlpSolver solver;
-  const IlpSolution solution = solver.Solve(model, options);
+  // Callers express cutoffs offset-inclusive; the raw ILP objective has the
+  // constant merge-side dollars removed.
+  IlpSolveOptions raw_options = options;
+  if (objective_offset != 0.0 && std::isfinite(raw_options.cutoff)) {
+    raw_options.cutoff -= objective_offset;
+  }
+  const IlpSolution solution = solver.Solve(model, raw_options);
   switch (solution.status) {
     case IlpStatus::kOptimal:
     case IlpStatus::kFeasible:
@@ -353,7 +408,8 @@ Result<MergeSolution> SolveForRootsCompact(const MergeProblem& problem,
     }
     out.groups.push_back(std::move(group));
   }
-  out.cross_cost = solution.objective;
+  out.cross_cost = objective_offset != 0.0 ? solution.objective + objective_offset
+                                           : solution.objective;
   return out;
 }
 
@@ -365,7 +421,13 @@ Result<MergeSolution> SolveForRoots(const MergeProblem& problem,
   }
   AssignmentIlp encoded = BuildAssignmentIlp(problem, roots);
   IlpSolver solver;
-  const IlpSolution solution = solver.Solve(encoded.model, options);
+  // Callers express cutoffs offset-inclusive (they compare against decoded
+  // cross_cost values); the raw ILP objective excludes the constant.
+  IlpSolveOptions raw_options = options;
+  if (encoded.objective_offset != 0.0 && std::isfinite(raw_options.cutoff)) {
+    raw_options.cutoff -= encoded.objective_offset;
+  }
+  const IlpSolution solution = solver.Solve(encoded.model, raw_options);
   switch (solution.status) {
     case IlpStatus::kOptimal:
     case IlpStatus::kFeasible:

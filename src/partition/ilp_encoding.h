@@ -19,8 +19,15 @@ struct AssignmentIlp {
   std::vector<NodeId> roots;       // The candidate root set R.
   std::vector<int> x_var;          // Per edge id: cross-edge indicator.
   std::vector<std::vector<int>> y_var;  // y_var[node][root_index]: membership.
+  // Constant part of the blended objective when the problem carries an
+  // active PlanCostModel (each edge pays at least its merge-side dollars);
+  // exactly 0.0 under the latency-only objective. Cutoffs passed to the raw
+  // ILP and decoded costs are offset-adjusted so callers always see
+  // offset-inclusive values.
+  double objective_offset = 0.0;
 
-  // Decodes a solver solution into merge groups (cross_cost = objective).
+  // Decodes a solver solution into merge groups
+  // (cross_cost = objective + objective_offset).
   MergeSolution Decode(const CallGraph& graph, const IlpSolution& solution) const;
 };
 

@@ -60,7 +60,28 @@ uint64_t FingerprintProblem(const MergeProblem& problem) {
     hash = MixWord(hash, static_cast<uint64_t>(e.alpha));
     hash = MixWord(hash, static_cast<uint64_t>(e.type));
   }
+  // Mix the cost model only when it actually shapes the ILPs: an inert cost
+  // struct (λ=1 or unsized vectors) keeps the fingerprint — and therefore
+  // every cache key — identical to the latency-only problem's.
+  const PlanCostModel& cost = problem.cost;
+  if (cost.active(graph.num_edges())) {
+    hash = MixWord(hash, DoubleBits(cost.weight));
+    hash = MixWord(hash, DoubleBits(cost.scale));
+    hash = MixWord(hash, DoubleBits(cost.base));
+    for (double c : cost.cut_cost) {
+      hash = MixWord(hash, DoubleBits(c));
+    }
+    for (double m : cost.merge_cost) {
+      hash = MixWord(hash, DoubleBits(m));
+    }
+  }
   return hash;
+}
+
+MergeProblem WithCostWeight(const MergeProblem& problem, double cost_weight) {
+  MergeProblem out = problem;
+  out.cost.weight = cost_weight;
+  return out;
 }
 
 Result<MergeSolution> SolveForRootsCached(const MergeProblem& problem,

@@ -41,6 +41,11 @@ struct SolverOptions {
   // functions of the cache key) and the cutoff is applied to the memoized
   // result instead — see SolveForRootsCached.
   IlpSolveCache* cache = nullptr;
+  // λ of the blended objective λ·latency + (1−λ)·$ (billing PR). Takes
+  // effect only when the problem carries a populated PlanCostModel; 1.0
+  // (the default) leaves every solver path byte-identical to the
+  // latency-only objective regardless of the problem's cost vectors.
+  double cost_weight = 1.0;
 
   // --- Exact sweep (OptimalSolver). max_k also bounds the heuristic sweep.
   int max_k = 0;                 // 0 = all k (optimal: |V|; heuristic: ℓ+1).
@@ -105,9 +110,16 @@ class MergeSolver {
 };
 
 // 64-bit structural fingerprint of a merge problem: nodes (resources), edges
-// (endpoints, weight, alpha, type), the workflow root and the container
-// limits. Two problems with equal fingerprints pose the same Phase-2 ILPs.
+// (endpoints, weight, alpha, type), the workflow root, the container
+// limits, and — when active — the cost model (λ, scale, per-edge dollar
+// terms). Two problems with equal fingerprints pose the same Phase-2 ILPs.
 uint64_t FingerprintProblem(const MergeProblem& problem);
+
+// `problem` with its cost model's λ replaced by `cost_weight` (the
+// SolverOptions knob wins over whatever λ the problem carried). Shares the
+// graph pointer. With cost_weight = 1 and an unpopulated cost model this is
+// a plain copy — the cost term stays inert.
+MergeProblem WithCostWeight(const MergeProblem& problem, double cost_weight);
 
 // Phase-2 solve with optional memoization, the single inner step every
 // solver uses. Without a cache this is exactly SolveForRoots (the cutoff

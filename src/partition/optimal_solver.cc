@@ -9,14 +9,19 @@
 
 namespace quilt {
 
-Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
+Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& original,
                                            const SolverOptions& options,
                                            SolverStats* stats) {
+  // The SolverOptions λ overrides the problem's; with λ = 1 the cost model
+  // goes inert and every path below is byte-identical to the latency-only
+  // solve.
+  const MergeProblem problem = WithCostWeight(original, options.cost_weight);
   QUILT_RETURN_IF_ERROR(problem.Validate());
   const CallGraph& graph = *problem.graph;
   const int n = graph.num_nodes();
   const NodeId workflow_root = graph.root();
   const uint64_t fingerprint = FingerprintProblem(problem);
+  const bool cost_active = problem.cost.active(graph.num_edges());
 
   // Non-root nodes eligible as extra roots.
   std::vector<NodeId> others;
@@ -66,13 +71,16 @@ Result<MergeSolution> OptimalSolver::Solve(const MergeProblem& problem,
           if (solution.ok()) {
             ++st.feasible_sets;
             best = std::move(solution).value();
-            if (best->cross_cost <= 0.0) {
+            // Zero-cost early exit applies only to the latency objective:
+            // a blended cost carries a constant merge-side floor, so "zero"
+            // no longer means "cannot improve".
+            if (!cost_active && best->cross_cost <= 0.0) {
               return false;  // Cannot improve on zero cross cost.
             }
           }
           return true;
         });
-    if (!completed && best.has_value() && best->cross_cost <= 0.0) {
+    if (!completed && !cost_active && best.has_value() && best->cross_cost <= 0.0) {
       break;  // Early exit on perfect solution.
     }
     if (!completed && !st.exhaustive) {

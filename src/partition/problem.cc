@@ -77,6 +77,28 @@ double ComputeCrossCost(const CallGraph& graph, const MergeSolution& solution) {
   return cost;
 }
 
+double PlanDollarCost(const CallGraph& graph, const MergeSolution& solution,
+                      const PlanCostModel& cost) {
+  const int num_edges = graph.num_edges();
+  if (static_cast<int>(cost.cut_cost.size()) != num_edges ||
+      static_cast<int>(cost.merge_cost.size()) != num_edges) {
+    return 0.0;
+  }
+  double dollars = cost.base;
+  for (EdgeId eid = 0; eid < num_edges; ++eid) {
+    const CallEdge& e = graph.edge(eid);
+    bool cut = false;
+    for (const MergeGroup& group : solution.groups) {
+      if (group.Contains(e.from) && !group.Contains(e.to)) {
+        cut = true;
+        break;
+      }
+    }
+    dollars += cut ? cost.cut_cost[eid] : cost.merge_cost[eid];
+  }
+  return dollars;
+}
+
 Status CheckSolution(const MergeProblem& problem, const MergeSolution& solution) {
   QUILT_RETURN_IF_ERROR(problem.Validate());
   const CallGraph& graph = *problem.graph;

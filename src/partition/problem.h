@@ -15,10 +15,50 @@
 
 namespace quilt {
 
+// Dollar side of the blended objective λ·latency + (1−λ)·$ (Costless-style
+// plan economics). Per edge e = (i,j): cut_cost[e] is the dollar rate when
+// the edge is a cross edge (per-request fees plus the callee's own rounded
+// billing windows) and merge_cost[e] the rate when it stays internal (the
+// callee's compute inside the host window plus its memory resident over the
+// caller's whole window). `base` collects grouping-independent dollars.
+// Plain doubles with no billing dependency -- the billing library fills
+// this in from a PricingProfile and measured durations.
+struct PlanCostModel {
+  double weight = 1.0;  // λ in [0,1]; 1.0 = latency-only (cost term off).
+  double scale = 1.0;   // Dollars -> edge-weight-comparable units.
+  std::vector<double> cut_cost;    // $ per profiling window if edge e is cut.
+  std::vector<double> merge_cost;  // $ per profiling window if edge e is internal.
+  double base = 0.0;               // $ per window regardless of grouping.
+
+  // The cost term participates only when λ < 1 and both vectors cover the
+  // graph; any other shape leaves every solver path byte-identical to the
+  // latency-only objective.
+  bool active(int num_edges) const {
+    return weight < 1.0 && static_cast<int>(cut_cost.size()) == num_edges &&
+           static_cast<int>(merge_cost.size()) == num_edges;
+  }
+
+  // Blended ILP objective coefficient of the cross indicator x_e.
+  double EdgeCoef(double edge_weight, double cut, double merge) const {
+    return weight * edge_weight + (1.0 - weight) * scale * (cut - merge);
+  }
+
+  // Constant part of the blended objective: every edge pays at least its
+  // merge-side dollars, plus the grouping-independent base.
+  double Offset() const {
+    double merged = base;
+    for (double m : merge_cost) {
+      merged += m;
+    }
+    return (1.0 - weight) * scale * merged;
+  }
+};
+
 struct MergeProblem {
   const CallGraph* graph = nullptr;
   double cpu_limit = 0.0;     // C: max vCPUs per container.
   double memory_limit = 0.0;  // M: max MB per container.
+  PlanCostModel cost;         // Inert unless cost.active(num_edges).
 
   // Sanity checks: graph validates and every single function fits in a
   // container on its own (otherwise even the unmerged baseline is invalid).
@@ -56,6 +96,12 @@ GroupResources ComputeGroupResources(const CallGraph& graph, const MergeGroup& g
 // contains i but not j (Appendix B constraint 4); cost is Σ w over cross
 // edges.
 double ComputeCrossCost(const CallGraph& graph, const MergeSolution& solution);
+
+// Unscaled, un-blended dollar rate of a plan under `cost`: base plus each
+// edge's cut- or merge-side dollars depending on whether the solution cuts
+// it. Returns 0 when the cost vectors do not cover the graph.
+double PlanDollarCost(const CallGraph& graph, const MergeSolution& solution,
+                      const PlanCostModel& cost);
 
 // Full validity check: coverage, unique roots, per-group connected rDAG
 // rooted at the group root, and resource limits.

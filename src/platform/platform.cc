@@ -14,7 +14,8 @@ Platform::Platform(Simulation* sim, PlatformConfig config)
       injector_(config_.fault_plan),
       // Jitter stream decorrelated from the injector's draw stream so a plan
       // change never perturbs retry timing of unrelated deployments.
-      failure_rng_(config_.fault_plan.seed * 0x9e3779b97f4a7c15ull + 1) {
+      failure_rng_(config_.fault_plan.seed * 0x9e3779b97f4a7c15ull + 1),
+      cost_meter_(config_.pricing) {
   placement_.Configure(config_.node_cpu, config_.node_memory_mb, config_.max_nodes,
                        config_.placement_policy);
   // Scheduled deterministic node failures: at the planned instant the node
@@ -264,29 +265,17 @@ std::vector<ResourceSample> Platform::SampleResources() const {
 }
 
 void Platform::BillCpu(const std::string& function_handle, double cpu_ms) {
-  const HandleId id = handles_.Intern(function_handle);
-  if (id >= static_cast<HandleId>(billing_.size())) {
-    billing_.resize(static_cast<size_t>(id) + 1, 0.0);
-  }
-  billing_[static_cast<size_t>(id)] += cpu_ms / 1000.0;
+  cost_meter_.BillCpu(function_handle, cpu_ms);
 }
 
 double Platform::BilledCpuSeconds(const std::string& function_handle) const {
-  const HandleId id = handles_.Find(function_handle);
-  if (id < 0 || id >= static_cast<HandleId>(billing_.size())) {
-    return 0.0;
-  }
-  return billing_[static_cast<size_t>(id)];
+  return cost_meter_.BilledCpuSeconds(function_handle);
 }
 
 std::map<std::string, double> Platform::billing_ledger() const {
-  std::map<std::string, double> ledger;
-  for (size_t id = 0; id < billing_.size(); ++id) {
-    if (billing_[id] != 0.0) {
-      ledger[handles_.NameOf(static_cast<HandleId>(id))] = billing_[id];
-    }
-  }
-  return ledger;
+  // The meter tracks every handle that ever billed -- including exact-zero
+  // accruals, which the old HandleId->double vector silently dropped.
+  return cost_meter_.CpuLedger();
 }
 
 double Platform::TotalMemoryInUseMb() const {
@@ -985,13 +974,15 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
                         const std::shared_ptr<CallContext>& ctx, SimTime enqueued_at,
                         std::function<void(Result<Json>)> respond) {
   const HandleId id = dep.id;
+  // Split the time since routing into cold-start wait (overlap with the
+  // serving container's cold-start window) and plain queueing. Computed for
+  // every attempt -- the cost meter bills cold starts even when the request
+  // is not traced.
+  const SimTime now = sim_->now();
+  const SimTime ready = container->ready_at() > 0 ? container->ready_at() : now;
+  const SimDuration cold = std::max<SimDuration>(
+      0, std::min(now, ready) - std::max(enqueued_at, container->created_at()));
   if (ctx->traced) {
-    // Split the time since routing into cold-start wait (overlap with the
-    // serving container's cold-start window) and plain queueing.
-    const SimTime now = sim_->now();
-    const SimTime ready = container->ready_at() > 0 ? container->ready_at() : now;
-    const SimDuration cold = std::max<SimDuration>(
-        0, std::min(now, ready) - std::max(enqueued_at, container->created_at()));
     ctx->span.cold_start_ns += cold;
     ctx->span.queue_ns += (now - enqueued_at) - cold;
     ctx->span.exec_start = now;
@@ -1025,7 +1016,7 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
                           : FaultInjector::DispatchFault{};
   ExecuteRequest(env, SpecForVersion(dep, ctx->version).behavior, ctx->payload,
                  /*remote_entry=*/true,
-                 [this, id, container, ctx,
+                 [this, id, container, ctx, dispatch_start = now, cold,
                   respond = std::move(respond)](Result<Json> result) {
                    if (ctx->traced) {
                      ctx->span.exec_end = sim_->now();
@@ -1033,6 +1024,18 @@ void Platform::Dispatch(Deployment& dep, const std::shared_ptr<Container>& conta
                    Deployment* found = DeploymentAt(id);
                    if (found != nullptr) {
                      Deployment& dep = *found;
+                     // Bill this attempt (§8 metering): the exec window at
+                     // the serving version's *configured* limits. Every
+                     // retry attempt lands here, success or failure.
+                     const DeploymentSpec& billed_spec = SpecForVersion(dep, ctx->version);
+                     const bool canary_attempt =
+                         dep.canary != nullptr && ctx->version == dep.canary->version;
+                     const SimDuration exec_ns =
+                         std::max<SimDuration>(0, sim_->now() - dispatch_start);
+                     cost_meter_.MeterAttempt(billed_spec.handle, (exec_ns + 999) / 1000,
+                                              (cold + 999) / 1000,
+                                              billed_spec.container.memory_limit_mb,
+                                              billed_spec.container.cpu_limit, canary_attempt);
                      if (result.ok()) {
                        ++dep.stats.completed;
                      } else {

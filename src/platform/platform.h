@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/billing/cost_meter.h"
 #include "src/common/interner.h"
 #include "src/common/json.h"
 #include "src/common/node_record.h"
@@ -121,6 +122,10 @@ struct PlatformConfig {
   // Deterministic fault injection (network drops/delay, gateway 5xx,
   // spurious container crashes). Empty plan = disabled.
   FaultPlan fault_plan;
+
+  // Rate card the platform's CostMeter bills every dispatch attempt under
+  // (per-request fee, rounded GB-/vCPU-second windows, cold-start policy).
+  PricingProfile pricing;
 };
 
 struct DeploymentSpec {
@@ -232,10 +237,16 @@ class Platform : public Invoker {
   std::vector<FailureSample> SampleFailures() const;
   // Per-function CPU attribution (§8 extension): vCPU-seconds billed to each
   // function handle, including functions running inside merged processes.
+  // Thin facade over the CostMeter's raw-seconds ledger.
   double BilledCpuSeconds(const std::string& function_handle) const;
-  // Materialized snapshot of the ledger (billing itself is a dense
-  // HandleId-indexed vector on the hot path).
+  // Materialized snapshot of the ledger. Every handle that ever billed
+  // appears, including handles whose accrual is exactly zero ("invoked but
+  // idle" is not the same as "never invoked").
   std::map<std::string, double> billing_ledger() const;
+  // Dollar-cost attribution: one MeterAttempt per dispatch attempt (retries
+  // and failures included) under config().pricing.
+  CostMeter& cost_meter() { return cost_meter_; }
+  const CostMeter& cost_meter() const { return cost_meter_; }
   // Snapshot of all live containers (the cAdvisor sample source).
   std::vector<ResourceSample> SampleResources() const;
   double TotalMemoryInUseMb() const;
@@ -394,12 +405,12 @@ class Platform : public Invoker {
   Tracer* tracer_ = nullptr;
   FaultInjector injector_;
   Rng failure_rng_;  // Retry-backoff jitter; independent of injection draws.
-  // Handle intern table shared by deployments and billed function names;
-  // deployments_ and billing_ are dense side tables indexed by HandleId
-  // (slots are nullptr / 0.0 for ids without a live deployment or charge).
+  // Handle intern table shared by deployments; deployments_ is a dense side
+  // table indexed by HandleId (slots are nullptr for ids without a live
+  // deployment). Billing moved into cost_meter_, which keeps its own table.
   StringInterner handles_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
-  std::vector<double> billing_;  // HandleId -> vCPU-seconds.
+  CostMeter cost_meter_;
   // Worker-node fleet (empty = infinite pool) and the queue of container
   // spawns waiting for node capacity, drained (FIFO) as capacity frees.
   PlacementEngine placement_;

@@ -14,6 +14,7 @@
 
 #include "src/common/adaptation_record.h"
 #include "src/common/compile_record.h"
+#include "src/common/cost_record.h"
 #include "src/common/decision_record.h"
 #include "src/common/node_record.h"
 #include "src/sim/simulation.h"
@@ -130,6 +131,10 @@ class MetricsStore {
   // produced for a controller deploy/reconsider/canary/direct path.
   void AddCompile(CompileRecord record) { compiles_.push_back(std::move(record)); }
   const std::vector<CompileRecord>& compiles() const { return compiles_; }
+  // Billing telemetry: one canonical per-handle bill line per
+  // CollectCostReport call (billing engine).
+  void AddCost(CostRecord record) { cost_records_.push_back(std::move(record)); }
+  const std::vector<CostRecord>& cost_records() const { return cost_records_; }
   void Clear() {
     samples_.clear();
     pending_samples_.clear();
@@ -141,6 +146,7 @@ class MetricsStore {
     workflow_latency_.clear();
     adaptations_.clear();
     compiles_.clear();
+    cost_records_.clear();
   }
 
   // Aggregates the latest sample of each container, per function handle.
@@ -164,6 +170,7 @@ class MetricsStore {
   std::vector<WorkflowLatencySummary> workflow_latency_;
   std::vector<AdaptationRecord> adaptations_;
   std::vector<CompileRecord> compiles_;
+  std::vector<CostRecord> cost_records_;
 };
 
 // Periodic sampler ("cAdvisor"). The source callback snapshots all live

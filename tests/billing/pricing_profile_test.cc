@@ -1,0 +1,94 @@
+// Rate-card arithmetic: rounding, minimum windows and the exact integer
+// charge math (nanodollars, 128-bit multiply + floor divide). All expected
+// values are hand-computed from the card constants.
+#include "src/billing/pricing_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace quilt {
+namespace {
+
+TEST(PricingProfileTest, PresetFields) {
+  const PricingProfile per_ms = PricingProfile::PerMillisecond();
+  EXPECT_EQ(per_ms.name, "per-ms");
+  EXPECT_EQ(per_ms.request_fee_nanos, 200);
+  EXPECT_EQ(per_ms.gb_second_nanos, 16667);
+  EXPECT_EQ(per_ms.vcpu_second_nanos, 0);
+  EXPECT_EQ(per_ms.granularity_us, 1000);
+  EXPECT_EQ(per_ms.min_billed_us, 1000);
+  EXPECT_EQ(per_ms.cold_start, ColdStartBilling::kFree);
+
+  const PricingProfile coarse = PricingProfile::Coarse100Ms();
+  EXPECT_EQ(coarse.name, "coarse-100ms");
+  EXPECT_EQ(coarse.request_fee_nanos, 400);
+  EXPECT_EQ(coarse.gb_second_nanos, 4000);
+  EXPECT_EQ(coarse.vcpu_second_nanos, 20000);
+  EXPECT_EQ(coarse.granularity_us, 100000);
+  EXPECT_EQ(coarse.min_billed_us, 100000);
+  EXPECT_EQ(coarse.cold_start, ColdStartBilling::kBilled);
+}
+
+TEST(PricingProfileTest, BilledDurationRoundsUpAndFloors) {
+  const PricingProfile per_ms = PricingProfile::PerMillisecond();
+  EXPECT_EQ(per_ms.BilledDurationUs(-5), 1000);  // Clamp, then minimum.
+  EXPECT_EQ(per_ms.BilledDurationUs(0), 1000);
+  EXPECT_EQ(per_ms.BilledDurationUs(1), 1000);
+  EXPECT_EQ(per_ms.BilledDurationUs(999), 1000);
+  EXPECT_EQ(per_ms.BilledDurationUs(1000), 1000);  // Exact boundary: no bump.
+  EXPECT_EQ(per_ms.BilledDurationUs(1001), 2000);
+  EXPECT_EQ(per_ms.BilledDurationUs(2000), 2000);
+
+  const PricingProfile coarse = PricingProfile::Coarse100Ms();
+  EXPECT_EQ(coarse.BilledDurationUs(1), 100000);
+  EXPECT_EQ(coarse.BilledDurationUs(100000), 100000);
+  EXPECT_EQ(coarse.BilledDurationUs(100001), 200000);
+}
+
+TEST(PricingProfileTest, BilledDurationDegenerateCard) {
+  // Zero granularity falls back to 1 us steps; zero minimum passes raw
+  // windows through untouched.
+  PricingProfile card;
+  card.granularity_us = 0;
+  card.min_billed_us = 0;
+  EXPECT_EQ(card.BilledDurationUs(7), 7);
+  EXPECT_EQ(card.BilledDurationUs(0), 0);
+  card.min_billed_us = 250;
+  EXPECT_EQ(card.BilledDurationUs(7), 250);
+}
+
+TEST(PricingProfileTest, ComputeCostIsExactIntegerArithmetic) {
+  const PricingProfile per_ms = PricingProfile::PerMillisecond();
+  // 1 ms at 128 MB (131072 KB): 1000 * 131072 * 16667 / (2^20 * 1e6)
+  //   = 2'184'577'024'000 / 1'048'576'000'000 = 2.083... -> floor 2.
+  EXPECT_EQ(per_ms.ComputeCostNanos(1000, 131072, 2000), 2);
+  // 80 ms at 128 MB: 80x the numerator -> 166.66... -> floor 166.
+  EXPECT_EQ(per_ms.ComputeCostNanos(80000, 131072, 2000), 166);
+  // One full GB-second divides exactly: 1 s at 1 GB = the GB-second rate.
+  EXPECT_EQ(per_ms.ComputeCostNanos(1000000, 1048576, 0), 16667);
+
+  const PricingProfile coarse = PricingProfile::Coarse100Ms();
+  // 100 ms at 128 MB: 100000 * 131072 * 4000 / 2^20e6 = 50 exactly.
+  // vCPU: 100000 * 2000 * 20000 / 1e9 = 4000 exactly.
+  EXPECT_EQ(coarse.ComputeCostNanos(100000, 131072, 2000), 4050);
+  EXPECT_EQ(coarse.ComputeCostNanos(100000, 131072, 0), 50);
+}
+
+TEST(PricingProfileTest, LimitQuantization) {
+  EXPECT_EQ(MemoryKb(128.0), 131072);
+  EXPECT_EQ(MemoryKb(0.5), 512);
+  EXPECT_EQ(MemoryKb(-3.0), 0);
+  EXPECT_EQ(CpuMillicores(2.0), 2000);
+  EXPECT_EQ(CpuMillicores(0.25), 250);
+  EXPECT_EQ(CpuMillicores(-1.0), 0);
+}
+
+TEST(PricingProfileTest, DollarsPerSecondContinuousRate) {
+  const PricingProfile per_ms = PricingProfile::PerMillisecond();
+  // 1 GB, any CPU: the memory-only card charges the GB-second rate.
+  EXPECT_DOUBLE_EQ(per_ms.DollarsPerSecond(1024.0, 4.0), 16667e-9);
+  const PricingProfile coarse = PricingProfile::Coarse100Ms();
+  EXPECT_DOUBLE_EQ(coarse.DollarsPerSecond(1024.0, 1.0), (4000.0 + 20000.0) * 1e-9);
+}
+
+}  // namespace
+}  // namespace quilt
