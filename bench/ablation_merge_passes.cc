@@ -33,8 +33,12 @@ SimDuration MeasureColdStart(const QuiltcOptions& options) {
   }
   SimTime done = -1;
   const SimTime start = env.sim.now();
-  env.platform.Invoke(kClientCaller, app.root_handle, Json::MakeObject(), false,
-                      [&](Result<Json> r) { done = r.ok() ? env.sim.now() : -1; });
+  env.platform.Invoke({.caller = kClientCaller,
+                       .callee = app.root_handle,
+                       .parent = {},
+                       .payload = Json::MakeObject(),
+                       .async = false,
+                       .done = [&](Result<Json> r) { done = r.ok() ? env.sim.now() : -1; }});
   env.sim.Run();
   return done >= 0 ? done - start : -1;
 }

@@ -65,11 +65,15 @@ Point RunPoint(System system, int num, int requests = 60) {
     SimTime sent = env.sim.now();
     bool ok = false;
     SimTime finished = sent;
-    env.platform.Invoke(kClientCaller, app.root_handle, payload, false,
-                        [&](Result<Json> r) {
+    env.platform.Invoke({.caller = kClientCaller,
+                         .callee = app.root_handle,
+                         .parent = {},
+                         .payload = payload,
+                         .async = false,
+                         .done = [&](Result<Json> r) {
                           ok = r.ok();
                           finished = env.sim.now();
-                        });
+                        }});
     env.sim.Run();
     if (ok) {
       latency.Record(finished - sent);

@@ -42,6 +42,9 @@ std::vector<Autopilot::DetectorRuntime> Autopilot::BuildDetectors() const {
       {std::make_unique<ColdStartSurgeDetector>(options_.cold_start_share_threshold), 0, 0});
   detectors.push_back(
       {std::make_unique<CostRegressionDetector>(options_.cost_regression_pct), 0, 0});
+  detectors.push_back(
+      {std::make_unique<ColdNodePressureDetector>(options_.spawn_queue_pressure_threshold),
+       0, 0});
   return detectors;
 }
 
@@ -95,6 +98,8 @@ AdaptationRecord Autopilot::MakeRecord(const std::string& root, WorkflowState fr
   record.from_state = WorkflowStateName(from);
   record.to_state = WorkflowStateName(to);
   record.action = std::move(action);
+  record.spawn_queue_peak = window_queue_peak_;
+  record.fleet_nodes = controller_->platform()->placement().ReadyNodes();
   return record;
 }
 
@@ -107,8 +112,30 @@ void Autopilot::Tick() {
     return;
   }
   ++tick_;
-  // One collection serves every workflow: the window that just closed.
-  const std::vector<Trace> traces = controller_->CollectTraces();
+  // One collection serves every workflow: the window that just closed. All
+  // observability reads go through the controller's metrics view.
+  MetricsView metrics = controller_->metrics();
+  const std::vector<Trace> traces = metrics.CollectTraces();
+  // Fleet pressure over the closed window, from the node samples: the spawn
+  // queue's peak depth and how many nodes were still provisioning at the
+  // window's last sample tick (both 0 with the node model off).
+  window_queue_peak_ = 0;
+  window_provisioning_ = 0;
+  const SimTime window_start = sim_->now() - options_.tick_interval;
+  SimTime last_sample_ts = -1;
+  for (const NodeSample& sample : metrics.node_samples()) {
+    if (sample.timestamp < window_start) {
+      continue;
+    }
+    window_queue_peak_ = std::max(window_queue_peak_, sample.spawn_queue_depth);
+    if (sample.timestamp > last_sample_ts) {
+      last_sample_ts = sample.timestamp;
+      window_provisioning_ = 0;
+    }
+    if (sample.timestamp == last_sample_ts && sample.provisioning) {
+      ++window_provisioning_;
+    }
+  }
   for (auto& [root, pilot] : pilots_) {
     Step(root, pilot, traces);
   }
@@ -353,6 +380,10 @@ void Autopilot::StepMonitoring(const std::string& root, Pilot& pilot,
   signals.oom_kills_since_deploy = controller_->OomKillsSinceDeploy(root);
   signals.alpha_drift =
       signals.window != nullptr ? ComputeAlphaDrift(root, traces) : 0.0;
+  // Fleet pressure is node-sample state, not trace state: no quiet-window
+  // gate (a cluster too saturated to finish traces must still trip it).
+  signals.spawn_queue_peak = window_queue_peak_;
+  signals.provisioning_nodes = window_provisioning_;
   // Billed $/request of this window: delta of the workflow's cumulative bill
   // over the window's complete traces. The first non-quiet window after a
   // promote establishes the baseline (the detector holds on that window).

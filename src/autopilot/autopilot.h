@@ -78,6 +78,9 @@ struct AutopilotOptions {
   double alpha_drift_threshold = 0.25;  // Fallback/budget ratio on local edges.
   double cold_start_share_threshold = 0.5;  // Cold-start share of e2e.
   double cost_regression_pct = 0.5;  // Window $/request vs post-promote baseline.
+  // Cold-node pressure: window peak of the cluster spawn queue (containers
+  // waiting for node capacity) that trips a re-decision.
+  int64_t spawn_queue_pressure_threshold = 8;
 };
 
 class Autopilot {
@@ -154,6 +157,10 @@ class Autopilot {
   AutopilotOptions options_;
   bool running_ = false;
   int64_t tick_ = 0;
+  // Fleet-pressure signals of the window that just closed, computed once per
+  // tick from the metrics view's node samples and stamped on every record.
+  int64_t window_queue_peak_ = 0;
+  int64_t window_provisioning_ = 0;
   // Keyed by root handle: map order is the deterministic evaluation order.
   std::map<std::string, Pilot> pilots_;
 };

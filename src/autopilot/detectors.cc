@@ -83,6 +83,21 @@ DetectorVerdict CostRegressionDetector::Evaluate(const DetectorSignals& signals)
   return verdict;
 }
 
+DetectorVerdict ColdNodePressureDetector::Evaluate(const DetectorSignals& signals) const {
+  DetectorVerdict verdict;
+  verdict.metric = static_cast<double>(signals.spawn_queue_peak);
+  verdict.threshold = static_cast<double>(queue_threshold_);
+  // Node samples, not traces, carry this signal -- no window gate: a cluster
+  // too saturated to complete traces is exactly when this must fire.
+  if (signals.spawn_queue_peak >= queue_threshold_) {
+    verdict.fired = true;
+    verdict.reason = StrCat("spawn queue peaked at ", signals.spawn_queue_peak,
+                            " waiting container(s) this window (", signals.provisioning_nodes,
+                            " node(s) still provisioning)");
+  }
+  return verdict;
+}
+
 DetectorVerdict ColdStartSurgeDetector::Evaluate(const DetectorSignals& signals) const {
   DetectorVerdict verdict;
   verdict.threshold = share_threshold_;

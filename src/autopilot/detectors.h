@@ -43,6 +43,11 @@ struct DetectorSignals {
   // window after the plan was promoted (0 until then).
   int64_t cost_per_request_nanos = 0;
   int64_t baseline_cost_per_request_nanos = 0;
+  // Peak cluster-wide spawn-queue depth across the window's node samples
+  // (0 with the node model off or no backlog) and nodes still provisioning
+  // at the window's last sample tick.
+  int64_t spawn_queue_peak = 0;
+  int64_t provisioning_nodes = 0;
 };
 
 struct DetectorVerdict {
@@ -124,6 +129,22 @@ class CostRegressionDetector : public Detector {
 
  private:
   double regression_pct_;  // Fire when $/request > baseline * (1 + pct).
+};
+
+// Container spawns piling up behind cold nodes: the fleet (static or
+// elastic) is not absorbing placement pressure, so request latency is about
+// to pay for queued capacity. Worth re-running the decision -- a tighter
+// grouping packs the same workflow into fewer containers.
+class ColdNodePressureDetector : public Detector {
+ public:
+  explicit ColdNodePressureDetector(int64_t queue_threshold)
+      : queue_threshold_(queue_threshold) {}
+  const char* name() const override { return "cold-node-pressure"; }
+  AdaptationAction action() const override { return AdaptationAction::kReoptimize; }
+  DetectorVerdict Evaluate(const DetectorSignals& signals) const override;
+
+ private:
+  int64_t queue_threshold_;  // Fire when the window's spawn-queue peak reaches this.
 };
 
 }  // namespace quilt

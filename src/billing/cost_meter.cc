@@ -102,8 +102,10 @@ CostMeter::InfraCost CostMeter::InfraCostFromNodes(const std::vector<NodeSample>
   InfraCost out;
   // Samples arrive in timestamp order; per node, each consecutive pair pays
   // for the interval between them. The idle share uses the left endpoint's
-  // utilization (a deterministic left Riemann sum), quantized to milli-units
-  // so the arithmetic stays integral.
+  // busy fraction -- CPU actually working, not merely allocated, so a fleet
+  // of idle-warm containers still bills as stranded dollars -- quantized to
+  // milli-units (a deterministic left Riemann sum) so the arithmetic stays
+  // integral.
   std::map<int, const NodeSample*> last;
   for (const NodeSample& sample : samples) {
     auto [it, first_sighting] = last.emplace(sample.node_id, &sample);
@@ -116,7 +118,7 @@ CostMeter::InfraCost CostMeter::InfraCostFromNodes(const std::vector<NodeSample>
       const int64_t paid = static_cast<int64_t>(static_cast<Wide>(delta_ns) *
                                                 profile_.node_second_nanos / 1000000000);
       const int64_t idle_milli = std::clamp<int64_t>(
-          1000 - std::llround(1000.0 * prev.CpuUtilization()), 0, 1000);
+          1000 - std::llround(1000.0 * prev.BusyFraction()), 0, 1000);
       out.node_nanos += paid;
       out.idle_nanos += paid * idle_milli / 1000;
     }

@@ -59,7 +59,8 @@ class CostMeter {
 
   // Infrastructure dollars from node telemetry: consecutive samples of the
   // same node pay node_second_nanos for the interval between them, and the
-  // interval's idle CPU share (left endpoint) is the paid-but-idle slice.
+  // interval's non-busy CPU share (left endpoint; allocation without work
+  // counts as idle) is the paid-but-idle slice.
   struct InfraCost {
     int64_t node_nanos = 0;  // Paid node uptime.
     int64_t idle_nanos = 0;  // ... of which the CPU sat idle (stranded dollars).

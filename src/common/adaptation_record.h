@@ -36,6 +36,10 @@ struct AdaptationRecord {
   // (Σ TotalPipelineTime); 0 for events without a freshly built plan. A pure
   // function of the plan, so the determinism contract holds.
   double plan_compile_s = 0.0;
+  // Fleet pressure at emission (autoscaler/node model; 0 with an infinite
+  // pool): the evaluated window's spawn-queue peak and the ready node count.
+  int64_t spawn_queue_peak = 0;
+  int64_t fleet_nodes = 0;
 };
 
 // Canonical one-line serialization, used for determinism comparison and the
@@ -45,6 +49,7 @@ inline std::string AdaptationRecordLine(const AdaptationRecord& r) {
                 r.to_state, " action=", r.action, " detector=", r.detector.empty() ? "-" : r.detector,
                 " metric=", FormatDouble(r.metric, 4), " threshold=", FormatDouble(r.threshold, 4),
                 " traces=", r.window_traces, " compile=", FormatDouble(r.plan_compile_s, 3),
+                " queue_peak=", r.spawn_queue_peak, " fleet=", r.fleet_nodes,
                 " reason=", r.reason);
 }
 

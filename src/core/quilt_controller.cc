@@ -41,10 +41,54 @@ CompileServiceOptions ServiceOptionsFrom(const ControllerOptions& options) {
 
 }  // namespace
 
+Status ControllerOptions::Validate() const {
+  if (container_cpu_limit <= 0.0) {
+    return InvalidArgumentError("container_cpu_limit must be positive");
+  }
+  if (container_memory_limit_mb <= 0.0) {
+    return InvalidArgumentError("container_memory_limit_mb must be positive");
+  }
+  if (max_scale < 1) {
+    return InvalidArgumentError("max_scale must be >= 1");
+  }
+  if (max_nodes < 0) {
+    return InvalidArgumentError("max_nodes must be >= 0 (0 = infinite pool)");
+  }
+  if (max_nodes > 0 && (node_cpu <= 0.0 || node_memory_mb <= 0.0)) {
+    return InvalidArgumentError(
+        "a finite fleet (max_nodes > 0) requires positive node_cpu and node_memory_mb");
+  }
+  QUILT_RETURN_IF_ERROR(autoscaler.Validate());
+  if (autoscaler.enabled && max_nodes > 0) {
+    return InvalidArgumentError(
+        "the autoscaler and a static finite fleet (max_nodes > 0) are mutually exclusive");
+  }
+  if (cost.cost_weight < 0.0 || cost.cost_weight > 1.0) {
+    return InvalidArgumentError("cost.cost_weight (lambda) must be in [0, 1]");
+  }
+  if (cost.default_exec_ms < 0.0) {
+    return InvalidArgumentError("cost.default_exec_ms must not be negative");
+  }
+  if (decision_threads < 1) {
+    return InvalidArgumentError("decision_threads must be >= 1");
+  }
+  if (grasp_starts < 1) {
+    return InvalidArgumentError("grasp_starts must be >= 1");
+  }
+  if (compile_threads < 1) {
+    return InvalidArgumentError("compile_threads must be >= 1");
+  }
+  if (monitor_interval <= 0) {
+    return InvalidArgumentError("monitor_interval must be positive");
+  }
+  return Status::Ok();
+}
+
 QuiltController::QuiltController(Simulation* sim, Platform* platform, ControllerOptions options)
     : sim_(sim),
       platform_(platform),
       options_(options),
+      options_status_(options.Validate()),
       compile_service_(ServiceOptionsFrom(options)),
       decision_engine_(EngineOptionsFrom(options)),
       tracer_(sim, &span_store_),
@@ -58,11 +102,19 @@ QuiltController::QuiltController(Simulation* sim, Platform* platform, Controller
   // ... and, when the platform runs a finite node fleet, per-node
   // utilization/stranding (empty while the infinite pool is in effect).
   monitor_.set_node_source([platform] { return platform->SampleNodes(); });
-  // Worker-node model: shard the platform into finite nodes before the first
-  // deployment spawns a container.
-  if (options_.max_nodes > 0) {
-    platform_->ConfigureNodes(options_.node_cpu, options_.node_memory_mb, options_.max_nodes,
-                              options_.placement_policy);
+  // Worker-node model: shard the platform into finite nodes -- or arm the
+  // elastic autoscaler -- before the first deployment spawns a container.
+  // Invalid options configure nothing; the typed error surfaces from
+  // RegisterWorkflow instead of building a broken fleet.
+  if (options_status_.ok()) {
+    if (options_.max_nodes > 0) {
+      platform_->ConfigureNodes(options_.node_cpu, options_.node_memory_mb, options_.max_nodes,
+                                options_.placement_policy);
+    } else if (options_.autoscaler.enabled && platform_->autoscaler() == nullptr) {
+      const Status armed = platform_->EnableAutoscaler(options_.autoscaler);
+      assert(armed.ok());
+      (void)armed;
+    }
   }
 }
 
@@ -190,6 +242,7 @@ Result<DeploymentSpec> QuiltController::MergedSpec(const WorkflowApp& app,
 }
 
 Status QuiltController::RegisterWorkflow(const WorkflowApp& app) {
+  QUILT_RETURN_IF_ERROR(options_status_);
   for (const AppFunctionSpec& fn : app.functions) {
     if (app_of_handle_.count(fn.handle) > 0) {
       return AlreadyExistsError(StrCat("function '", fn.handle, "' already registered"));

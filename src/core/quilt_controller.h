@@ -49,6 +49,12 @@ struct ControllerOptions {
   int max_nodes = 0;
   PlacementPolicy placement_policy = PlacementPolicy::kFirstFit;
 
+  // Elastic node pool (§4.14): mutually exclusive with max_nodes > 0. When
+  // enabled the controller arms the platform's NodeAutoscaler at
+  // construction; the fleet then grows from placement pressure and drains
+  // idle nodes instead of holding a static size.
+  AutoscalerOptions autoscaler;
+
   // Merge decision (§4), delegated to the DecisionEngine. kAuto picks by
   // graph size: exact solver up to optimal_solver_max_nodes, the DIH k-sweep
   // below grasp_min_nodes, multi-start GRASP at or beyond it; the explicit
@@ -108,7 +114,15 @@ struct ControllerOptions {
   bool compile_verify_each_pass = false;
 
   SimDuration monitor_interval = Seconds(1);
+
+  // Typed validation of the knob surface: rejects λ outside [0, 1], a finite
+  // fleet with non-positive node geometry, invalid autoscaler windows,
+  // non-positive limits/intervals. The controller constructor calls this and
+  // surfaces the error from RegisterWorkflow instead of silently misbehaving.
+  Status Validate() const;
 };
+
+class MetricsView;
 
 class QuiltController {
  public:
@@ -269,6 +283,15 @@ class QuiltController {
   };
   CostReport CollectCostReport();
 
+  // Read-only query facade over the observability surface (traces, latency
+  // summaries, exports, cost reports, record streams). Prefer this over the
+  // individual Collect*/Summarize*/Export* methods above, which remain for
+  // one release.
+  MetricsView metrics();
+
+  // The typed verdict of ControllerOptions::Validate on the live options.
+  const Status& options_status() const { return options_status_; }
+
   Platform* platform() { return platform_; }
   Tracer* tracer() { return &tracer_; }
   // Store queries go through the exporter flush first: a span recorded
@@ -308,6 +331,7 @@ class QuiltController {
   Simulation* sim_;
   Platform* platform_;
   ControllerOptions options_;
+  Status options_status_;
   // mutable: the const deployment-spec builders (BaselineSpec,
   // DeployContainerMerge) build single-function artifacts through the
   // service, which updates its caches and statistics.
@@ -355,6 +379,54 @@ class QuiltController {
   Result<CallGraph> UpdatedGraphFromObservations(const DeployedState& state,
                                                  const std::string& root_handle);
 };
+
+// Read-only query facade over a controller's observability surface: traces,
+// latency summaries, Chrome exports, cost reports, and the record streams
+// (decisions, adaptations, compiles, node samples, ...). Benches and the
+// autopilot consume this instead of reaching through four subsystems.
+// Lightweight handle: copyable, valid as long as the controller lives.
+class MetricsView {
+ public:
+  explicit MetricsView(QuiltController* controller) : controller_(controller) {}
+
+  // Assembled per-request trace trees of the current profile window.
+  std::vector<Trace> CollectTraces() { return controller_->CollectTraces(); }
+  Result<WorkflowLatencySummary> SummarizeWorkflowLatency(
+      const std::string& root_handle, TraceVersionFilter filter = TraceVersionFilter::kAll) {
+    return controller_->SummarizeWorkflowLatency(root_handle, filter);
+  }
+  Result<std::string> ExportTraceChrome(int64_t trace_id) {
+    return controller_->ExportTraceChrome(trace_id);
+  }
+  QuiltController::CostReport CollectCostReport() {
+    return controller_->CollectCostReport();
+  }
+
+  // Record streams from the MetricsStore.
+  const std::vector<DecisionRecord>& decisions() const {
+    return controller_->metrics_store()->decisions();
+  }
+  const std::vector<AdaptationRecord>& adaptations() const {
+    return controller_->metrics_store()->adaptations();
+  }
+  const std::vector<CompileRecord>& compiles() const {
+    return controller_->metrics_store()->compiles();
+  }
+  const std::vector<NodeSample>& node_samples() const {
+    return controller_->metrics_store()->node_samples();
+  }
+  const std::vector<CostRecord>& cost_records() const {
+    return controller_->metrics_store()->cost_records();
+  }
+  const std::vector<WorkflowLatencySummary>& workflow_latency() const {
+    return controller_->metrics_store()->workflow_latency();
+  }
+
+ private:
+  QuiltController* controller_;
+};
+
+inline MetricsView QuiltController::metrics() { return MetricsView(this); }
 
 }  // namespace quilt
 

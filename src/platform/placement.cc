@@ -69,12 +69,16 @@ std::string NodeStatsLine(const NodeStats& stats) {
                 FormatDouble(stats.memory_used_mb, 3), "/",
                 FormatDouble(stats.memory_capacity_mb, 3), " containers=", stats.containers,
                 " placements=", stats.placements, " kills=", stats.kills,
-                " failed=", stats.failed ? 1 : 0);
+                " failed=", stats.failed ? 1 : 0, " cordoned=", stats.cordoned ? 1 : 0,
+                " provisioning=", stats.provisioning ? 1 : 0);
 }
 
 void PlacementEngine::Configure(double node_cpu, double node_memory_mb, int max_nodes,
                                 PlacementPolicy policy) {
   policy_ = policy;
+  enabled_ = max_nodes > 0;
+  node_cpu_ = node_cpu;
+  node_memory_mb_ = node_memory_mb;
   nodes_.clear();
   nodes_.reserve(max_nodes > 0 ? static_cast<size_t>(max_nodes) : 0);
   for (int id = 0; id < max_nodes; ++id) {
@@ -89,11 +93,17 @@ void PlacementEngine::Configure(double node_cpu, double node_memory_mb, int max_
   unplaceable_ = 0;
 }
 
+void PlacementEngine::ConfigureElastic(double node_cpu, double node_memory_mb,
+                                       PlacementPolicy policy) {
+  Configure(node_cpu, node_memory_mb, /*max_nodes=*/0, policy);
+  enabled_ = true;  // Enabled with an empty fleet; AddNode grows it.
+}
+
 int PlacementEngine::Place(double cpu, double memory_mb) {
-  if (nodes_.empty()) {
+  if (!enabled_) {
     return -1;
   }
-  if (cpu > nodes_.front().cpu_capacity || memory_mb > nodes_.front().memory_capacity_mb) {
+  if (cpu > node_cpu_ || memory_mb > node_memory_mb_) {
     ++unplaceable_;
     return -1;
   }
@@ -140,17 +150,122 @@ bool PlacementEngine::MarkFailed(int node_id) {
     return false;
   }
   WorkerNode& node = nodes_[static_cast<size_t>(node_id)];
-  if (node.failed) {
+  if (node.failed || node.retired) {
     return false;
   }
   node.failed = true;
   return true;
 }
 
+int PlacementEngine::AddNode(bool ready) {
+  WorkerNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.cpu_capacity = node_cpu_;
+  node.memory_capacity_mb = node_memory_mb_;
+  node.provisioning = !ready;
+  node.managed = true;
+  nodes_.push_back(node);
+  return node.id;
+}
+
+bool PlacementEngine::SetReady(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return false;
+  }
+  WorkerNode& node = nodes_[static_cast<size_t>(node_id)];
+  if (!node.provisioning || node.failed || node.retired) {
+    return false;
+  }
+  node.provisioning = false;
+  return true;
+}
+
+bool PlacementEngine::Cordon(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return false;
+  }
+  WorkerNode& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.cordoned || node.failed || node.retired) {
+    return false;
+  }
+  node.cordoned = true;
+  return true;
+}
+
+bool PlacementEngine::Uncordon(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return false;
+  }
+  WorkerNode& node = nodes_[static_cast<size_t>(node_id)];
+  if (!node.cordoned || node.failed || node.retired) {
+    return false;
+  }
+  node.cordoned = false;
+  return true;
+}
+
+bool PlacementEngine::RetireNode(int node_id) {
+  if (node_id < 0 || node_id >= static_cast<int>(nodes_.size())) {
+    return false;
+  }
+  WorkerNode& node = nodes_[static_cast<size_t>(node_id)];
+  if (node.retired || node.failed || node.containers != 0) {
+    return false;
+  }
+  node.retired = true;
+  node.cordoned = true;  // Retired implies no new placements, permanently.
+  return true;
+}
+
+int PlacementEngine::ReadyNodes() const {
+  int count = 0;
+  for (const WorkerNode& node : nodes_) {
+    if (node.Available()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int PlacementEngine::ProvisioningNodes() const {
+  int count = 0;
+  for (const WorkerNode& node : nodes_) {
+    if (node.provisioning && !node.failed && !node.retired) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int PlacementEngine::CordonedNodes() const {
+  int count = 0;
+  for (const WorkerNode& node : nodes_) {
+    if (node.cordoned && !node.provisioning && !node.failed && !node.retired) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int PlacementEngine::AliveNodes() const {
+  int count = 0;
+  for (const WorkerNode& node : nodes_) {
+    if (!node.failed && !node.retired) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 std::vector<NodeStats> PlacementEngine::Snapshot() const {
   std::vector<NodeStats> snapshot;
   for (const WorkerNode& node : nodes_) {
-    if (node.placements == 0 && !node.failed) {
+    // Static fleets only report nodes that ever hosted a container (or
+    // failed), so a 1000-node pool does not emit 1000 empty rows per tick.
+    // Managed (elastic) nodes are paid for from the moment they are
+    // provisioned, so they report from birth until retirement -- warm-pool
+    // and booting nodes must show up as idle dollars in the billing path.
+    if (node.managed ? node.retired : (node.placements == 0 && !node.failed)) {
       continue;
     }
     NodeStats stats;
@@ -163,6 +278,9 @@ std::vector<NodeStats> PlacementEngine::Snapshot() const {
     stats.placements = node.placements;
     stats.kills = node.kills;
     stats.failed = node.failed;
+    stats.cordoned = node.cordoned;
+    stats.provisioning = node.provisioning;
+    stats.retired = node.retired;
     snapshot.push_back(stats);
   }
   return snapshot;

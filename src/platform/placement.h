@@ -35,6 +35,12 @@ bool ParsePlacementPolicy(std::string_view name, PlacementPolicy* out);
 // One finite-capacity worker node. `placements`/`kills` are cumulative over
 // the node's lifetime; `containers` is the live count. A failed node keeps
 // its capacity debited forever (the machine is gone, not drained).
+//
+// Lifecycle flags (autoscaler): a `provisioning` node is booting and invisible
+// to the packer until SetReady; a `cordoned` node takes no new placements but
+// keeps serving resident containers until drained; a `retired` node is
+// permanently out of the fleet (its id is never reused). `managed` marks nodes
+// created by AddNode (elastic fleet) rather than eagerly at Configure.
 struct WorkerNode {
   int id = 0;
   double cpu_capacity = 0.0;
@@ -43,13 +49,19 @@ struct WorkerNode {
   double memory_used_mb = 0.0;
   int containers = 0;
   bool failed = false;
+  bool cordoned = false;
+  bool provisioning = false;
+  bool retired = false;
+  bool managed = false;
   int64_t placements = 0;
   int64_t kills = 0;
 
   double cpu_free() const { return cpu_capacity - cpu_used; }
   double memory_free_mb() const { return memory_capacity_mb - memory_used_mb; }
+  // Ready to accept new containers (lifecycle gate, capacity aside).
+  bool Available() const { return !failed && !cordoned && !provisioning && !retired; }
   bool Fits(double cpu, double memory_mb) const {
-    return !failed && cpu_free() >= cpu && memory_free_mb() >= memory_mb;
+    return Available() && cpu_free() >= cpu && memory_free_mb() >= memory_mb;
   }
   void Assign(double cpu, double memory_mb) {
     cpu_used += cpu;
@@ -79,6 +91,9 @@ struct NodeStats {
   int64_t placements = 0;
   int64_t kills = 0;
   bool failed = false;
+  bool cordoned = false;
+  bool provisioning = false;
+  bool retired = false;
 
   double CpuUtilization() const {
     return cpu_capacity > 0.0 ? cpu_used / cpu_capacity : 0.0;
@@ -101,9 +116,15 @@ class PlacementEngine {
  public:
   void Configure(double node_cpu, double node_memory_mb, int max_nodes,
                  PlacementPolicy policy);
+  // Elastic mode: enables the engine with the node geometry but an empty
+  // fleet. Nodes arrive one at a time via AddNode (the autoscaler's
+  // provision path) instead of eagerly at Configure.
+  void ConfigureElastic(double node_cpu, double node_memory_mb, PlacementPolicy policy);
 
-  bool enabled() const { return !nodes_.empty(); }
+  bool enabled() const { return enabled_; }
   PlacementPolicy policy() const { return policy_; }
+  double node_cpu() const { return node_cpu_; }
+  double node_memory_mb() const { return node_memory_mb_; }
   const std::vector<WorkerNode>& nodes() const { return nodes_; }
 
   // Debits capacity on the chosen node and returns its id, or -1 when the
@@ -119,6 +140,26 @@ class PlacementEngine {
   // Marks the node failed (capacity permanently stranded, no future
   // placements). False when the id is unknown or the node already failed.
   bool MarkFailed(int node_id);
+
+  // --- Elastic node lifecycle (autoscaler) -------------------------------
+  // Appends one node with the configured geometry; `ready` false leaves it
+  // in the provisioning state (invisible to PickNode until SetReady).
+  // Returns the new node id. Requires the engine to be enabled.
+  int AddNode(bool ready);
+  // Provisioning -> ready. False on unknown id or non-provisioning node.
+  bool SetReady(int node_id);
+  // Stops new placements on the node; resident containers keep running.
+  bool Cordon(int node_id);
+  bool Uncordon(int node_id);
+  // Permanently removes an empty node from the fleet (id never reused).
+  // False if the node still hosts containers, already retired, or failed.
+  bool RetireNode(int node_id);
+
+  // Fleet composition at this instant (retired/failed nodes excluded).
+  int ReadyNodes() const;         // available for new placements
+  int ProvisioningNodes() const;  // booting
+  int CordonedNodes() const;      // draining
+  int AliveNodes() const;         // ready + provisioning + cordoned
 
   // Only nodes that ever hosted a container (or failed) are reported; a
   // 1000-node fleet does not emit 1000 empty rows per sampler tick.
@@ -140,6 +181,9 @@ class PlacementEngine {
  private:
   std::vector<WorkerNode> nodes_;
   PlacementPolicy policy_ = PlacementPolicy::kFirstFit;
+  bool enabled_ = false;
+  double node_cpu_ = 0.0;
+  double node_memory_mb_ = 0.0;
   int64_t total_placements_ = 0;
   int64_t deferrals_ = 0;
   int64_t unplaceable_ = 0;

@@ -8,6 +8,40 @@
 
 namespace quilt {
 
+Status PlatformConfig::Validate() const {
+  if (max_nodes < 0) {
+    return InvalidArgumentError("max_nodes must be >= 0 (0 = infinite pool)");
+  }
+  if (max_nodes > 0 && (node_cpu <= 0.0 || node_memory_mb <= 0.0)) {
+    return InvalidArgumentError(
+        "a finite fleet (max_nodes > 0) requires positive node_cpu and node_memory_mb");
+  }
+  if (container_utilization_threshold <= 0.0 || container_utilization_threshold > 1.0) {
+    return InvalidArgumentError("container_utilization_threshold must be in (0, 1]");
+  }
+  if (memory_admission_threshold <= 0.0 || memory_admission_threshold > 1.0) {
+    return InvalidArgumentError("memory_admission_threshold must be in (0, 1]");
+  }
+  if (max_requests_per_container < 1) {
+    return InvalidArgumentError("max_requests_per_container must be >= 1");
+  }
+  if (invocation_timeout < 0) {
+    return InvalidArgumentError("invocation_timeout must not be negative");
+  }
+  if (retry.max_attempts < 1) {
+    return InvalidArgumentError("retry.max_attempts must be >= 1");
+  }
+  if (retry.jitter < 0.0 || retry.jitter > 1.0) {
+    return InvalidArgumentError("retry.jitter must be in [0, 1]");
+  }
+  QUILT_RETURN_IF_ERROR(autoscaler.Validate());
+  if (autoscaler.enabled && max_nodes > 0) {
+    return InvalidArgumentError(
+        "the autoscaler and a static finite fleet (max_nodes > 0) are mutually exclusive");
+  }
+  return Status::Ok();
+}
+
 Platform::Platform(Simulation* sim, PlatformConfig config)
     : sim_(sim),
       config_(std::move(config)),
@@ -16,8 +50,14 @@ Platform::Platform(Simulation* sim, PlatformConfig config)
       // change never perturbs retry timing of unrelated deployments.
       failure_rng_(config_.fault_plan.seed * 0x9e3779b97f4a7c15ull + 1),
       cost_meter_(config_.pricing) {
+  config_status_ = config_.Validate();
   placement_.Configure(config_.node_cpu, config_.node_memory_mb, config_.max_nodes,
                        config_.placement_policy);
+  if (config_status_.ok() && config_.autoscaler.enabled) {
+    const Status armed = EnableAutoscaler(config_.autoscaler);
+    assert(armed.ok());
+    (void)armed;
+  }
   // Scheduled deterministic node failures: at the planned instant the node
   // dies with everything on it. (No-ops while the node model is off; a later
   // ConfigureNodes call arms them retroactively.)
@@ -73,6 +113,7 @@ HandleId Platform::InternHandle(std::string_view handle) {
 }
 
 Status Platform::Deploy(DeploymentSpec spec) {
+  QUILT_RETURN_IF_ERROR(config_status_);
   if (spec.handle.empty()) {
     return InvalidArgumentError("deployment needs a handle");
   }
@@ -96,6 +137,7 @@ Status Platform::Deploy(DeploymentSpec spec) {
 }
 
 Status Platform::UpdateFunction(DeploymentSpec spec) {
+  QUILT_RETURN_IF_ERROR(config_status_);
   Deployment* dep = FindDeployment(spec.handle);
   if (dep == nullptr) {
     return NotFoundError(StrCat("function '", spec.handle, "' not deployed"));
@@ -313,6 +355,27 @@ void Platform::ConfigureNodes(double node_cpu, double node_memory_mb, int max_no
 }
 
 std::vector<NodeSample> Platform::SampleNodes() const {
+  // Busy CPU per node: a container doing work (in-flight requests, or still
+  // cold-starting) counts its full limit; an idle-warm container holds its
+  // allocation but does no work -- that split is what makes "paid-but-idle"
+  // infrastructure dollars measurable.
+  std::vector<double> busy_cpu(placement_.nodes().size(), 0.0);
+  for (const auto& dep : deployments_) {
+    if (dep == nullptr) {
+      continue;
+    }
+    for (const auto& container : dep->containers) {
+      const int node_id = container->node_id();
+      if (node_id < 0 || node_id >= static_cast<int>(busy_cpu.size()) ||
+          container->state() == ContainerState::kKilled) {
+        continue;
+      }
+      if (container->active_requests() > 0 ||
+          container->state() == ContainerState::kColdStarting) {
+        busy_cpu[static_cast<size_t>(node_id)] += container->config().cpu_limit;
+      }
+    }
+  }
   std::vector<NodeSample> samples;
   for (const NodeStats& node : placement_.Snapshot()) {
     NodeSample sample;
@@ -321,11 +384,17 @@ std::vector<NodeSample> Platform::SampleNodes() const {
     sample.cpu_capacity = node.cpu_capacity;
     sample.memory_capacity_mb = node.memory_capacity_mb;
     sample.cpu_used = node.cpu_used;
+    sample.cpu_busy =
+        node.node_id >= 0 && node.node_id < static_cast<int>(busy_cpu.size())
+            ? std::min(busy_cpu[static_cast<size_t>(node.node_id)], node.cpu_capacity)
+            : 0.0;
     sample.memory_used_mb = node.memory_used_mb;
     sample.containers = node.containers;
     sample.placements_cum = node.placements;
     sample.kills_cum = node.kills;
     sample.failed = node.failed;
+    sample.cordoned = node.cordoned;
+    sample.provisioning = node.provisioning;
     sample.spawn_queue_depth = static_cast<int64_t>(spawn_queue_.size());
     samples.push_back(sample);
   }
@@ -438,16 +507,162 @@ void Platform::FailNode(int node_id) {
   }
 }
 
-void Platform::Invoke(const std::string& caller_handle, const std::string& callee_handle,
-                      const Json& payload, bool async,
-                      std::function<void(Result<Json>)> done) {
-  // Client entry: no inherited context, this call roots a new trace.
-  Invoke(TraceContext{}, caller_handle, callee_handle, payload, async, std::move(done));
+Platform::SpawnDemand Platform::QueuedSpawnDemand() const {
+  SpawnDemand demand;
+  for (const auto& [id, version] : spawn_queue_) {
+    const Deployment* dep = DeploymentAt(id);
+    if (dep == nullptr) {
+      continue;
+    }
+    const bool live_version =
+        version == dep->version ||
+        (dep->canary != nullptr && version == dep->canary->version);
+    if (!live_version) {
+      continue;  // Dead entries are skipped at drain time too.
+    }
+    const ContainerConfig& container = SpecForVersion(*dep, version).container;
+    ++demand.count;
+    demand.cpu += container.cpu_limit;
+    demand.memory_mb += container.memory_limit_mb;
+  }
+  return demand;
 }
 
-void Platform::Invoke(const TraceContext& parent, const std::string& caller_handle,
-                      const std::string& callee_handle, const Json& payload, bool async,
-                      std::function<void(Result<Json>)> done) {
+int Platform::ProvisionNode(bool ready) {
+  const int id = placement_.AddNode(ready);
+  if (ready) {
+    ScheduleSpawnDrain();
+  }
+  return id;
+}
+
+bool Platform::NodeReady(int node_id) {
+  if (!placement_.SetReady(node_id)) {
+    return false;
+  }
+  ScheduleSpawnDrain();
+  return true;
+}
+
+bool Platform::CordonNode(int node_id) { return placement_.Cordon(node_id); }
+
+bool Platform::UncordonNode(int node_id) {
+  if (!placement_.Uncordon(node_id)) {
+    return false;
+  }
+  ScheduleSpawnDrain();
+  return true;
+}
+
+bool Platform::RetireNode(int node_id) { return placement_.RetireNode(node_id); }
+
+void Platform::DrainCordonedNode(int node_id) {
+  for (const auto& dep : deployments_) {
+    if (dep == nullptr) {
+      continue;
+    }
+    for (auto it = dep->containers.begin(); it != dep->containers.end();) {
+      const std::shared_ptr<Container>& container = *it;
+      // Only ready, idle containers die; cold-starting ones were just spawned
+      // for waiting demand and busy ones finish their in-flight requests
+      // first (the node stays cordoned until a later drain pass gets them).
+      if (container->node_id() == node_id &&
+          container->state() == ContainerState::kReady &&
+          container->active_requests() == 0) {
+        // Drain safety: never kill the deployment's last replica off the
+        // node. A respawn would have to wait for capacity -- possibly a full
+        // node provision -- turning a routine drain into a tail-latency
+        // spike. The survivor pins the node (it cannot empty, so it cannot
+        // retire) until demand elsewhere spawns a sibling.
+        int live_elsewhere = 0;
+        for (const auto& other : dep->containers) {
+          if (other != container && other->state() != ContainerState::kKilled &&
+              other->node_id() != node_id) {
+            ++live_elsewhere;
+          }
+        }
+        if (live_elsewhere == 0) {
+          ++it;
+          continue;
+        }
+        // Same mechanics as RetireStaleContainers: a planned decommission is
+        // not a failure, so no kill cause or stat is charged.
+        ReleaseNodeCapacity(*container);
+        dep->container_versions.erase(container->id());
+        container->Kill();
+        it = dep->containers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+int Platform::BusyNodes() const {
+  const std::vector<WorkerNode>& nodes = placement_.nodes();
+  std::vector<char> busy(nodes.size(), 0);
+  for (const auto& dep : deployments_) {
+    if (dep == nullptr) {
+      continue;
+    }
+    for (const auto& container : dep->containers) {
+      const int node_id = container->node_id();
+      if (node_id >= 0 && node_id < static_cast<int>(nodes.size()) &&
+          container->state() != ContainerState::kKilled &&
+          container->active_requests() > 0) {
+        busy[static_cast<size_t>(node_id)] = 1;
+      }
+    }
+  }
+  int count = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (busy[i] != 0 && nodes[i].Available()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status Platform::EnableAutoscaler(const AutoscalerOptions& options) {
+  QUILT_RETURN_IF_ERROR(options.Validate());
+  if (!options.enabled) {
+    return InvalidArgumentError("EnableAutoscaler requires options.enabled");
+  }
+  if (autoscaler_ != nullptr) {
+    return AlreadyExistsError("autoscaler already enabled");
+  }
+  assert(TotalContainers() == 0 &&
+         "EnableAutoscaler must run before any container exists");
+  config_.autoscaler = options;
+  config_.node_cpu = options.node_cpu;
+  config_.node_memory_mb = options.node_memory_mb;
+  config_.placement_policy = options.placement_policy;
+  config_.max_nodes = 0;  // The fleet is elastic; the static knob is moot.
+  placement_.ConfigureElastic(options.node_cpu, options.node_memory_mb,
+                              options.placement_policy);
+  autoscaler_ = std::make_unique<NodeAutoscaler>(sim_, this, options);
+  autoscaler_->Start();
+  return Status::Ok();
+}
+
+void Platform::Invoke(InvokeRequest&& request) {
+  if (!config_status_.ok()) {
+    // Invalid config surfaces as a typed error instead of silently
+    // misbehaving (e.g. a finite fleet of zero-capacity nodes).
+    Status status = config_status_;
+    sim_->Schedule(0, [done = std::move(request.done), status = std::move(status)]() mutable {
+      if (done) {
+        done(status);
+      }
+    });
+    return;
+  }
+  const TraceContext parent = request.parent;
+  const std::string caller_handle = std::move(request.caller);
+  const std::string callee_handle = std::move(request.callee);
+  const Json payload = std::move(request.payload);
+  const bool async = request.async;
+  std::function<void(Result<Json>)> done = std::move(request.done);
   // Request path: serialize -> network -> (ingress) -> gateway. Paid once
   // per attempt; the span is recorded once per logical invocation, when the
   // response is delivered back to the caller.

@@ -20,6 +20,7 @@
 #include "src/common/json.h"
 #include "src/common/node_record.h"
 #include "src/common/status.h"
+#include "src/platform/autoscaler.h"
 #include "src/platform/fault_injection.h"
 #include "src/platform/placement.h"
 #include "src/runtime/behavior.h"
@@ -105,6 +106,11 @@ struct PlatformConfig {
   int max_nodes = 0;
   PlacementPolicy placement_policy = PlacementPolicy::kFirstFit;
 
+  // Elastic node pool (§4.14): mutually exclusive with a static finite fleet
+  // (max_nodes > 0). When enabled, the platform constructor arms a
+  // NodeAutoscaler that grows/drains the fleet from placement pressure.
+  AutoscalerOptions autoscaler;
+
   RuntimeCosts runtime;
 
   // The profiler-enabled Kubernetes token (§3): when true, invocations take
@@ -126,6 +132,13 @@ struct PlatformConfig {
   // Rate card the platform's CostMeter bills every dispatch attempt under
   // (per-request fee, rounded GB-/vCPU-second windows, cold-start policy).
   PricingProfile pricing;
+
+  // Typed validation of the knob surface: rejects a finite fleet with
+  // non-positive node geometry, out-of-range thresholds, negative autoscaler
+  // windows, and enabling both the static fleet and the autoscaler at once.
+  // The Platform constructor calls this and surfaces the error from Deploy/
+  // UpdateFunction/Invoke instead of silently misbehaving.
+  Status Validate() const;
 };
 
 struct DeploymentSpec {
@@ -216,16 +229,13 @@ class Platform : public Invoker {
   void SetProfiling(bool enabled);
   bool profiling() const { return config_.profiling_enabled; }
 
-  // Invoker: the full client/function -> gateway -> container path. The
-  // 4-arg form starts a new trace (client entry); the TraceContext form is
-  // what nested function-to-function calls use, so their spans join the
-  // root request's trace.
-  void Invoke(const std::string& caller_handle, const std::string& callee_handle,
-              const Json& payload, bool async,
-              std::function<void(Result<Json>)> done) override;
-  void Invoke(const TraceContext& parent, const std::string& caller_handle,
-              const std::string& callee_handle, const Json& payload, bool async,
-              std::function<void(Result<Json>)> done) override;
+  // Invoker: the full client/function -> gateway -> container path. A
+  // request with an invalid (default) parent context starts a new trace
+  // (client entry); nested function-to-function calls carry their caller's
+  // context so their spans join the root request's trace. The positional
+  // legacy forms delegate here through the Invoker shims.
+  void Invoke(InvokeRequest&& request) override;
+  using Invoker::Invoke;
 
   const DeploymentStats* StatsFor(const std::string& handle) const;
   // Cumulative breaker-open time including a currently-open span.
@@ -263,6 +273,41 @@ class Platform : public Invoker {
   std::vector<NodeSample> SampleNodes() const;
   // Container spawns parked because every node was saturated or failed.
   int SpawnQueueDepth() const { return static_cast<int>(spawn_queue_.size()); }
+
+  // --- Elastic fleet (autoscaler-facing surface; see autoscaler.h). All of
+  // these are deterministic engine mutations plus the spawn-drain kick the
+  // static path already uses, so autoscaler decisions replay byte-identically.
+  // Aggregate resource demand parked in the spawn queue.
+  struct SpawnDemand {
+    int count = 0;
+    double cpu = 0.0;
+    double memory_mb = 0.0;
+  };
+  SpawnDemand QueuedSpawnDemand() const;
+  // Adds one node to the elastic fleet; `ready == false` leaves it booting
+  // until NodeReady. Returns the new node id.
+  int ProvisionNode(bool ready);
+  // Booted: the node joins the placeable set and queued spawns drain onto it.
+  bool NodeReady(int node_id);
+  bool CordonNode(int node_id);
+  bool UncordonNode(int node_id);
+  // Retires an empty, cordoned node (false while containers remain).
+  bool RetireNode(int node_id);
+  // Kills the node's idle containers (active_requests == 0, ready state)
+  // through the version-retire path so pending work and stats are untouched;
+  // busy containers finish their in-flight requests first.
+  void DrainCordonedNode(int node_id);
+  // Ready nodes currently hosting at least one container with an in-flight
+  // request (the autoscaler's busy set).
+  int BusyNodes() const;
+  // Switches the placement engine to elastic mode and arms the autoscaler.
+  // Must run before any container exists. Validates `options`.
+  Status EnableAutoscaler(const AutoscalerOptions& options);
+  NodeAutoscaler* autoscaler() { return autoscaler_.get(); }
+  const NodeAutoscaler* autoscaler() const { return autoscaler_.get(); }
+
+  // The typed verdict of PlatformConfig::Validate on the live config.
+  const Status& config_status() const { return config_status_; }
 
   PlatformConfig& config() { return config_; }
   Simulation* sim() { return sim_; }
@@ -414,6 +459,8 @@ class Platform : public Invoker {
   // Worker-node fleet (empty = infinite pool) and the queue of container
   // spawns waiting for node capacity, drained (FIFO) as capacity frees.
   PlacementEngine placement_;
+  std::unique_ptr<NodeAutoscaler> autoscaler_;
+  Status config_status_;
   std::deque<std::pair<HandleId, int64_t>> spawn_queue_;  // (deployment, version).
   bool spawn_drain_scheduled_ = false;
   int64_t next_container_id_ = 1;

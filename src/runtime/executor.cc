@@ -347,8 +347,12 @@ class FunctionRun : public std::enable_shared_from_this<FunctionRun> {
             return;
           }
           self->Bill(self->env_.costs->invoke_cpu_ms);
-          self->env_.remote->Invoke(self->env_.trace, self->behavior_->handle, callee,
-                                    self->payload_, async, std::move(cb));
+          self->env_.remote->Invoke({.caller = self->behavior_->handle,
+                                     .callee = callee,
+                                     .parent = self->env_.trace,
+                                     .payload = self->payload_,
+                                     .async = async,
+                                     .done = std::move(cb)});
         });
   }
 

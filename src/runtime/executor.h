@@ -16,24 +16,47 @@
 
 namespace quilt {
 
+// One remote invocation, as handed to an Invoker. Designed for designated
+// initializers at call sites:
+//
+//   invoker->Invoke({.caller = "a", .callee = "b", .payload = p,
+//                    .async = false, .done = cb});
+//
+// `parent` is the caller's trace context; when valid, the callee's span joins
+// the caller's trace instead of starting a new one (client entries leave it
+// default-constructed and root a fresh trace).
+struct InvokeRequest {
+  std::string caller;
+  std::string callee;
+  TraceContext parent;
+  Json payload;
+  bool async = false;
+  std::function<void(Result<Json>)> done;
+};
+
 // How function-to-function calls leave the process: implemented by the
-// platform (API-gateway path, Figure 1).
+// platform (API-gateway path, Figure 1). The request-struct overload is the
+// API; the positional overloads below are thin delegating shims kept for one
+// release while in-tree call sites migrate. Implementations overriding the
+// pure virtual should `using Invoker::Invoke;` to keep the shims visible.
 class Invoker {
  public:
   virtual ~Invoker() = default;
-  virtual void Invoke(const std::string& caller_handle, const std::string& callee_handle,
-                      const Json& payload, bool async,
-                      std::function<void(Result<Json>)> done) = 0;
+  virtual void Invoke(InvokeRequest&& request) = 0;
 
-  // Trace-propagating variant: `parent` is the caller's trace context, so
-  // the callee's span joins the caller's trace instead of starting a new
-  // one. The default drops the context -- invokers that don't trace (test
-  // fakes) behave identically through either entry point.
-  virtual void Invoke(const TraceContext& parent, const std::string& caller_handle,
-                      const std::string& callee_handle, const Json& payload, bool async,
-                      std::function<void(Result<Json>)> done) {
-    (void)parent;
-    Invoke(caller_handle, callee_handle, payload, async, std::move(done));
+  // Legacy shim: positional form without trace propagation.
+  void Invoke(const std::string& caller_handle, const std::string& callee_handle,
+              const Json& payload, bool async, std::function<void(Result<Json>)> done) {
+    Invoke(InvokeRequest{caller_handle, callee_handle, TraceContext{}, payload, async,
+                         std::move(done)});
+  }
+
+  // Legacy shim: positional trace-propagating form.
+  void Invoke(const TraceContext& parent, const std::string& caller_handle,
+              const std::string& callee_handle, const Json& payload, bool async,
+              std::function<void(Result<Json>)> done) {
+    Invoke(InvokeRequest{caller_handle, callee_handle, parent, payload, async,
+                         std::move(done)});
   }
 };
 

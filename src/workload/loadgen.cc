@@ -58,15 +58,20 @@ LoadResult ClosedLoopGenerator::Run(Simulation* sim, Invoker* invoker,
       return;  // Connection closes.
     }
     // Context-free entry point: each client request roots a fresh trace.
-    invoker->Invoke(kClientCaller, target, options.payload, /*async=*/false,
-                    [sim, options, state, weak_send, sent_at](Result<Json> result) {
-                      RecordResponse(*state, sent_at, sim->now(), result.status());
-                      sim->Schedule(options.think_time, [weak_send] {
-                        if (auto next = weak_send.lock()) {
-                          (*next)();
-                        }
-                      });
-                    });
+    invoker->Invoke(
+        {.caller = kClientCaller,
+         .callee = target,
+         .parent = {},
+         .payload = options.payload,
+         .async = false,
+         .done = [sim, options, state, weak_send, sent_at](Result<Json> result) {
+           RecordResponse(*state, sent_at, sim->now(), result.status());
+           sim->Schedule(options.think_time, [weak_send] {
+             if (auto next = weak_send.lock()) {
+               (*next)();
+             }
+           });
+         }});
   };
   for (int c = 0; c < options.connections; ++c) {
     sim->Schedule(0, [send_next] { (*send_next)(); });
@@ -101,10 +106,14 @@ LoadResult OpenLoopGenerator::Run(Simulation* sim, Invoker* invoker, const std::
     }
     Json payload = options.payload_fn ? options.payload_fn(*rng) : options.payload;
     // Context-free entry point: each client request roots a fresh trace.
-    invoker->Invoke(kClientCaller, target, std::move(payload), /*async=*/false,
-                    [sim, state, sent_at](Result<Json> result) {
-                      RecordResponse(*state, sent_at, sim->now(), result.status());
-                    });
+    invoker->Invoke({.caller = kClientCaller,
+                     .callee = target,
+                     .parent = {},
+                     .payload = std::move(payload),
+                     .async = false,
+                     .done = [sim, state, sent_at](Result<Json> result) {
+                       RecordResponse(*state, sent_at, sim->now(), result.status());
+                     }});
     const double next_s =
         options.poisson ? rng->Exponential(interval_s) : interval_s;
     sim->Schedule(Seconds(next_s), [weak_arrive] {
@@ -180,10 +189,15 @@ std::vector<PhaseResult> OpenLoopGenerator::RunPhased(Simulation* sim, Invoker* 
     }
     Json payload = phase.payload_fn ? phase.payload_fn(*rng) : phase.payload;
     // Context-free entry point: each client request roots a fresh trace.
-    invoker->Invoke(kClientCaller, target, std::move(payload), /*async=*/false,
-                    [sim, states, sent_at, index](Result<Json> result) {
-                      RecordResponse(*(*states)[index], sent_at, sim->now(), result.status());
-                    });
+    invoker->Invoke({.caller = kClientCaller,
+                     .callee = target,
+                     .parent = {},
+                     .payload = std::move(payload),
+                     .async = false,
+                     .done = [sim, states, sent_at, index](Result<Json> result) {
+                       RecordResponse(*(*states)[index], sent_at, sim->now(),
+                                      result.status());
+                     }});
     const double interval_s = 1.0 / phase.rps;
     const double next_s = options.poisson ? rng->Exponential(interval_s) : interval_s;
     sim->Schedule(Seconds(next_s), [weak_arrive] {

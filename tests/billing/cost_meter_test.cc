@@ -136,10 +136,11 @@ TEST(CostMeterTest, InfraCostFromNodeSamples) {
   first.node_id = 0;
   first.timestamp = 0;
   first.cpu_capacity = 4.0;
-  first.cpu_used = 1.0;  // 25% busy at the interval's left endpoint.
+  first.cpu_used = 4.0;  // Fully allocated, but allocation is not work:
+  first.cpu_busy = 1.0;  // only 25% busy at the interval's left endpoint.
   NodeSample second = first;
   second.timestamp = 1000000000;  // +1 s.
-  second.cpu_used = 4.0;          // Right endpoint utilization is not used.
+  second.cpu_busy = 4.0;          // Right endpoint utilization is not used.
 
   const CostMeter::InfraCost infra = meter.InfraCostFromNodes({first, second});
   EXPECT_EQ(infra.node_nanos, 27778);

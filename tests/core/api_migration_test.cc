@@ -1,0 +1,150 @@
+// API-surface migration guarantees: the consolidated Invoke(InvokeRequest&&)
+// entry point is byte-identical to the legacy positional shims it replaced,
+// and the MetricsView facade returns exactly what the controller methods it
+// wraps return.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/apps/deathstarbench.h"
+#include "src/common/strings.h"
+#include "src/core/quilt_controller.h"
+#include "src/workload/loadgen.h"
+
+namespace quilt {
+namespace {
+
+enum class InvokeForm {
+  kRequest,        // Invoke(InvokeRequest&&): the consolidated entry point.
+  kLegacy,         // Invoke(caller, callee, payload, async, done) shim.
+  kLegacyTraced,   // Invoke(caller, callee, parent, payload, async, done) shim.
+};
+
+// Drives the same fixed-schedule workload through one of the three Invoke
+// forms and serializes everything observable about the run. The simulation
+// is deterministic, so two forms that hit the same code path must agree
+// byte for byte.
+std::string RunWorkload(InvokeForm form) {
+  Simulation sim;
+  Platform platform{&sim, PlatformConfig{}};
+  QuiltController controller(&sim, &platform, {});
+  EXPECT_TRUE(controller.RegisterWorkflow(FanOutApp(4)).ok());
+  controller.StartProfiling();
+
+  Json payload = Json::MakeObject();
+  payload["num"] = 2;
+  int completed = 0;
+  int failed = 0;
+  auto done = [&](Result<Json> r) { r.ok() ? ++completed : ++failed; };
+  for (int i = 0; i < 40; ++i) {
+    sim.Schedule(Milliseconds(50 * i), [&, form] {
+      switch (form) {
+        case InvokeForm::kRequest:
+          platform.Invoke({.caller = kClientCaller,
+                           .callee = "fan-out-root",
+                           .parent = {},
+                           .payload = payload,
+                           .async = false,
+                           .done = done});
+          break;
+        case InvokeForm::kLegacy:
+          platform.Invoke(kClientCaller, "fan-out-root", payload, false, done);
+          break;
+        case InvokeForm::kLegacyTraced:
+          platform.Invoke(TraceContext{}, kClientCaller, "fan-out-root", payload, false, done);
+          break;
+      }
+    });
+  }
+  sim.RunUntil(Seconds(10));
+  controller.StopProfiling();
+  sim.Run();
+
+  Result<WorkflowLatencySummary> summary = controller.SummarizeWorkflowLatency("fan-out-root");
+  EXPECT_TRUE(summary.ok());
+  const DeploymentStats* root = platform.StatsFor("fan-out-root");
+  EXPECT_NE(root, nullptr);
+  return StrCat("completed=", completed, " failed=", failed, " traces=", summary->traces,
+                " p50=", summary->end_to_end.p50, " p99=", summary->end_to_end.p99,
+                " root_completed=", root->completed, " containers=", platform.TotalContainers(),
+                " end=", sim.now());
+}
+
+TEST(ApiMigrationTest, InvokeFormsAreByteIdentical) {
+  const std::string request_form = RunWorkload(InvokeForm::kRequest);
+  EXPECT_GT(request_form.size(), 40u);
+  EXPECT_EQ(RunWorkload(InvokeForm::kLegacy), request_form);
+  EXPECT_EQ(RunWorkload(InvokeForm::kLegacyTraced), request_form);
+}
+
+TEST(ApiMigrationTest, MetricsViewMatchesControllerMethods) {
+  Simulation sim;
+  Platform platform{&sim, PlatformConfig{}};
+  ControllerOptions options;
+  options.max_nodes = 2;
+  options.node_cpu = 8.0;
+  options.node_memory_mb = 2048.0;
+  QuiltController controller(&sim, &platform, options);
+  ASSERT_TRUE(controller.RegisterWorkflow(FanOutApp(4)).ok());
+  controller.StartProfiling();
+
+  ClosedLoopGenerator generator;
+  ClosedLoopGenerator::Options load;
+  load.connections = 2;
+  load.warmup = Seconds(1);
+  load.duration = Seconds(8);
+  generator.Run(&sim, &platform, "fan-out-root", load);
+  controller.StopProfiling();
+  ASSERT_TRUE(controller.OptimizeWorkflow("fan-out-root").ok());
+
+  MetricsView metrics = controller.metrics();
+
+  // Trace collection is a window query, not a drain: the facade and the
+  // direct call see the same traces.
+  EXPECT_EQ(metrics.CollectTraces().size(), controller.CollectTraces().size());
+
+  Result<WorkflowLatencySummary> direct = controller.SummarizeWorkflowLatency("fan-out-root");
+  Result<WorkflowLatencySummary> viewed = metrics.SummarizeWorkflowLatency("fan-out-root");
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(viewed.ok());
+  EXPECT_EQ(viewed->traces, direct->traces);
+  EXPECT_EQ(viewed->end_to_end.p99, direct->end_to_end.p99);
+
+  // Record streams come from the same store the controller owns.
+  EXPECT_EQ(&metrics.decisions(), &controller.metrics_store()->decisions());
+  EXPECT_EQ(&metrics.adaptations(), &controller.metrics_store()->adaptations());
+  EXPECT_EQ(&metrics.node_samples(), &controller.metrics_store()->node_samples());
+  EXPECT_EQ(&metrics.cost_records(), &controller.metrics_store()->cost_records());
+  EXPECT_FALSE(metrics.decisions().empty());
+  EXPECT_FALSE(metrics.node_samples().empty());
+
+  const QuiltController::CostReport report = metrics.CollectCostReport();
+  EXPECT_EQ(report.infra_nanos,
+            platform.cost_meter()
+                .InfraCostFromNodes(controller.metrics_store()->node_samples())
+                .node_nanos);
+}
+
+// Misconfigured controller options surface as a typed status on the API
+// surface, not a crash deep in the decision engine.
+TEST(ApiMigrationTest, ControllerOptionsValidateGatesRegistration) {
+  ControllerOptions bad;
+  bad.cost.cost_weight = 1.5;  // λ outside [0, 1].
+  EXPECT_FALSE(bad.Validate().ok());
+
+  Simulation sim;
+  Platform platform{&sim, PlatformConfig{}};
+  QuiltController controller(&sim, &platform, bad);
+  EXPECT_FALSE(controller.options_status().ok());
+  EXPECT_EQ(controller.RegisterWorkflow(FanOutApp(4)).code(), StatusCode::kInvalidArgument);
+
+  ControllerOptions conflict;
+  conflict.max_nodes = 4;
+  conflict.autoscaler.enabled = true;
+  EXPECT_FALSE(conflict.Validate().ok());
+}
+
+}  // namespace
+}  // namespace quilt

@@ -196,7 +196,12 @@ struct ControllerHarness {
     Json payload = Json::MakeObject();
     payload["num"] = num;
     for (int i = 0; i < requests; ++i) {
-      platform.Invoke(kClientCaller, kRoot, payload, false, [](Result<Json>) {});
+      platform.Invoke({.caller = kClientCaller,
+                       .callee = kRoot,
+                       .parent = {},
+                       .payload = payload,
+                       .async = false,
+                       .done = [](Result<Json>) {}});
     }
     sim.RunUntil(sim.now() + Seconds(5));
     controller.StopProfiling();
@@ -244,7 +249,12 @@ TEST(ReconsiderEdgeTest, RevokingPermissionAbortsStagedCanary) {
   bool ok = false;
   Json payload = Json::MakeObject();
   payload["num"] = 2;
-  h.platform.Invoke(kClientCaller, kRoot, payload, false, [&](Result<Json> r) { ok = r.ok(); });
+  h.platform.Invoke({.caller = kClientCaller,
+                     .callee = kRoot,
+                     .parent = {},
+                     .payload = payload,
+                     .async = false,
+                     .done = [&](Result<Json> r) { ok = r.ok(); }});
   h.sim.RunUntil(h.sim.now() + Seconds(5));
   EXPECT_TRUE(ok);
 }

@@ -52,7 +52,12 @@ TEST(ControllerExtraTest, ProfilingMissesDataDependentPaths) {
   Json payload = Json::MakeObject();
   payload["num"] = 0;
   for (int i = 0; i < 20; ++i) {
-    h.platform.Invoke(kClientCaller, "fan-out-root", payload, false, [](Result<Json>) {});
+    h.platform.Invoke({.caller = kClientCaller,
+                       .callee = "fan-out-root",
+                       .parent = {},
+                       .payload = payload,
+                       .async = false,
+                       .done = [](Result<Json>) {}});
   }
   h.sim.RunUntil(h.sim.now() + Seconds(5));  // Monitor keeps ticking: bounded run.
   h.controller.StopProfiling();
@@ -76,7 +81,12 @@ TEST(ControllerExtraTest, ProfiledAlphaTracksObservedFanOut) {
     Json payload = Json::MakeObject();
     payload["num"] = num;
     for (int i = 0; i < 10; ++i) {
-      h.platform.Invoke(kClientCaller, "fan-out-root", payload, false, [](Result<Json>) {});
+      h.platform.Invoke({.caller = kClientCaller,
+                         .callee = "fan-out-root",
+                         .parent = {},
+                         .payload = payload,
+                         .async = false,
+                         .done = [](Result<Json>) {}});
     }
     h.sim.RunUntil(h.sim.now() + Seconds(5));
   }

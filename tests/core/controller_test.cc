@@ -156,8 +156,12 @@ TEST(ControllerTest, ConditionalInvocationSurvivesUnderestimatedFanOut) {
   Json payload = Json::MakeObject();
   payload["num"] = 12;
   Result<Json> response = InternalError("no response");
-  h.platform.Invoke(kClientCaller, "fan-out-root", payload, false,
-                    [&](Result<Json> r) { response = std::move(r); });
+  h.platform.Invoke({.caller = kClientCaller,
+                     .callee = "fan-out-root",
+                     .parent = {},
+                     .payload = payload,
+                     .async = false,
+                     .done = [&](Result<Json> r) { response = std::move(r); }});
   h.sim.Run();
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   // The standalone callee deployment served the fallback calls.

@@ -39,8 +39,12 @@ struct Harness {
 
 Result<Json> InvokeOnce(Harness& h, const Json& payload) {
   Result<Json> response = InternalError("no response");
-  h.platform.Invoke(kClientCaller, "fragile-root", payload, false,
-                    [&](Result<Json> r) { response = std::move(r); });
+  h.platform.Invoke({.caller = kClientCaller,
+                     .callee = "fragile-root",
+                     .parent = {},
+                     .payload = payload,
+                     .async = false,
+                     .done = [&](Result<Json> r) { response = std::move(r); }});
   h.sim.RunUntil(h.sim.now() + Seconds(5));
   return response;
 }
@@ -77,25 +81,38 @@ TEST(FaultIsolationTest, MergedProcessCrashTakesDownWholeWorkflow) {
   // penalty would otherwise delay only the first request of the pair and
   // separate them into different containers).
   bool warm = false;
-  h.platform.Invoke(kClientCaller, "fragile-root", Json::MakeObject(), false,
-                    [&](Result<Json> r) { warm = r.ok(); });
+  h.platform.Invoke({.caller = kClientCaller,
+                     .callee = "fragile-root",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { warm = r.ok(); }});
   h.sim.Run();
   ASSERT_TRUE(warm);
   Result<Json> bystander = InternalError("pending");
   bool bystander_done = false;
   {
     Json slow = Json::MakeObject();
-    h.platform.Invoke(kClientCaller, "fragile-root", slow, false, [&](Result<Json> r) {
+    h.platform.Invoke({.caller = kClientCaller,
+                       .callee = "fragile-root",
+                       .parent = {},
+                       .payload = slow,
+                       .async = false,
+                       .done = [&](Result<Json> r) {
       bystander = std::move(r);
       bystander_done = true;
-    });
+    }});
   }
   // Immediately poison the same merged process.
   Json poison = Json::MakeObject();
   poison["poison"] = true;
   Result<Json> poisoned = InternalError("pending");
-  h.platform.Invoke(kClientCaller, "fragile-root", poison, false,
-                    [&](Result<Json> r) { poisoned = std::move(r); });
+  h.platform.Invoke({.caller = kClientCaller,
+                     .callee = "fragile-root",
+                     .parent = {},
+                     .payload = poison,
+                     .async = false,
+                     .done = [&](Result<Json> r) { poisoned = std::move(r); }});
   h.sim.RunUntil(h.sim.now() + Seconds(5));
 
   // The crash is attributed to the merged workflow entry, and it killed the

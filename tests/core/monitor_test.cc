@@ -22,7 +22,12 @@ struct Harness {
     Json payload = Json::MakeObject();
     payload["num"] = num;
     for (int i = 0; i < requests; ++i) {
-      platform.Invoke(kClientCaller, "fan-out-root", payload, false, [](Result<Json>) {});
+      platform.Invoke({.caller = kClientCaller,
+                       .callee = "fan-out-root",
+                       .parent = {},
+                       .payload = payload,
+                       .async = false,
+                       .done = [](Result<Json>) {}});
     }
     sim.RunUntil(sim.now() + Seconds(5));
     controller.StopProfiling();
@@ -87,8 +92,12 @@ TEST(MonitorTest, OomKillsTriggerRollback) {
   payload["num"] = 12;
   int failed = 0;
   for (int i = 0; i < 5; ++i) {
-    h.platform.Invoke(kClientCaller, "fan-out-root", payload, false,
-                      [&](Result<Json> r) { failed += r.ok() ? 0 : 1; });
+    h.platform.Invoke({.caller = kClientCaller,
+                       .callee = "fan-out-root",
+                       .parent = {},
+                       .payload = payload,
+                       .async = false,
+                       .done = [&](Result<Json> r) { failed += r.ok() ? 0 : 1; }});
     h.sim.RunUntil(h.sim.now() + Seconds(2));
   }
   ASSERT_GT(failed, 0);
@@ -100,8 +109,12 @@ TEST(MonitorTest, OomKillsTriggerRollback) {
 
   // After rollback the oversized request succeeds on the unmerged baseline.
   bool ok = false;
-  h.platform.Invoke(kClientCaller, "fan-out-root", payload, false,
-                    [&](Result<Json> r) { ok = r.ok(); });
+  h.platform.Invoke({.caller = kClientCaller,
+                     .callee = "fan-out-root",
+                     .parent = {},
+                     .payload = payload,
+                     .async = false,
+                     .done = [&](Result<Json> r) { ok = r.ok(); }});
   h.sim.RunUntil(h.sim.now() + Seconds(5));
   EXPECT_TRUE(ok);
 }

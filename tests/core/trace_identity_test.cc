@@ -74,12 +74,20 @@ void DriveBothWorkflows(Harness& h, int count) {
   for (int i = 0; i < count; ++i) {
     const SimTime at = h.sim.now() + Milliseconds(5) * i;
     h.sim.ScheduleAt(at, [&h] {
-      h.platform.Invoke(kClientCaller, "root-a", PayloadWithNum(0), /*async=*/false,
-                        [](Result<Json> result) { ASSERT_TRUE(result.ok()); });
+      h.platform.Invoke({.caller = kClientCaller,
+                         .callee = "root-a",
+                         .parent = {},
+                         .payload = PayloadWithNum(0),
+                         .async = false,
+                         .done = [](Result<Json> result) { ASSERT_TRUE(result.ok()); }});
     });
     h.sim.ScheduleAt(at, [&h] {
-      h.platform.Invoke(kClientCaller, "root-b", PayloadWithNum(2), /*async=*/false,
-                        [](Result<Json> result) { ASSERT_TRUE(result.ok()); });
+      h.platform.Invoke({.caller = kClientCaller,
+                         .callee = "root-b",
+                         .parent = {},
+                         .payload = PayloadWithNum(2),
+                         .async = false,
+                         .done = [](Result<Json> result) { ASSERT_TRUE(result.ok()); }});
     });
   }
   h.sim.RunUntil(h.sim.now() + Milliseconds(5) * count + Seconds(5));

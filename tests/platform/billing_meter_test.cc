@@ -38,8 +38,12 @@ struct Harness {
 
   Result<Json> InvokeAndWait(const std::string& handle) {
     Result<Json> response = InternalError("no response");
-    platform.Invoke(kClientCaller, handle, Json::MakeObject(), false,
-                    [&](Result<Json> r) { response = std::move(r); });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = handle,
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { response = std::move(r); }});
     sim.Run();
     return response;
   }

@@ -45,12 +45,16 @@ struct Harness {
       const SimTime sent = sim.now();
       SimTime finished = sent;
       bool done = false;
-      platform.Invoke(kClientCaller, handle, Json::MakeObject(), false,
-                      [&](Result<Json> r) {
+      platform.Invoke({.caller = kClientCaller,
+                       .callee = handle,
+                       .parent = {},
+                       .payload = Json::MakeObject(),
+                       .async = false,
+                       .done = [&](Result<Json> r) {
                         EXPECT_TRUE(r.ok()) << r.status().ToString();
                         finished = sim.now();
                         done = true;
-                      });
+                      }});
       sim.Run();
       EXPECT_TRUE(done);
       slow += finished - sent >= slow_cutoff ? 1 : 0;

@@ -114,15 +114,25 @@ BlastResponses RunBlastWorkload(Simulation& sim, Platform& platform,
                                 const std::string& target) {
   BlastResponses out;
   sim.RunUntil(Milliseconds(500));
-  platform.Invoke(kClientCaller, target, Json::MakeObject(), false, [&](Result<Json> r) {
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = target,
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) {
     out.r1 = std::move(r);
     out.r1_done = true;
-  });
+  }});
   sim.RunUntil(Milliseconds(560));
-  platform.Invoke(kClientCaller, target, Json::MakeObject(), false, [&](Result<Json> r) {
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = target,
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) {
     out.r2 = std::move(r);
     out.r2_done = true;
-  });
+  }});
   sim.Run();
   return out;
 }
@@ -203,8 +213,12 @@ TEST(ChaosTest, MergedCrashFailsAllCoLocatedInFlightRequests) {
 
   // The deployment recovers: a fresh request cold-starts a new container.
   Result<Json> after = InternalError("pending");
-  platform.Invoke(kClientCaller, "blast-root", Json::MakeObject(), false,
-                  [&](Result<Json> r) { after = std::move(r); });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "blast-root",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) { after = std::move(r); }});
   sim.Run();
   EXPECT_TRUE(after.ok()) << after.status().ToString();
 }
@@ -277,7 +291,12 @@ TEST(ChaosTest, HalfOpenBreakerCapsProbeBurst) {
 
   // Three failures during the outage trip the breaker.
   for (int i = 0; i < 3; ++i) {
-    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false, [](Result<Json>) {});
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "probe-fn",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [](Result<Json>) {}});
   }
   sim.RunUntil(Milliseconds(100));
   const DeploymentStats* stats = platform.StatsFor("probe-fn");
@@ -293,13 +312,18 @@ TEST(ChaosTest, HalfOpenBreakerCapsProbeBurst) {
   int burst_ok = 0;
   int burst_shed = 0;
   for (int i = 0; i < 10; ++i) {
-    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false, [&](Result<Json> r) {
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "probe-fn",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) {
       if (r.ok()) {
         ++burst_ok;
       } else if (r.status().code() == StatusCode::kUnavailable) {
         ++burst_shed;
       }
-    });
+    }});
   }
   sim.Run();
   EXPECT_EQ(burst_ok, 1);
@@ -309,8 +333,12 @@ TEST(ChaosTest, HalfOpenBreakerCapsProbeBurst) {
 
   // The successful probe closed the breaker: traffic flows again.
   bool after_ok = false;
-  platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false,
-                  [&](Result<Json> r) { after_ok = r.ok(); });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "probe-fn",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) { after_ok = r.ok(); }});
   sim.Run();
   EXPECT_TRUE(after_ok);
   EXPECT_EQ(stats->breaker_opens, 1);  // Never re-opened.
@@ -335,14 +363,23 @@ TEST(ChaosTest, HalfOpenProbeAllowanceIsConfigurable) {
   Platform platform(&sim, config);
   ASSERT_TRUE(platform.Deploy(SleepFunction("probe-fn", 50.0)).ok());
   for (int i = 0; i < 3; ++i) {
-    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false, [](Result<Json>) {});
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "probe-fn",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [](Result<Json>) {}});
   }
   sim.RunUntil(Seconds(1));
 
   int burst_ok = 0;
   for (int i = 0; i < 10; ++i) {
-    platform.Invoke(kClientCaller, "probe-fn", Json::MakeObject(), false,
-                    [&](Result<Json> r) { burst_ok += r.ok() ? 1 : 0; });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "probe-fn",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { burst_ok += r.ok() ? 1 : 0; }});
   }
   sim.Run();
   EXPECT_EQ(burst_ok, 3);
@@ -363,10 +400,15 @@ TEST(ChaosTest, InvocationTimeoutFailsSlowCall) {
   Result<Json> response = InternalError("pending");
   SimTime responded_at = 0;
   const SimTime sent_at = sim.now();
-  platform.Invoke(kClientCaller, "slow-fn", Json::MakeObject(), false, [&](Result<Json> r) {
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "slow-fn",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) {
     response = std::move(r);
     responded_at = sim.now();
-  });
+  }});
   sim.Run();
 
   EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
@@ -391,14 +433,22 @@ TEST(ChaosTest, InjectedDelayAddsExactLatency) {
     Platform platform(&sim, config);
     EXPECT_TRUE(platform.Deploy(ComputeFunction("delay-fn", 1.0)).ok());
     Result<Json> warm = InternalError("pending");
-    platform.Invoke(kClientCaller, "delay-fn", Json::MakeObject(), false,
-                    [&](Result<Json> r) { warm = std::move(r); });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "delay-fn",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { warm = std::move(r); }});
     sim.Run();
     EXPECT_TRUE(warm.ok());
     const SimTime before = sim.now();
     Result<Json> again = InternalError("pending");
-    platform.Invoke(kClientCaller, "delay-fn", Json::MakeObject(), false,
-                    [&](Result<Json> r) { again = std::move(r); });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "delay-fn",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { again = std::move(r); }});
     sim.Run();
     EXPECT_TRUE(again.ok());
     return sim.now() - before;

@@ -167,10 +167,15 @@ TEST(NodePlatformTest, QueuedSpawnMaterializesWhenCapacityFrees) {
 
   bool responded = false;
   Result<Json> response = InternalError("pending");
-  platform.Invoke(kClientCaller, "late", Json::MakeObject(), false, [&](Result<Json> r) {
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "late",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) {
     responded = true;
     response = std::move(r);
-  });
+  }});
   sim.RunUntil(sim.now() + Seconds(1));
 
   // The cluster is saturated: the spawn parked, the request waits.
@@ -245,8 +250,12 @@ TEST(NodePlatformTest, NodeFailureKillsOnlyThatNodesContainers) {
 
   // The survivor keeps serving warm, and its span carries the node id.
   bool ok = false;
-  platform.Invoke(kClientCaller, "b", Json::MakeObject(), false,
-                  [&](Result<Json> r) { ok = r.ok(); });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "b",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) { ok = r.ok(); }});
   sim.Run();
   EXPECT_TRUE(ok);
   tracer.Flush();

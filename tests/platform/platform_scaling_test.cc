@@ -30,8 +30,12 @@ TEST(PlatformScalingTest, SleepingRequestsPackIntoOneContainer) {
   // Warm one container first; a cold burst would scale out per queued
   // request instead.
   bool warm = false;
-  platform.Invoke(kClientCaller, "sleeper", Json::MakeObject(), false,
-                  [&](Result<Json> r) { warm = r.ok(); });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "sleeper",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) { warm = r.ok(); }});
   sim.Run();
   ASSERT_TRUE(warm);
   // Requests arrive 1 ms apart (closed-loop pacing): each one's brief
@@ -40,8 +44,12 @@ TEST(PlatformScalingTest, SleepingRequestsPackIntoOneContainer) {
   int completed = 0;
   for (int i = 0; i < 20; ++i) {
     sim.Schedule(Milliseconds(i), [&] {
-      platform.Invoke(kClientCaller, "sleeper", Json::MakeObject(), false,
-                      [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+      platform.Invoke({.caller = kClientCaller,
+                       .callee = "sleeper",
+                       .parent = {},
+                       .payload = Json::MakeObject(),
+                       .async = false,
+                       .done = [&](Result<Json> r) { completed += r.ok() ? 1 : 0; }});
     });
   }
   sim.Run();
@@ -57,8 +65,12 @@ TEST(PlatformScalingTest, DeploymentConcurrencyCapLimitsPacking) {
   ASSERT_TRUE(platform.Deploy(spec).ok());
   int completed = 0;
   for (int i = 0; i < 8; ++i) {
-    platform.Invoke(kClientCaller, "capped", Json::MakeObject(), false,
-                    [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "capped",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { completed += r.ok() ? 1 : 0; }});
   }
   sim.Run();
   EXPECT_EQ(completed, 8);
@@ -81,8 +93,12 @@ TEST(PlatformScalingTest, MemoryAdmissionAvoidsHotContainers) {
   ASSERT_TRUE(platform.Deploy(spec).ok());
   int completed = 0;
   for (int i = 0; i < 6; ++i) {
-    platform.Invoke(kClientCaller, "memhog", Json::MakeObject(), false,
-                    [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "memhog",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { completed += r.ok() ? 1 : 0; }});
   }
   sim.Run();
   // Admission (50 MB threshold => ~2 requests/container) spreads the load
@@ -115,8 +131,12 @@ TEST(PlatformScalingTest, BacklogDrainRespectsMemoryAdmission) {
 
   // One request in flight holds base 5 + 40 = 45 MB...
   int completed = 0;
-  platform.Invoke(kClientCaller, "drainhog", Json::MakeObject(), false,
-                  [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "drainhog",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) { completed += r.ok() ? 1 : 0; }});
   sim.RunUntil(Milliseconds(20));
   ASSERT_EQ(platform.TotalContainers(), 1);
 
@@ -124,8 +144,12 @@ TEST(PlatformScalingTest, BacklogDrainRespectsMemoryAdmission) {
   // next request too (45 + 40 = 85 MB, way past the threshold). Now the
   // burst queues and drains strictly one at a time as memory frees.
   for (int i = 0; i < 3; ++i) {
-    platform.Invoke(kClientCaller, "drainhog", Json::MakeObject(), false,
-                    [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = "drainhog",
+                     .parent = {},
+                     .payload = Json::MakeObject(),
+                     .async = false,
+                     .done = [&](Result<Json> r) { completed += r.ok() ? 1 : 0; }});
   }
   sim.Run();
   EXPECT_EQ(completed, 4);  // Everything drains eventually.
@@ -146,8 +170,12 @@ TEST(PlatformScalingTest, UpdateRetiresOldContainersAfterDrain) {
 
   // Start a request so one old-version container is busy.
   int first_done = 0;
-  platform.Invoke(kClientCaller, "svc", Json::MakeObject(), false,
-                  [&](Result<Json> r) { first_done += r.ok() ? 1 : 0; });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "svc",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) { first_done += r.ok() ? 1 : 0; }});
   sim.RunUntil(Milliseconds(95));  // Mid-flight (cold start ~90ms + 30ms run).
   EXPECT_EQ(platform.TotalContainers(), 1);
 
@@ -155,8 +183,12 @@ TEST(PlatformScalingTest, UpdateRetiresOldContainersAfterDrain) {
   // once idle.
   ASSERT_TRUE(platform.UpdateFunction(LongFunction("svc", 1.0)).ok());
   int second_done = 0;
-  platform.Invoke(kClientCaller, "svc", Json::MakeObject(), false,
-                  [&](Result<Json> r) { second_done += r.ok() ? 1 : 0; });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "svc",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json> r) { second_done += r.ok() ? 1 : 0; }});
   sim.Run();
   EXPECT_EQ(first_done, 1);   // In-flight request finished on the old version.
   EXPECT_EQ(second_done, 1);  // New request served by the new version.
@@ -177,10 +209,18 @@ TEST(PlatformScalingTest, ColdStartScalesWithImageAndLibs) {
 
   SimTime small_done = 0;
   SimTime large_done = 0;
-  platform.Invoke(kClientCaller, "small-image", Json::MakeObject(), false,
-                  [&](Result<Json>) { small_done = sim.now(); });
-  platform.Invoke(kClientCaller, "large-image", Json::MakeObject(), false,
-                  [&](Result<Json>) { large_done = sim.now(); });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "small-image",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json>) { small_done = sim.now(); }});
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "large-image",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json>) { large_done = sim.now(); }});
   sim.Run();
   // 39 MB more image at 5 ms/MB plus 84 more eager libs: >= 195 ms slower.
   EXPECT_GT(large_done - small_done, Milliseconds(150));
@@ -200,10 +240,18 @@ TEST(PlatformScalingTest, LazyLibsShrinkColdStart) {
   ASSERT_TRUE(platform.Deploy(lazy).ok());
   SimTime eager_done = 0;
   SimTime lazy_done = 0;
-  platform.Invoke(kClientCaller, "eager-libs", Json::MakeObject(), false,
-                  [&](Result<Json>) { eager_done = sim.now(); });
-  platform.Invoke(kClientCaller, "lazy-libs", Json::MakeObject(), false,
-                  [&](Result<Json>) { lazy_done = sim.now(); });
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "eager-libs",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json>) { eager_done = sim.now(); }});
+  platform.Invoke({.caller = kClientCaller,
+                   .callee = "lazy-libs",
+                   .parent = {},
+                   .payload = Json::MakeObject(),
+                   .async = false,
+                   .done = [&](Result<Json>) { lazy_done = sim.now(); }});
   sim.Run();
   EXPECT_GT(eager_done - lazy_done, Milliseconds(3));  // ~41 * 110us.
 }

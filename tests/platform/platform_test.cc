@@ -33,8 +33,12 @@ struct Harness {
 
   Result<Json> InvokeAndWait(const std::string& handle, Json payload = Json::MakeObject()) {
     Result<Json> response = InternalError("no response");
-    platform.Invoke(kClientCaller, handle, payload, false,
-                    [&](Result<Json> r) { response = std::move(r); });
+    platform.Invoke({.caller = kClientCaller,
+                     .callee = handle,
+                     .parent = {},
+                     .payload = payload,
+                     .async = false,
+                     .done = [&](Result<Json> r) { response = std::move(r); }});
     sim.Run();
     return response;
   }
@@ -98,8 +102,12 @@ TEST(PlatformTest, ScalesOutUnderParallelLoad) {
   ASSERT_TRUE(h.platform.Deploy(SimpleFunction("fn", /*compute_ms=*/50.0, /*max_scale=*/3)).ok());
   int completed = 0;
   for (int i = 0; i < 6; ++i) {
-    h.platform.Invoke(kClientCaller, "fn", Json::MakeObject(), false,
-                      [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+    h.platform.Invoke({.caller = kClientCaller,
+                       .callee = "fn",
+                       .parent = {},
+                       .payload = Json::MakeObject(),
+                       .async = false,
+                       .done = [&](Result<Json> r) { completed += r.ok() ? 1 : 0; }});
   }
   h.sim.Run();
   EXPECT_EQ(completed, 6);
@@ -113,8 +121,12 @@ TEST(PlatformTest, MaxScaleQueuesExcessRequests) {
   ASSERT_TRUE(h.platform.Deploy(SimpleFunction("fn", 50.0, /*max_scale=*/1)).ok());
   int completed = 0;
   for (int i = 0; i < 5; ++i) {
-    h.platform.Invoke(kClientCaller, "fn", Json::MakeObject(), false,
-                      [&](Result<Json> r) { completed += r.ok() ? 1 : 0; });
+    h.platform.Invoke({.caller = kClientCaller,
+                       .callee = "fn",
+                       .parent = {},
+                       .payload = Json::MakeObject(),
+                       .async = false,
+                       .done = [&](Result<Json> r) { completed += r.ok() ? 1 : 0; }});
   }
   h.sim.Run();
   EXPECT_EQ(completed, 5);  // All served eventually.

@@ -15,17 +15,18 @@ class FakeInvoker : public Invoker {
   explicit FakeInvoker(Simulation* sim, SimDuration delay = Milliseconds(2))
       : sim_(sim), delay_(delay) {}
 
-  void Invoke(const std::string& caller, const std::string& callee, const Json& payload,
-              bool async, std::function<void(Result<Json>)> done) override {
-    calls.push_back({caller, callee, async});
+  void Invoke(InvokeRequest&& request) override {
+    calls.push_back({request.caller, request.callee, request.async});
+    auto done = std::move(request.done);
     if (fail_all) {
       sim_->Schedule(delay_, [done] { done(InternalError("remote failure")); });
       return;
     }
     Json response = Json::MakeObject();
-    response["fn"] = callee;
+    response["fn"] = request.callee;
     sim_->Schedule(delay_, [done, response] { done(response); });
   }
+  using Invoker::Invoke;
 
   struct Call {
     std::string caller;

@@ -10,11 +10,11 @@ class FixedLatencyService : public Invoker {
  public:
   FixedLatencyService(Simulation* sim, SimDuration latency) : sim_(sim), latency_(latency) {}
 
-  void Invoke(const std::string& caller, const std::string& callee, const Json& payload,
-              bool async, std::function<void(Result<Json>)> done) override {
+  void Invoke(InvokeRequest&& request) override {
     ++invocations;
-    sim_->Schedule(latency_, [done] { done(Json::MakeObject()); });
+    sim_->Schedule(latency_, [done = std::move(request.done)] { done(Json::MakeObject()); });
   }
+  using Invoker::Invoke;
 
   int64_t invocations = 0;
 
@@ -98,11 +98,11 @@ TEST(OpenLoopTest, PayloadFnCustomizesRequests) {
   class PayloadCheck : public Invoker {
    public:
     explicit PayloadCheck(Simulation* sim) : sim_(sim) {}
-    void Invoke(const std::string&, const std::string&, const Json& payload, bool,
-                std::function<void(Result<Json>)> done) override {
-      sum += payload.Get("num").AsInt();
-      sim_->Schedule(0, [done] { done(Json::MakeObject()); });
+    void Invoke(InvokeRequest&& request) override {
+      sum += request.payload.Get("num").AsInt();
+      sim_->Schedule(0, [done = std::move(request.done)] { done(Json::MakeObject()); });
     }
+    using Invoker::Invoke;
     int64_t sum = 0;
 
    private:
@@ -131,8 +131,8 @@ class AlternatingFailureService : public Invoker {
   AlternatingFailureService(Simulation* sim, SimDuration latency, Status failure)
       : sim_(sim), latency_(latency), failure_(std::move(failure)) {}
 
-  void Invoke(const std::string&, const std::string&, const Json&, bool,
-              std::function<void(Result<Json>)> done) override {
+  void Invoke(InvokeRequest&& request) override {
+    auto done = std::move(request.done);
     const bool fail = (count_++ % 2) == 1;
     Status failure = failure_;
     sim_->Schedule(latency_, [done, fail, failure] {
@@ -143,6 +143,7 @@ class AlternatingFailureService : public Invoker {
       }
     });
   }
+  using Invoker::Invoke;
 
  private:
   Simulation* sim_;
@@ -198,11 +199,12 @@ class PayloadRecordingService : public Invoker {
  public:
   explicit PayloadRecordingService(Simulation* sim) : sim_(sim) {}
 
-  void Invoke(const std::string& caller, const std::string& callee, const Json& payload,
-              bool async, std::function<void(Result<Json>)> done) override {
-    nums.push_back(payload.Has("num") ? payload.Get("num").AsInt() : -1);
-    sim_->Schedule(Milliseconds(1), [done] { done(Json::MakeObject()); });
+  void Invoke(InvokeRequest&& request) override {
+    nums.push_back(request.payload.Has("num") ? request.payload.Get("num").AsInt() : -1);
+    sim_->Schedule(Milliseconds(1),
+                   [done = std::move(request.done)] { done(Json::MakeObject()); });
   }
+  using Invoker::Invoke;
 
   std::vector<int64_t> nums;
 
